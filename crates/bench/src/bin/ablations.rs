@@ -1,0 +1,41 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! CNI send-side prefetch, CNI_32Qm receive-cache bypass, the dead-block
+//! head-update optimisation, send throttling, and NI cache size.
+use nisim_bench::{
+    ablation_bypass, ablation_dead_block, ablation_ni_cache, ablation_prefetch, ablation_throttle,
+};
+
+fn main() {
+    println!("Ablations of the paper's design choices\n");
+
+    let (on, off) = ablation_prefetch();
+    println!("1. CNI send-side prefetch (lazy pointer), CNI_512Q rtt at 256 B:");
+    println!(
+        "   on  {on:.2} us\n   off {off:.2} us   ({:+.0}% without prefetch)\n",
+        100.0 * (off / on - 1.0)
+    );
+
+    let (on, off) = ablation_bypass();
+    println!("2. CNI_32Qm receive-cache bypass, receive-side processor time");
+    println!("   under bursty overload:");
+    println!(
+        "   on  {on:.0} us\n   off {off:.0} us   ({:+.0}% without bypass)\n",
+        100.0 * (off / on - 1.0)
+    );
+
+    let ((bw_on, wb_on), (bw_off, wb_off)) = ablation_dead_block();
+    println!("3. Dead-block head update, 4 KB stream:");
+    println!("   on  {bw_on:.0} MB/s, {wb_on} memory writebacks");
+    println!("   off {bw_off:.0} MB/s, {wb_off} memory writebacks\n");
+
+    println!("4. Send-throttle sweep, CNI_32Qm 4 KB stream (paper footnote):");
+    for (d, bw) in ablation_throttle(&[0, 50, 100, 150, 200, 400]) {
+        println!("   throttle {d:>4} ns -> {bw:.0} MB/s");
+    }
+    println!();
+
+    println!("5. NI cache size sweep (bridging CNI_32Qm -> CNI_512Q capacity):");
+    for (b, rtt, bw) in ablation_ni_cache(&[8, 32, 128, 512]) {
+        println!("   {b:>4} blocks -> rtt64 {rtt:.2} us, bw4096 {bw:.0} MB/s");
+    }
+}

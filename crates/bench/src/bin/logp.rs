@@ -1,0 +1,36 @@
+//! LogP-style characterisation of the seven NIs (§6.1 discussion): how
+//! the "degree of processor involvement" parameter redistributes time
+//! between processor occupancy (o) and latency (L).
+use nisim_bench::fmt::TableWriter;
+use nisim_core::NiKind;
+use nisim_workloads::micro::logp::measure_logp;
+
+fn main() {
+    println!("LogP-style characterisation at 64-byte payloads\n");
+    let mut t = TableWriter::new(vec![
+        "NI".into(),
+        "o_send (us)".into(),
+        "o_recv (us)".into(),
+        "L (us)".into(),
+        "g (us)".into(),
+        "involvement".into(),
+    ]);
+    for kind in NiKind::TABLE2 {
+        let r = measure_logp(kind, 64);
+        t.row(vec![
+            kind.name().into(),
+            format!("{:.2}", r.o_send_us),
+            format!("{:.2}", r.o_recv_us),
+            format!("{:.2}", r.l_us),
+            format!("{:.2}", r.g_us),
+            format!("{:.0}%", 100.0 * r.involvement()),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "\nThe paper's point (§6.1): for processor-managed NIs the data\n\
+         transfer lands in o; for NI-managed designs it rides in L — so\n\
+         the two columns are not comparable across designs, but their sum\n\
+         and the involvement ratio are."
+    );
+}

@@ -1,0 +1,42 @@
+//! Revisits the Mackenzie et al. claim the paper debates in §7: that
+//! buffering overflow past the NI is rare for realistic workloads. We
+//! sweep the offered load of synthetic traffic on CNI_32Qm and measure
+//! how much of the receive traffic overflows the NI cache into memory
+//! (the analogue of spilling to virtual memory).
+use nisim_core::{MachineConfig, NiKind};
+use nisim_engine::Dur;
+use nisim_workloads::synthetic::{run_synthetic, Locality, SyntheticParams};
+
+fn main() {
+    println!("Receive-cache overflow vs offered load (CNI_32Qm, 16 nodes)\n");
+    println!(
+        "{:>10} {:>12} {:>14} {:>14}",
+        "gap (ns)", "elapsed (us)", "overflow blks", "per message"
+    );
+    for gap in [20_000u64, 5_000, 2_000, 1_000, 500, 250, 100] {
+        let cfg = MachineConfig::with_ni(NiKind::Cni32Qm).nodes(16);
+        let params = SyntheticParams {
+            mean_gap: Dur::ns(gap),
+            // Half the traffic converges on one hot node, as a contended
+            // server or reduction root would.
+            locality: Locality::Hotspot(0.5),
+            size_mix: vec![(132, 1.0)],
+            ..SyntheticParams::default()
+        };
+        let r = run_synthetic(&cfg, &params);
+        // CNI_32Qm writes main memory only when the receive cache
+        // overflows (bypass) — mem_writes is the overflow volume.
+        println!(
+            "{:>10} {:>12} {:>14} {:>14.2}",
+            gap,
+            r.elapsed.as_ns() / 1_000,
+            r.mem_writes,
+            r.mem_writes as f64 / r.app_messages as f64
+        );
+    }
+    println!(
+        "\nAt relaxed loads overflow is rare (Mackenzie's claim); as the\n\
+         offered load approaches the consumption rate it becomes routine —\n\
+         the paper's counterpoint for its two bursty applications."
+    );
+}

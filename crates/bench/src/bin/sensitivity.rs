@@ -1,0 +1,29 @@
+//! Sensitivity studies beyond the paper's fixed Table 3 parameters:
+//! the UDMA crossover point, the processor/memory-gap prediction of
+//! §6.2.2, and network-latency scaling.
+use nisim_bench::{memory_gap_sensitivity, network_latency_sensitivity, udma_crossover};
+
+fn main() {
+    println!("1. UDMA mechanism vs uncached fallback (round trip, us):");
+    println!("   payload   pure-UDMA   uncached   winner");
+    for (p, pure, fb) in udma_crossover(&[8, 32, 64, 96, 128, 192, 256]) {
+        println!(
+            "   {p:>7}   {pure:>9.2}   {fb:>8.2}   {}",
+            if pure < fb { "UDMA" } else { "uncached" }
+        );
+    }
+    println!("   (paper: the macrobenchmarks switch to UDMA above 96 B)\n");
+
+    println!("2. Memory-gap sensitivity (em3d, StarT-JR time / CNI_32Qm time):");
+    for (lat, ratio) in memory_gap_sensitivity(&[60, 120, 240, 360]) {
+        println!("   memory {lat:>4} ns -> {ratio:.3}x");
+    }
+    println!("   (paper 6.2.2: the CNI edge should grow with the gap)\n");
+
+    println!("3. Network-latency sensitivity (64 B round trip, us):");
+    println!("   wire       CM-5   CNI_32Qm");
+    for (lat, cm5, cni) in network_latency_sensitivity(&[40, 400, 4000]) {
+        println!("   {lat:>5} ns  {cm5:>6.2}   {cni:>7.2}");
+    }
+    println!("   (NI design matters less as the wire starts to dominate)");
+}

@@ -1,0 +1,21 @@
+//! Regenerates Table 1: buffering available in five commercial network
+//! switches/routers — the motivation for NI-side buffering (§3).
+use nisim_bench::fmt::TableWriter;
+use nisim_net::switch_survey::{max_survey_bytes, SWITCH_SURVEY};
+
+fn main() {
+    println!("Table 1: switch/router buffering between an input and an output port\n");
+    let mut t = TableWriter::new(vec![
+        "Network Switch/Router".into(),
+        "Maximum Buffering".into(),
+    ]);
+    for s in SWITCH_SURVEY {
+        t.row(vec![s.name.into(), s.max_buffering.into()]);
+    }
+    print!("{}", t.render());
+    println!(
+        "\nLargest per-port buffering: {} bytes — under two 256-byte network\n\
+         messages, so NIs cannot rely on the network for buffering.",
+        max_survey_bytes()
+    );
+}

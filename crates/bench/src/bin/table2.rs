@@ -1,0 +1,39 @@
+//! Regenerates Table 2: the taxonomy classification of the seven NIs,
+//! generated from each NI model's self-description.
+use nisim_bench::fmt::TableWriter;
+use nisim_core::{MachineConfig, NiKind, NiUnit};
+use nisim_net::BufferCount;
+
+fn main() {
+    println!("Table 2: data transfer and buffering parameters of the seven NIs\n");
+    let cfg = MachineConfig::default();
+    let mut t = TableWriter::new(vec![
+        "NI".into(),
+        "Description".into(),
+        "S.Size".into(),
+        "S.Mgr".into(),
+        "S.Source".into(),
+        "R.Size".into(),
+        "R.Mgr".into(),
+        "R.Dest".into(),
+        "Buffers".into(),
+        "Proc?".into(),
+    ]);
+    for kind in NiKind::TABLE2 {
+        let ni = NiUnit::with_kind(&cfg, kind, BufferCount::Finite(8));
+        let d = ni.model.descriptor();
+        t.row(vec![
+            d.symbol.into(),
+            d.description.into(),
+            d.send.size.to_string(),
+            d.send.manager.to_string(),
+            d.send.endpoint.to_string(),
+            d.receive.size.to_string(),
+            d.receive.manager.to_string(),
+            d.receive.endpoint.to_string(),
+            d.buffer_location.to_string(),
+            d.buffering.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+}

@@ -1,0 +1,56 @@
+//! Regenerates Table 3: the common system parameters, printed from the
+//! default machine configuration actually used by every simulation.
+use nisim_bench::fmt::TableWriter;
+use nisim_core::MachineConfig;
+
+fn main() {
+    println!("Table 3: system parameters (from MachineConfig::default())\n");
+    let c = MachineConfig::default();
+    let mut t = TableWriter::new(vec!["Parameter".into(), "Value".into()]);
+    let rows: Vec<(&str, String)> = vec![
+        ("Number of parallel machine nodes", c.nodes.to_string()),
+        (
+            "Processor speed",
+            format!("{} GHz", 1_000 / c.cpu_period.as_ns().max(1) / 1_000),
+        ),
+        ("Cache block size", format!("{} bytes", c.cache.block_bytes)),
+        (
+            "Cache size",
+            format!("{} megabyte", c.cache.size_bytes >> 20),
+        ),
+        (
+            "Cache associativity",
+            if c.cache.ways == 1 {
+                "direct-mapped".into()
+            } else {
+                format!("{}-way", c.cache.ways)
+            },
+        ),
+        (
+            "Main memory access time",
+            format!("{}", c.main_memory_latency),
+        ),
+        ("Memory bus coherence protocol", "MOESI".into()),
+        (
+            "Memory bus width",
+            format!("{} bits", c.bus.width_bytes * 8),
+        ),
+        (
+            "Memory bus clock",
+            format!("{} MHz", 1_000 / c.bus.clock_period.as_ns()),
+        ),
+        (
+            "Network message size",
+            format!("{} bytes", c.net.max_message_bytes),
+        ),
+        ("Network latency", format!("{}", c.net.wire_latency)),
+        (
+            "NI memory access time",
+            format!("{} (120 ns DRAM for CNI_512Q)", c.ni_memory_latency),
+        ),
+    ];
+    for (k, v) in rows {
+        t.row(vec![k.into(), v]);
+    }
+    print!("{}", t.render());
+}

@@ -1,0 +1,34 @@
+//! Regenerates Table 5: process-to-process round-trip latency (µs) and
+//! bandwidth (MB/s) for the seven NIs plus CNI_32Qm+Throttle.
+use nisim_bench::fmt::TableWriter;
+use nisim_bench::{run_table5, BW_PAYLOADS, RTT_PAYLOADS};
+
+fn main() {
+    println!("Table 5: round-trip latency (us) and bandwidth (MB/s), flow control buffers = 8\n");
+    let (rows, throttled) = run_table5();
+    let mut header = vec!["NI".to_string()];
+    header.extend(RTT_PAYLOADS.iter().map(|p| format!("rtt{p}")));
+    header.extend(BW_PAYLOADS.iter().map(|p| format!("bw{p}")));
+    let mut t = TableWriter::new(header);
+    for r in &rows {
+        let mut cells = vec![r.kind.name().to_string()];
+        cells.extend(r.rtt_us.iter().map(|x| format!("{x:.2}")));
+        cells.extend(r.bw_mb_s.iter().map(|x| format!("{x:.0}")));
+        t.row(cells);
+    }
+    let mut cells = vec!["CNI_32Qm+Throttle".to_string()];
+    cells.extend(["n/a"; 3].iter().map(|s| s.to_string()));
+    cells.extend(["-"; 3].iter().map(|s| s.to_string()));
+    cells.push(format!("{throttled:.0}"));
+    t.row(cells);
+    print!("{}", t.render());
+    println!("\nPaper reference (same layout):");
+    println!("  CM-5      2.41 5.25 15.11 | 17  54  63  69");
+    println!("  Udma      4.48 5.83 10.10 |  7  42  78 109");
+    println!("  AP3000    1.95 2.48  4.47 | 26 154 234 298");
+    println!("  StarT-JR  1.54 2.38  5.04 | 29 119 191 221");
+    println!("  MemChan   1.55 2.42  4.89 | 27 119 191 221");
+    println!("  CNI_512Q  1.56 2.22  4.17 | 28 134 209 259");
+    println!("  CNI_32Qm  1.29 1.78  3.42 | 36 120 189 209");
+    println!("  +Throttle                 | 36 158 272 351");
+}

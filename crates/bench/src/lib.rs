@@ -1,0 +1,27 @@
+//! # nisim-bench
+//!
+//! The experiment harness that regenerates **every table and figure** of
+//! Mukherjee & Hill (HPCA 1998). Each `src/bin/*` binary prints one
+//! table/figure in the paper's row/series layout; this library holds the
+//! shared experiment runners so the binaries, integration tests and
+//! Criterion benches all exercise identical code paths.
+//!
+//! Run the full reproduction with:
+//!
+//! ```text
+//! cargo run --release -p nisim-bench --bin table1
+//! cargo run --release -p nisim-bench --bin table2
+//! cargo run --release -p nisim-bench --bin table3
+//! cargo run --release -p nisim-bench --bin table4
+//! cargo run --release -p nisim-bench --bin table5
+//! cargo run --release -p nisim-bench --bin fig1
+//! cargo run --release -p nisim-bench --bin fig3a
+//! cargo run --release -p nisim-bench --bin fig3b
+//! cargo run --release -p nisim-bench --bin fig4
+//! cargo run --release -p nisim-bench --bin ablations
+//! ```
+
+pub mod experiments;
+pub mod fmt;
+
+pub use experiments::*;

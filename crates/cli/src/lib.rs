@@ -1,0 +1,324 @@
+//! Library behind the `nisim` command-line tool (separated so the parser
+//! and command runners are unit-testable).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use nisim_core::{MachineConfig, NiKind, TimeCategory};
+use nisim_net::{BufferCount, Topology};
+use nisim_workloads::apps::{run_app, MacroApp};
+use nisim_workloads::micro::bandwidth::measure_bandwidth;
+use nisim_workloads::micro::pingpong::measure_round_trip;
+
+/// Usage text shown on parse errors.
+pub const USAGE: &str = "\
+usage:
+  nisim list
+  nisim rtt   --ni <ni> [--payload <bytes>] [--buffers <n|inf>]
+  nisim bw    --ni <ni> [--payload <bytes>] [--buffers <n|inf>]
+  nisim run   --app <app> --ni <ni> [--buffers <n|inf>] [--nodes <n>]
+              [--topology ideal|ring|mesh] [--seed <n>]
+  nisim sweep --app <app> [--buffers <n|inf>]
+
+NIs:  cm5, cm5-single-cycle, cm5-coalescing, udma, ap3000, startjr,
+      memchannel, cni512q, cni32qm, cni32qm-throttle
+apps: appbt, barnes, dsmc, em3d, moldyn, spsolve, unstructured";
+
+/// A CLI failure with a human-readable message.
+#[derive(Debug, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Parses `--key value` pairs after the subcommand.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(err(format!("expected a --flag, got {key:?}")));
+        };
+        let Some(value) = it.next() else {
+            return Err(err(format!("--{name} needs a value")));
+        };
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+/// Parses an NI name.
+pub fn parse_ni(name: &str) -> Result<NiKind, CliError> {
+    Ok(match name {
+        "cm5" => NiKind::Cm5,
+        "cm5-single-cycle" => NiKind::Cm5SingleCycle,
+        "cm5-coalescing" => NiKind::Cm5Coalescing,
+        "udma" => NiKind::Udma,
+        "ap3000" => NiKind::Ap3000,
+        "startjr" => NiKind::StartJr,
+        "memchannel" => NiKind::MemoryChannel,
+        "cni512q" => NiKind::Cni512Q,
+        "cni32qm" => NiKind::Cni32Qm,
+        "cni32qm-throttle" => NiKind::Cni32QmThrottle,
+        other => return Err(err(format!("unknown NI {other:?}"))),
+    })
+}
+
+/// Parses a macrobenchmark name.
+pub fn parse_app(name: &str) -> Result<MacroApp, CliError> {
+    MacroApp::ALL
+        .into_iter()
+        .find(|a| a.name() == name)
+        .ok_or_else(|| err(format!("unknown app {name:?}")))
+}
+
+/// Parses a buffer count (`inf` or a positive integer).
+pub fn parse_buffers(value: &str) -> Result<BufferCount, CliError> {
+    if value == "inf" {
+        return Ok(BufferCount::Infinite);
+    }
+    value
+        .parse::<u32>()
+        .ok()
+        .filter(|&n| n > 0)
+        .map(BufferCount::Finite)
+        .ok_or_else(|| err(format!("bad buffer count {value:?}")))
+}
+
+/// Parses a topology name.
+pub fn parse_topology(value: &str) -> Result<Topology, CliError> {
+    Ok(match value {
+        "ideal" => Topology::Ideal,
+        "ring" => Topology::Ring,
+        "mesh" => Topology::Mesh2D,
+        other => return Err(err(format!("unknown topology {other:?}"))),
+    })
+}
+
+fn config_from(flags: &HashMap<String, String>, ni: NiKind) -> Result<MachineConfig, CliError> {
+    let mut cfg = MachineConfig::with_ni(ni);
+    if let Some(b) = flags.get("buffers") {
+        cfg.flow_buffers = parse_buffers(b)?;
+    }
+    if let Some(n) = flags.get("nodes") {
+        let n: u32 = n
+            .parse()
+            .ok()
+            .filter(|&n| n >= 2)
+            .ok_or_else(|| err(format!("bad node count {n:?}")))?;
+        cfg.nodes = n;
+    }
+    if let Some(t) = flags.get("topology") {
+        cfg.net.topology = parse_topology(t)?;
+    }
+    if let Some(s) = flags.get("seed") {
+        cfg.seed = s.parse().map_err(|_| err(format!("bad seed {s:?}")))?;
+    }
+    Ok(cfg)
+}
+
+fn required<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a String, CliError> {
+    flags
+        .get(name)
+        .ok_or_else(|| err(format!("--{name} is required")))
+}
+
+fn payload_from(flags: &HashMap<String, String>) -> Result<u64, CliError> {
+    match flags.get("payload") {
+        None => Ok(64),
+        Some(p) => p.parse().map_err(|_| err(format!("bad payload {p:?}"))),
+    }
+}
+
+/// Runs the CLI against `args` (without the program name) and returns the
+/// output text.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on unknown subcommands, flags or values.
+pub fn main_with_args(args: &[String]) -> Result<String, CliError> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(err("missing subcommand"));
+    };
+    let flags = parse_flags(rest)?;
+    match cmd.as_str() {
+        "list" => Ok(format!("{USAGE}\n")),
+        "rtt" => {
+            let ni = parse_ni(required(&flags, "ni")?)?;
+            let payload = payload_from(&flags)?;
+            let mut cfg = config_from(&flags, ni)?;
+            if ni == NiKind::Udma {
+                cfg.costs = cfg.costs.pure_udma();
+            }
+            let r = measure_round_trip(&cfg, payload);
+            Ok(format!(
+                "{}: {} B round trip = {:.2} us (min {:.2}, max {:.2})\n",
+                ni.name(),
+                payload,
+                r.mean_us,
+                r.min_us,
+                r.max_us
+            ))
+        }
+        "bw" => {
+            let ni = parse_ni(required(&flags, "ni")?)?;
+            let payload = payload_from(&flags)?;
+            let mut cfg = config_from(&flags, ni)?;
+            if ni == NiKind::Udma {
+                cfg.costs = cfg.costs.pure_udma();
+            }
+            let r = measure_bandwidth(&cfg, payload);
+            Ok(format!(
+                "{}: {} B stream = {:.0} MB/s\n",
+                ni.name(),
+                payload,
+                r.mb_per_s
+            ))
+        }
+        "run" => {
+            let ni = parse_ni(required(&flags, "ni")?)?;
+            let app = parse_app(required(&flags, "app")?)?;
+            let cfg = config_from(&flags, ni)?;
+            let r = run_app(app, &cfg, &app.default_params());
+            Ok(format!(
+                "{app} on {} ({} nodes, buffers {}):\n\
+                 \x20 elapsed        {} us\n\
+                 \x20 compute        {:.1}%\n\
+                 \x20 data transfer  {:.1}%\n\
+                 \x20 buffering      {:.1}%\n\
+                 \x20 idle           {:.1}%\n\
+                 \x20 messages       {} ({} fragments, {} retries)\n\
+                 \x20 bus            {} txns, {:.0}% block, {:.1}% utilised\n",
+                ni.name(),
+                cfg.nodes,
+                cfg.flow_buffers,
+                r.elapsed.as_ns() / 1_000,
+                100.0 * r.fraction(TimeCategory::Compute),
+                100.0 * r.fraction(TimeCategory::DataTransfer),
+                100.0 * r.fraction(TimeCategory::Buffering),
+                100.0 * r.fraction(TimeCategory::Idle),
+                r.app_messages,
+                r.fragments_sent,
+                r.retries,
+                r.bus_transactions,
+                100.0 * r.block_transaction_share(),
+                100.0 * r.bus_utilization(),
+            ))
+        }
+        "sweep" => {
+            let app = parse_app(required(&flags, "app")?)?;
+            let mut out = format!("{app} across the design space:\n");
+            for ni in [
+                NiKind::Cm5,
+                NiKind::Cm5Coalescing,
+                NiKind::Udma,
+                NiKind::Ap3000,
+                NiKind::StartJr,
+                NiKind::MemoryChannel,
+                NiKind::Cni512Q,
+                NiKind::Cni32Qm,
+            ] {
+                let cfg = config_from(&flags, ni)?;
+                let r = run_app(app, &cfg, &app.default_params());
+                out.push_str(&format!(
+                    "  {:<24} {:>8} us  buffering {:>5.1}%\n",
+                    ni.name(),
+                    r.elapsed.as_ns() / 1_000,
+                    100.0 * r.fraction(TimeCategory::Buffering)
+                ));
+            }
+            Ok(out)
+        }
+        other => Err(err(format!("unknown subcommand {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(args: &[&str]) -> Result<String, CliError> {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        main_with_args(&args)
+    }
+
+    #[test]
+    fn parses_all_ni_names() {
+        for (name, kind) in [
+            ("cm5", NiKind::Cm5),
+            ("cm5-single-cycle", NiKind::Cm5SingleCycle),
+            ("cm5-coalescing", NiKind::Cm5Coalescing),
+            ("udma", NiKind::Udma),
+            ("ap3000", NiKind::Ap3000),
+            ("startjr", NiKind::StartJr),
+            ("memchannel", NiKind::MemoryChannel),
+            ("cni512q", NiKind::Cni512Q),
+            ("cni32qm", NiKind::Cni32Qm),
+            ("cni32qm-throttle", NiKind::Cni32QmThrottle),
+        ] {
+            assert_eq!(parse_ni(name).unwrap(), kind);
+        }
+        assert!(parse_ni("cm6").is_err());
+    }
+
+    #[test]
+    fn parses_buffers_and_topology() {
+        assert_eq!(parse_buffers("8").unwrap(), BufferCount::Finite(8));
+        assert_eq!(parse_buffers("inf").unwrap(), BufferCount::Infinite);
+        assert!(parse_buffers("0").is_err());
+        assert!(parse_buffers("-1").is_err());
+        assert_eq!(parse_topology("mesh").unwrap(), Topology::Mesh2D);
+        assert!(parse_topology("torus").is_err());
+    }
+
+    #[test]
+    fn rtt_command_reports_microseconds() {
+        let out = run(&["rtt", "--ni", "cni32qm", "--payload", "8"]).unwrap();
+        assert!(out.contains("8 B round trip"), "{out}");
+        assert!(out.contains("us"));
+    }
+
+    #[test]
+    fn run_command_reports_decomposition() {
+        let out = run(&[
+            "run",
+            "--app",
+            "appbt",
+            "--ni",
+            "ap3000",
+            "--nodes",
+            "4",
+            "--buffers",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("appbt on AP3000-like NI"), "{out}");
+        assert!(out.contains("data transfer"));
+        assert!(out.contains("4 nodes, buffers 2"));
+    }
+
+    #[test]
+    fn missing_flags_are_reported() {
+        assert!(run(&["rtt"]).unwrap_err().0.contains("--ni is required"));
+        assert!(run(&["nope"]).unwrap_err().0.contains("unknown subcommand"));
+        assert!(run(&["rtt", "--ni"])
+            .unwrap_err()
+            .0
+            .contains("needs a value"));
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn bad_values_are_reported() {
+        assert!(run(&["run", "--app", "em3d", "--ni", "cm5", "--nodes", "1"]).is_err());
+        assert!(run(&["rtt", "--ni", "cm5", "--payload", "many"]).is_err());
+        assert!(run(&["run", "--app", "quake", "--ni", "cm5"]).is_err());
+    }
+}

@@ -1,0 +1,173 @@
+//! Machine configuration (Table 3 of the paper).
+//!
+//! [`MachineConfig::default`] reproduces the paper's system parameters
+//! exactly; the builder methods support the sensitivity sweeps in the
+//! benchmark harness.
+
+use nisim_engine::Dur;
+use nisim_mem::{BusConfig, CacheConfig};
+use nisim_net::{BufferCount, NetConfig};
+
+use crate::costs::CostModel;
+use crate::ni::NiKind;
+
+/// Full configuration of the simulated parallel machine.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Number of nodes. 16 per Table 3.
+    pub nodes: u32,
+    /// CPU clock period; 1 ns = 1 GHz per Table 3.
+    pub cpu_period: Dur,
+    /// Processor cache geometry (1 MB direct-mapped, 64 B blocks).
+    pub cache: CacheConfig,
+    /// Memory bus geometry (256-bit, 250 MHz, MOESI).
+    pub bus: BusConfig,
+    /// Main memory access time; 120 ns.
+    pub main_memory_latency: Dur,
+    /// Dedicated NI memory access time; 60 ns (the `CNI_512Q` model
+    /// overrides this with 120 ns DRAM itself).
+    pub ni_memory_latency: Dur,
+    /// Latency for a snooping cache to supply a block cache-to-cache.
+    pub cache_to_cache_latency: Dur,
+    /// Network geometry and timing (40 ns, 256 B messages, 8 B headers).
+    pub net: NetConfig,
+    /// Which NI design each node uses.
+    pub ni: NiKind,
+    /// Flow-control buffers per direction per NI.
+    pub flow_buffers: BufferCount,
+    /// Initial retry backoff after a returned message.
+    pub retry_backoff: Dur,
+    /// Maximum retry backoff (exponential doubling is capped here).
+    pub retry_backoff_max: Dur,
+    /// Messaging-layer software costs.
+    pub costs: CostModel,
+    /// `CNI_32Q_m` cache size per queue, in blocks (paper: 32). Sweeping
+    /// this towards 512 bridges `CNI_32Q_m` and `CNI_512Q`.
+    pub cni_cache_blocks: u32,
+    /// `CNI_512Q` queue size, in blocks (paper: 512).
+    pub cni_queue_blocks: u32,
+    /// Receive-cache bypass improvement of `CNI_32Q_m` (§4, improvement
+    /// 1); off only for ablation.
+    pub cni_bypass: bool,
+    /// Snoop-triggered send-side prefetch of the CNIs (lazy pointer,
+    /// §6.1.1); off only for ablation — without it the NI fetches every
+    /// message block serially after the tail update.
+    pub cni_prefetch: bool,
+    /// Dead-block head-update improvement of `CNI_32Q_m` (§4, improvement
+    /// 2); off only for ablation.
+    pub cni_dead_block_opt: bool,
+    /// Seed for workload randomness.
+    pub seed: u64,
+    /// Record a message-lifecycle trace (see
+    /// [`TraceEvent`](crate::machine::TraceEvent)). Off by default: traces
+    /// grow with traffic.
+    pub trace: bool,
+}
+
+impl Default for MachineConfig {
+    /// The paper's Table 3 configuration with a CM-5-like NI and 8 flow
+    /// control buffers (the baseline of Table 5).
+    fn default() -> Self {
+        MachineConfig {
+            nodes: 16,
+            cpu_period: Dur::ns(1),
+            cache: CacheConfig::default(),
+            bus: BusConfig::default(),
+            main_memory_latency: Dur::ns(120),
+            ni_memory_latency: Dur::ns(60),
+            cache_to_cache_latency: Dur::ns(30),
+            net: NetConfig::default(),
+            ni: NiKind::Cm5,
+            flow_buffers: BufferCount::Finite(8),
+            retry_backoff: Dur::ns(200),
+            retry_backoff_max: Dur::ns(800),
+            costs: CostModel::default(),
+            cni_cache_blocks: 32,
+            cni_queue_blocks: 512,
+            cni_bypass: true,
+            cni_prefetch: true,
+            cni_dead_block_opt: true,
+            seed: 0x5eed,
+            trace: false,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// Configuration with the given NI design, otherwise Table 3 defaults.
+    pub fn with_ni(ni: NiKind) -> MachineConfig {
+        MachineConfig {
+            ni,
+            ..MachineConfig::default()
+        }
+    }
+
+    /// Sets the number of nodes.
+    pub fn nodes(mut self, nodes: u32) -> MachineConfig {
+        assert!(nodes >= 2, "a parallel machine needs at least two nodes");
+        self.nodes = nodes;
+        self
+    }
+
+    /// Sets the flow-control buffer count.
+    pub fn flow_buffers(mut self, buffers: BufferCount) -> MachineConfig {
+        self.flow_buffers = buffers;
+        self
+    }
+
+    /// Sets the workload seed.
+    pub fn seed(mut self, seed: u64) -> MachineConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Duration of `cycles` CPU cycles.
+    pub fn cpu_cycles(&self, cycles: u64) -> Dur {
+        Dur::cycles(cycles, self.cpu_period.as_ns())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table3() {
+        let cfg = MachineConfig::default();
+        assert_eq!(cfg.nodes, 16);
+        assert_eq!(cfg.cpu_period, Dur::ns(1));
+        assert_eq!(cfg.cache.size_bytes, 1 << 20);
+        assert_eq!(cfg.cache.ways, 1);
+        assert_eq!(cfg.cache.block_bytes, 64);
+        assert_eq!(cfg.bus.clock_period, Dur::ns(4));
+        assert_eq!(cfg.bus.width_bytes, 32);
+        assert_eq!(cfg.main_memory_latency, Dur::ns(120));
+        assert_eq!(cfg.ni_memory_latency, Dur::ns(60));
+        assert_eq!(cfg.net.wire_latency, Dur::ns(40));
+        assert_eq!(cfg.net.max_message_bytes, 256);
+        assert_eq!(cfg.flow_buffers, BufferCount::Finite(8));
+    }
+
+    #[test]
+    fn builder_chains() {
+        let cfg = MachineConfig::with_ni(NiKind::Ap3000)
+            .nodes(4)
+            .flow_buffers(BufferCount::Infinite)
+            .seed(7);
+        assert_eq!(cfg.ni, NiKind::Ap3000);
+        assert_eq!(cfg.nodes, 4);
+        assert_eq!(cfg.flow_buffers, BufferCount::Infinite);
+        assert_eq!(cfg.seed, 7);
+    }
+
+    #[test]
+    fn cpu_cycles_at_1ghz() {
+        assert_eq!(MachineConfig::default().cpu_cycles(250), Dur::ns(250));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn single_node_rejected() {
+        MachineConfig::default().nodes(1);
+    }
+}

@@ -1,0 +1,134 @@
+//! The messaging-layer software and NI-hardware cost model.
+//!
+//! The paper's round-trip latencies are microseconds at 1 GHz, so they are
+//! dominated by messaging-*software* instruction counts (Tempest active
+//! messages), with the NI hardware mechanisms differentiating the designs.
+//! All of those constants live here so that calibration is centralised and
+//! auditable.
+//!
+//! Two constants come straight from the paper: the AP3000-like NI pays
+//! **12 processor cycles** to flush or load its block buffers (§6.1.1),
+//! and the UDMA initiation sequence is **one uncached store plus one
+//! uncached load** followed by a bus-master switch (§6.1.1). The rest are
+//! calibrated so the microbenchmark table reproduces the paper's orderings
+//! and crossovers (see `EXPERIMENTS.md`).
+
+use nisim_engine::Dur;
+
+/// Per-operation software costs (CPU cycles) and NI hardware overheads.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// Messaging-library cycles to assemble a header and start a send.
+    pub send_setup_cycles: u64,
+    /// Messaging-library cycles to dispatch an arrived message to its
+    /// active-message handler.
+    pub recv_dispatch_cycles: u64,
+    /// Cycles to enter/exit the user handler itself.
+    pub handler_entry_cycles: u64,
+    /// Software loop cycles per 8-byte word in uncached copy loops
+    /// (address generation, loop control).
+    pub word_copy_cycles: u64,
+    /// Cycles to move one 64-byte block between registers and a cached or
+    /// block-buffered copy (16 double-words at ~1 cycle).
+    pub block_parse_cycles: u64,
+    /// Cycles to flush the send block buffer to the bus (paper: 12).
+    pub block_buffer_flush_cycles: u64,
+    /// Cycles to load the receive block buffer from the bus (paper: 12).
+    pub block_buffer_load_cycles: u64,
+    /// CPU-side issue cost of one uncached load/store beyond the bus
+    /// transaction itself.
+    pub uncached_issue_cycles: u64,
+    /// Cycles for a cached poll of an NI status flag that hits in the
+    /// cache (the common case for coherent NIs).
+    pub cached_flag_check_cycles: u64,
+    /// Time to switch bus mastership from processor to NI for a UDMA
+    /// transfer.
+    pub udma_bus_master_switch: Dur,
+    /// NI processing between having a message and putting its first byte
+    /// on the wire.
+    pub ni_inject_overhead: Dur,
+    /// NI processing between taking a message off the wire and starting
+    /// its deposit.
+    pub ni_deposit_overhead: Dur,
+    /// Polling period of NIs that discover work by reading a memory-based
+    /// queue (the StarT-JR-like NI's send side).
+    pub ni_poll_interval: Dur,
+    /// Inter-send delay of the `CNI_32Q_m`+Throttle variant, matching the
+    /// receiver's consumption rate (Table 5 footnote).
+    pub throttle_delay: Dur,
+    /// Payload bytes above which the UDMA-based NI uses the UDMA
+    /// mechanism instead of falling back to uncached transfers (paper:
+    /// 96 B for the macrobenchmarks; the microbenchmark table exercises
+    /// the pure mechanism by setting this to 0).
+    pub udma_threshold_payload: u64,
+    /// Wire size of a flow-control ack.
+    pub ack_wire_bytes: u64,
+    /// Width of one uncached NI FIFO access. The CM-5-like `NI_2w` window
+    /// is specified in 4-byte words (§4).
+    pub uncached_word_bytes: u64,
+    /// Responder latency of an uncached NI *status register* read
+    /// (device-controller turnaround on top of the bus transaction).
+    pub status_read_response: Dur,
+    /// Responder latency of an uncached read of the NI FIFO *data window*
+    /// (the streamed FIFO head is registered at the bus interface).
+    pub fifo_window_response: Dur,
+    /// Device-side accept latency of an uncached store to the NI FIFO
+    /// window (the store blocks the processor until accepted).
+    pub fifo_store_accept: Dur,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            send_setup_cycles: 150,
+            recv_dispatch_cycles: 150,
+            handler_entry_cycles: 100,
+            word_copy_cycles: 6,
+            block_parse_cycles: 40,
+            block_buffer_flush_cycles: 12,
+            block_buffer_load_cycles: 12,
+            uncached_issue_cycles: 4,
+            cached_flag_check_cycles: 2,
+            udma_bus_master_switch: Dur::ns(300),
+            ni_inject_overhead: Dur::ns(40),
+            ni_deposit_overhead: Dur::ns(40),
+            ni_poll_interval: Dur::ns(50),
+            throttle_delay: Dur::ns(100),
+            udma_threshold_payload: 96,
+            ack_wire_bytes: 8,
+            uncached_word_bytes: 4,
+            status_read_response: Dur::ns(100),
+            fifo_window_response: Dur::ns(35),
+            fifo_store_accept: Dur::ns(30),
+        }
+    }
+}
+
+impl CostModel {
+    /// A cost model in which the UDMA-based NI always uses the UDMA
+    /// mechanism (used by the Table 5 microbenchmarks, which characterise
+    /// the pure mechanism).
+    pub fn pure_udma(mut self) -> CostModel {
+        self.udma_threshold_payload = 0;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_given_constants() {
+        let c = CostModel::default();
+        // These two are stated in the paper, not calibrated.
+        assert_eq!(c.block_buffer_flush_cycles, 12);
+        assert_eq!(c.block_buffer_load_cycles, 12);
+        assert_eq!(c.udma_threshold_payload, 96);
+    }
+
+    #[test]
+    fn pure_udma_zeroes_threshold() {
+        assert_eq!(CostModel::default().pure_udma().udma_threshold_payload, 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! # nisim-core
+//!
+//! A faithful reimplementation of the design-space study in Mukherjee &
+//! Hill, *The Impact of Data Transfer and Buffering Alternatives on
+//! Network Interface Design* (HPCA 1998): seven memory-bus network
+//! interface (NI) models spanning the paper's five **data transfer** and
+//! **buffering** parameters, simulated on a MOESI-coherent memory-bus node
+//! model with return-to-sender flow control.
+//!
+//! The crate's pieces:
+//!
+//! * [`taxonomy`] — the five-parameter design space (Table 2) as types,
+//! * [`ni`] — the seven NI models (CM-5, UDMA, AP3000, StarT-JR, Memory
+//!   Channel, `CNI_512Q`, `CNI_32Q_m`) plus the single-cycle and
+//!   throttled variants,
+//! * [`node`] — the per-node hardware (bus/cache/memories) and coherent
+//!   access primitives,
+//! * [`machine`] — the N-node machine, flow control, and event logic,
+//! * [`process`] — the Tempest-style active-message workload interface,
+//! * [`accounting`] — the compute / data transfer / buffering / idle
+//!   execution-time decomposition of Figure 1,
+//! * [`config`] / [`costs`] — Table 3 parameters and the calibrated
+//!   messaging-software cost model.
+//!
+//! # Quickstart
+//!
+//! Run a two-node ping workload on the `CNI_32Q_m` design:
+//!
+//! ```
+//! use nisim_engine::{Dur, Time};
+//! use nisim_core::{Machine, MachineConfig, NiKind};
+//! use nisim_core::process::{Action, AppMessage, HandlerSpec, Process, SendSpec};
+//! use nisim_net::NodeId;
+//!
+//! struct Ping { sent: bool }
+//! impl Process for Ping {
+//!     fn next_action(&mut self, _now: Time) -> Action {
+//!         if self.sent { Action::Done } else {
+//!             self.sent = true;
+//!             Action::Send(SendSpec::new(NodeId(1), 64, 0))
+//!         }
+//!     }
+//!     fn on_message(&mut self, _m: &AppMessage, _now: Time) -> HandlerSpec {
+//!         HandlerSpec::empty()
+//!     }
+//!     fn is_done(&self) -> bool { self.sent }
+//! }
+//! struct Pong;
+//! impl Process for Pong {
+//!     fn next_action(&mut self, _now: Time) -> Action { Action::Done }
+//!     fn on_message(&mut self, _m: &AppMessage, _now: Time) -> HandlerSpec {
+//!         HandlerSpec::compute(Dur::ns(50))
+//!     }
+//!     fn is_done(&self) -> bool { true }
+//! }
+//!
+//! let cfg = MachineConfig::with_ni(NiKind::Cni32Qm).nodes(2);
+//! let report = Machine::run(cfg, |id| -> Box<dyn Process> {
+//!     if id.0 == 0 { Box::new(Ping { sent: false }) } else { Box::new(Pong) }
+//! });
+//! assert_eq!(report.app_messages, 1);
+//! assert!(report.elapsed > Dur::ZERO);
+//! ```
+
+pub mod accounting;
+pub mod config;
+pub mod costs;
+pub mod machine;
+pub mod ni;
+pub mod node;
+pub mod process;
+pub mod processor;
+pub mod taxonomy;
+
+pub use accounting::{TimeCategory, TimeLedger};
+pub use config::MachineConfig;
+pub use costs::CostModel;
+pub use machine::{Machine, MachineReport, MachineSim, NodeSummary, TraceEvent, TraceKind};
+pub use ni::{NiKind, NiModel, NiUnit};
+pub use node::{Node, NodeHw};
+pub use process::{Action, AppMessage, HandlerSpec, Process, SendSpec};
+pub use taxonomy::NiDescriptor;

@@ -1,0 +1,460 @@
+//! The seven memory-bus network interface models (§4, Table 2).
+//!
+//! Each design implements [`NiModel`]: four timing paths (send, deposit,
+//! drain, detection) plus its buffering policy. The paths are built from
+//! the coherent bus primitives of [`crate::node::NodeHw`] — so the
+//! designs differ exactly along the paper's five taxonomy parameters:
+//!
+//! | model | module | abstracts |
+//! |---|---|---|
+//! | `NI_2w` | [`cm5`] | TMC CM-5 (uncached word FIFO window) |
+//! | `NI_64w+Udma` | [`udma`] | Princeton user-level DMA |
+//! | `NI_16w+Blkbuf` | [`ap3000`] | Fujitsu AP3000 (block load/store) |
+//! | `CNI_0Q_m` | [`startjr`] | MIT StarT-JR (memory-homed queues) |
+//! | `(NI_16w+Blkbuf)_S(CNI_0Q_m)_R` | [`memchannel`] | DEC Memory Channel |
+//! | `CNI_512Q` | [`cni512q`] | Wisconsin CNI without a cache |
+//! | `CNI_32Q_m` | [`cni32qm`] | Wisconsin CNI with a cache |
+
+pub mod ap3000;
+pub mod cm5;
+pub mod cni32qm;
+pub mod cni512q;
+pub mod coalescing;
+pub mod coherent;
+pub mod memchannel;
+pub mod startjr;
+pub mod udma;
+
+use std::collections::{HashMap, VecDeque};
+
+use nisim_engine::stats::Counter;
+use nisim_engine::{Dur, Time};
+use nisim_mem::BlockAddr;
+use nisim_net::{BufferCount, FlowControlEndpoint, Fragment, MsgId, NodeId};
+
+use crate::config::MachineConfig;
+use crate::costs::CostModel;
+use crate::node::NodeHw;
+use crate::taxonomy::NiDescriptor;
+
+/// The NI designs evaluated in the study.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NiKind {
+    /// `NI_2w`, CM-5-like: uncached word accesses to a 2-word FIFO window.
+    Cm5,
+    /// The single-cycle `NI_2w` of §6.3: the same design with NI registers
+    /// reachable in one processor cycle (approximating a
+    /// processor-register-mapped NI).
+    Cm5SingleCycle,
+    /// `NI_2w+Coal` (extension): CM-5-like with a coalescing store buffer
+    /// — the third §2.1 block-transfer mechanism, which the paper
+    /// describes but does not evaluate.
+    Cm5Coalescing,
+    /// `NI_64w+Udma`, Princeton UDMA-based.
+    Udma,
+    /// `NI_16w+Blkbuf`, Fujitsu AP3000-like block buffer NI.
+    Ap3000,
+    /// `CNI_0Q_m`, MIT StarT-JR-like: coherent queues homed in memory.
+    StartJr,
+    /// `(NI_16w+Blkbuf)_S(CNI_0Q_m)_R`, DEC Memory Channel-like hybrid.
+    MemoryChannel,
+    /// `CNI_512Q`: coherent NI, queues in 512 blocks of NI DRAM.
+    Cni512Q,
+    /// `CNI_32Q_m`: coherent NI with a 32-block cache per queue, homed in
+    /// main memory.
+    Cni32Qm,
+    /// `CNI_32Q_m`+Throttle: the send-throttled variant of Table 5.
+    Cni32QmThrottle,
+}
+
+impl NiKind {
+    /// The seven NIs of Table 2, in the paper's row order.
+    pub const TABLE2: [NiKind; 7] = [
+        NiKind::Cm5,
+        NiKind::Udma,
+        NiKind::Ap3000,
+        NiKind::StartJr,
+        NiKind::MemoryChannel,
+        NiKind::Cni512Q,
+        NiKind::Cni32Qm,
+    ];
+
+    /// The paper's informal name ("CM-5-like NI", ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            NiKind::Cm5 => "CM-5-like NI",
+            NiKind::Cm5SingleCycle => "single-cycle NI_2w",
+            NiKind::Cm5Coalescing => "CM-5-like + coalescing",
+            NiKind::Udma => "Udma-based NI",
+            NiKind::Ap3000 => "AP3000-like NI",
+            NiKind::StartJr => "Start-JR-like NI",
+            NiKind::MemoryChannel => "Memory Channel-like NI",
+            NiKind::Cni512Q => "CNI_512Q",
+            NiKind::Cni32Qm => "CNI_32Qm",
+            NiKind::Cni32QmThrottle => "CNI_32Qm+Throttle",
+        }
+    }
+
+    /// True for the NIs that buffer incoming messages in plentiful memory
+    /// without processor involvement (the Figure 3b group).
+    pub fn is_coherent(self) -> bool {
+        matches!(
+            self,
+            NiKind::StartJr
+                | NiKind::MemoryChannel
+                | NiKind::Cni512Q
+                | NiKind::Cni32Qm
+                | NiKind::Cni32QmThrottle
+        )
+    }
+}
+
+impl std::fmt::Display for NiKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Where a deposited fragment physically lives, and therefore how the
+/// processor drains it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DepositLoc {
+    /// The NI's FIFO window (CM-5, AP3000, UDMA): drained by the
+    /// processor via uncached or block accesses.
+    NiFifo,
+    /// A memory-homed coherent queue: drained via cache misses to main
+    /// memory.
+    Memory {
+        /// First block of the queue slot.
+        base: BlockAddr,
+        /// Blocks occupied.
+        blocks: u64,
+    },
+    /// A queue homed on the NI (`CNI_512Q`): drained via cache misses
+    /// served by the NI.
+    NiQueue {
+        /// First block of the queue slot.
+        base: BlockAddr,
+        /// Blocks occupied.
+        blocks: u64,
+    },
+    /// The NI's receive cache (`CNI_32Q_m`): drained via fast NI-to-cache
+    /// transfers.
+    NiCache {
+        /// First block of the queue slot.
+        base: BlockAddr,
+        /// Blocks occupied.
+        blocks: u64,
+    },
+}
+
+/// Result of a send-path computation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SendPath {
+    /// When the processor is free again.
+    pub proc_release: Time,
+    /// When the NI has the complete message and can start injecting.
+    pub inject_ready: Time,
+}
+
+/// Result of a deposit-path computation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DepositPath {
+    /// When the fragment is fully buffered and consumable.
+    pub done: Time,
+    /// Where it was put.
+    pub loc: DepositLoc,
+}
+
+/// Timing and buffering model of one NI design.
+///
+/// All methods take the node's shared hardware so the paths can reserve
+/// the bus and mutate cache state; they return completion times.
+pub trait NiModel {
+    /// The Table 2 classification of this design.
+    fn descriptor(&self) -> NiDescriptor;
+
+    /// Cost for the sending processor to verify there is send space
+    /// (an uncached status read for FIFO NIs; a cached check for CNIs).
+    fn check_send_space(&mut self, hw: &mut NodeHw, cost: &CostModel, now: Time) -> Time;
+
+    /// Processor-side send of one fragment (`payload_bytes` of user data,
+    /// `wire_bytes` with header). The flow-control buffer is already
+    /// held.
+    fn send_fragment(
+        &mut self,
+        hw: &mut NodeHw,
+        cost: &CostModel,
+        now: Time,
+        payload_bytes: u64,
+        wire_bytes: u64,
+    ) -> SendPath;
+
+    /// True if the NI can accept an incoming fragment of `wire_bytes`
+    /// right now (beyond flow-control buffers — e.g. `CNI_512Q`'s queue
+    /// capacity).
+    fn has_room(&self, wire_bytes: u64) -> bool {
+        let _ = wire_bytes;
+        true
+    }
+
+    /// NI-side deposit of an accepted incoming fragment.
+    fn deposit_fragment(
+        &mut self,
+        hw: &mut NodeHw,
+        cost: &CostModel,
+        now: Time,
+        payload_bytes: u64,
+        wire_bytes: u64,
+    ) -> DepositPath;
+
+    /// True if the incoming flow-control buffer is released when the
+    /// deposit completes (NI-managed buffering); false if it is held
+    /// until the processor drains the message (processor-managed).
+    fn frees_buffer_at_deposit(&self) -> bool;
+
+    /// Cost for the processor to notice a consumable message.
+    fn detection(&mut self, hw: &mut NodeHw, cost: &CostModel, now: Time) -> Time;
+
+    /// Processor-side drain of one deposited fragment.
+    fn drain_fragment(
+        &mut self,
+        hw: &mut NodeHw,
+        cost: &CostModel,
+        now: Time,
+        payload_bytes: u64,
+        wire_bytes: u64,
+        loc: &DepositLoc,
+    ) -> Time;
+
+    /// Mandatory inter-send delay (the `+Throttle` variant).
+    fn throttle(&self) -> Option<Dur> {
+        None
+    }
+
+    /// Warms the node state as if the NI had already been in use (e.g.
+    /// coherent send-queue blocks resident in the processor cache from
+    /// earlier laps), so runs measure steady-state behaviour from the
+    /// first message.
+    fn prewarm(&self, hw: &mut NodeHw) {
+        let _ = hw;
+    }
+}
+
+/// A fragment deposited at the receiving NI, awaiting the processor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RxEntry {
+    /// The fragment's wire identity (for tracing).
+    pub msg_id: MsgId,
+    /// Sending node.
+    pub src: NodeId,
+    /// Transfer this fragment belongs to.
+    pub transfer_id: u64,
+    /// Fragment geometry.
+    pub frag: Fragment,
+    /// Application tag of the transfer.
+    pub tag: u32,
+    /// Total payload of the whole transfer.
+    pub total_payload: u64,
+    /// When the deposit completes (consumable from then on).
+    pub ready_at: Time,
+    /// Where the fragment lives.
+    pub loc: DepositLoc,
+    /// True if draining must release the flow-control buffer.
+    pub frees_buffer_at_drain: bool,
+}
+
+/// One network message on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireMsg {
+    /// Unique message identity (per fragment).
+    pub id: MsgId,
+    /// Sending node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Transfer this fragment belongs to.
+    pub transfer_id: u64,
+    /// Fragment geometry.
+    pub frag: Fragment,
+    /// Application tag.
+    pub tag: u32,
+    /// Total payload of the whole transfer.
+    pub total_payload: u64,
+}
+
+impl WireMsg {
+    /// Bytes on the wire (payload plus per-fragment header).
+    pub fn wire_bytes(&self, header_bytes: u64) -> u64 {
+        self.frag.payload_bytes + header_bytes
+    }
+}
+
+/// A sent fragment awaiting its ack (its flow-control buffer is held).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OutstandingFrag {
+    /// The fragment as sent (kept for returns/retries).
+    pub wire: WireMsg,
+    /// Current retry backoff (doubles per return, capped).
+    pub backoff: Dur,
+}
+
+/// NI-level statistics.
+#[derive(Clone, Debug, Default)]
+pub struct NiStats {
+    /// Fragments injected (first attempts, not retries).
+    pub fragments_sent: Counter,
+    /// Fragments accepted and deposited.
+    pub fragments_received: Counter,
+    /// Payload bytes sent.
+    pub payload_bytes_sent: Counter,
+}
+
+/// One node's NI: the design-specific model plus the design-independent
+/// machinery (flow control endpoint, receive queue, statistics).
+pub struct NiUnit {
+    /// Which design this is.
+    pub kind: NiKind,
+    /// Return-to-sender flow control endpoint.
+    pub fc: FlowControlEndpoint,
+    /// The design-specific timing model.
+    pub model: Box<dyn NiModel>,
+    /// Deposited fragments awaiting the processor, in arrival order.
+    pub rx_ready: VecDeque<RxEntry>,
+    /// Sent fragments whose ack has not arrived yet.
+    pub outstanding: HashMap<MsgId, OutstandingFrag>,
+    /// Statistics.
+    pub stats: NiStats,
+}
+
+impl NiUnit {
+    /// Builds the NI of `cfg.ni` for one node.
+    pub fn new(cfg: &MachineConfig) -> NiUnit {
+        Self::with_kind(cfg, cfg.ni, cfg.flow_buffers)
+    }
+
+    /// Builds a specific NI kind (used by tests and ablations).
+    pub fn with_kind(cfg: &MachineConfig, kind: NiKind, buffers: BufferCount) -> NiUnit {
+        let model: Box<dyn NiModel> = match kind {
+            NiKind::Cm5 => Box::new(cm5::Cm5Ni::new(false)),
+            NiKind::Cm5SingleCycle => Box::new(cm5::Cm5Ni::new(true)),
+            NiKind::Cm5Coalescing => Box::new(coalescing::CoalescingNi::new()),
+            NiKind::Udma => Box::new(udma::UdmaNi::new()),
+            NiKind::Ap3000 => Box::new(ap3000::Ap3000Ni::new()),
+            NiKind::StartJr => Box::new(startjr::StartJrNi::new(cfg)),
+            NiKind::MemoryChannel => Box::new(memchannel::MemoryChannelNi::new(cfg)),
+            NiKind::Cni512Q => Box::new(cni512q::Cni512QNi::new(cfg)),
+            NiKind::Cni32Qm => Box::new(cni32qm::Cni32QmNi::new(cfg, None)),
+            NiKind::Cni32QmThrottle => {
+                Box::new(cni32qm::Cni32QmNi::new(cfg, Some(cfg.costs.throttle_delay)))
+            }
+        };
+        NiUnit {
+            kind,
+            fc: FlowControlEndpoint::new(buffers),
+            model,
+            rx_ready: VecDeque::new(),
+            outstanding: HashMap::new(),
+            stats: NiStats::default(),
+        }
+    }
+
+    /// The first consumable fragment at `now`, if any.
+    pub fn peek_ready(&self, now: Time) -> Option<&RxEntry> {
+        self.rx_ready.front().filter(|e| e.ready_at <= now)
+    }
+
+    /// Pops the first consumable fragment at `now`.
+    pub fn pop_ready(&mut self, now: Time) -> Option<RxEntry> {
+        if self.peek_ready(now).is_some() {
+            self.rx_ready.pop_front()
+        } else {
+            None
+        }
+    }
+
+    /// The earliest time any queued fragment becomes consumable.
+    pub fn next_ready_at(&self) -> Option<Time> {
+        self.rx_ready.iter().map(|e| e.ready_at).min()
+    }
+}
+
+impl std::fmt::Debug for NiUnit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NiUnit")
+            .field("kind", &self.kind)
+            .field("rx_ready", &self.rx_ready.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Helpers shared by the concrete models.
+pub(crate) mod util {
+    /// Uncached words of `word_bytes` needed for `bytes`.
+    pub fn words_of(bytes: u64, word_bytes: u64) -> u64 {
+        bytes.div_ceil(word_bytes)
+    }
+
+    /// 64-byte blocks needed for `bytes`.
+    pub fn blocks(bytes: u64) -> u64 {
+        bytes.div_ceil(64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    #[test]
+    fn every_kind_constructs() {
+        let cfg = MachineConfig::default();
+        for kind in [
+            NiKind::Cm5,
+            NiKind::Cm5SingleCycle,
+            NiKind::Cm5Coalescing,
+            NiKind::Udma,
+            NiKind::Ap3000,
+            NiKind::StartJr,
+            NiKind::MemoryChannel,
+            NiKind::Cni512Q,
+            NiKind::Cni32Qm,
+            NiKind::Cni32QmThrottle,
+        ] {
+            let ni = NiUnit::with_kind(&cfg, kind, BufferCount::Finite(2));
+            assert_eq!(ni.kind, kind);
+        }
+    }
+
+    #[test]
+    fn table2_order_and_coherence_split() {
+        assert_eq!(NiKind::TABLE2.len(), 7);
+        let coherent: Vec<bool> = NiKind::TABLE2.iter().map(|k| k.is_coherent()).collect();
+        assert_eq!(coherent, [false, false, false, true, true, true, true]);
+    }
+
+    #[test]
+    fn util_rounding() {
+        assert_eq!(util::words_of(16, 4), 4);
+        assert_eq!(util::words_of(17, 4), 5);
+        assert_eq!(util::words_of(16, 8), 2);
+        assert_eq!(util::blocks(64), 1);
+        assert_eq!(util::blocks(65), 2);
+        assert_eq!(util::blocks(256), 4);
+    }
+
+    #[test]
+    fn names_are_paperish() {
+        assert_eq!(NiKind::Cm5.to_string(), "CM-5-like NI");
+        assert_eq!(NiKind::Cni32Qm.to_string(), "CNI_32Qm");
+    }
+
+    #[test]
+    fn throttle_only_on_throttled_variant() {
+        let cfg = MachineConfig::default();
+        let plain = NiUnit::with_kind(&cfg, NiKind::Cni32Qm, BufferCount::Finite(8));
+        let throttled = NiUnit::with_kind(&cfg, NiKind::Cni32QmThrottle, BufferCount::Finite(8));
+        assert!(plain.model.throttle().is_none());
+        assert_eq!(throttled.model.throttle(), Some(cfg.costs.throttle_delay));
+    }
+}

@@ -1,0 +1,359 @@
+//! Per-node hardware: bus, processor cache, memories, link ports.
+//!
+//! [`NodeHw`] bundles one node's shared resources and provides the
+//! *coherent access primitives* that both the processor model and the NI
+//! models compose their data paths from. Each primitive performs the
+//! required bus reservations and MOESI state changes and returns the
+//! completion time.
+
+use nisim_engine::{Dur, Time};
+use nisim_mem::{
+    read_fill_state, snoop_transition, BlockAddr, Bus, Cache, MemoryDevice, MemoryKind, MoesiState,
+    SnoopKind,
+};
+use nisim_mem::{BusGrant, BusOp};
+use nisim_net::{Link, NodeId};
+
+use crate::accounting::TimeLedger;
+use crate::config::MachineConfig;
+use crate::ni::{NiKind, NiUnit};
+use crate::process::Process;
+use crate::processor::ProcState;
+
+/// Where a processor block-read miss is served from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BlockSource {
+    /// Main memory (120 ns) — e.g. queues homed in memory with no NI copy.
+    MainMemory,
+    /// The NI's memory or cache (60 ns SRAM, or 120 ns DRAM for
+    /// `CNI_512Q`) supplying the block directly to the processor cache.
+    Ni,
+}
+
+/// One node's shared hardware resources.
+#[derive(Debug)]
+pub struct NodeHw {
+    /// The snooping memory bus.
+    pub bus: Bus,
+    /// The processor cache (1 MB direct-mapped by default).
+    pub cache: Cache,
+    /// Main memory.
+    pub main_mem: MemoryDevice,
+    /// Dedicated NI memory (SRAM, or DRAM for `CNI_512Q`).
+    pub ni_mem: MemoryDevice,
+    /// Network injection port.
+    pub egress: Link,
+    /// Network ejection port.
+    pub ingress: Link,
+    /// Latency for a snooping cache to supply a block cache-to-cache.
+    pub c2c_latency: Dur,
+    /// CPU clock period.
+    pub cpu_period: Dur,
+}
+
+impl NodeHw {
+    /// Builds the hardware for one node of `cfg`'s machine, with the NI
+    /// memory speed appropriate for `ni` (Table 3 footnote: `CNI_512Q`
+    /// uses DRAM-class NI memory).
+    pub fn new(cfg: &MachineConfig, ni: NiKind) -> NodeHw {
+        let ni_mem = if ni == NiKind::Cni512Q {
+            MemoryDevice::with_latency(MemoryKind::NiDram, cfg.main_memory_latency)
+        } else {
+            MemoryDevice::with_latency(MemoryKind::NiSram, cfg.ni_memory_latency)
+        };
+        NodeHw {
+            bus: Bus::new(cfg.bus),
+            cache: Cache::new(cfg.cache),
+            main_mem: MemoryDevice::with_latency(MemoryKind::Main, cfg.main_memory_latency),
+            ni_mem,
+            egress: Link::new(),
+            ingress: Link::new(),
+            c2c_latency: cfg.cache_to_cache_latency,
+            cpu_period: cfg.cpu_period,
+        }
+    }
+
+    /// Duration of `cycles` CPU cycles.
+    pub fn cycles(&self, cycles: u64) -> Dur {
+        Dur::cycles(cycles, self.cpu_period.as_ns())
+    }
+
+    /// Uncached read of ≤ 8 bytes from a device with `responder` latency
+    /// (e.g. an NI status register). The processor stalls for the whole
+    /// round trip.
+    pub fn uncached_read(&mut self, now: Time, responder: Dur) -> Time {
+        let g = self.bus.acquire(now, BusOp::WordRead);
+        g.end + responder
+    }
+
+    /// Uncached (posted) write of ≤ 8 bytes; the processor is released
+    /// when the bus transaction completes.
+    pub fn uncached_write(&mut self, now: Time) -> Time {
+        self.bus.acquire(now, BusOp::WordWrite).end
+    }
+
+    /// Processor write to a cacheable `block` (composing a message in a
+    /// coherent queue). Applies MOESI: silent on M/E, BusUpgr on S/O,
+    /// BusRdX + `miss_source` fill on I. Returns the completion time.
+    pub fn proc_write_block(
+        &mut self,
+        now: Time,
+        block: BlockAddr,
+        miss_source: BlockSource,
+    ) -> Time {
+        match self.cache.lookup(block) {
+            MoesiState::Modified => now,
+            MoesiState::Exclusive => {
+                self.cache.set_state(block, MoesiState::Modified);
+                now
+            }
+            MoesiState::Shared | MoesiState::Owned => {
+                let g = self.bus.acquire(now, BusOp::Upgrade);
+                self.cache.set_state(block, MoesiState::Modified);
+                g.end
+            }
+            MoesiState::Invalid => {
+                let g = self.bus.acquire(now, BusOp::BlockReadExclusive);
+                let done = g.end + self.miss_latency(miss_source);
+                self.fill(block, MoesiState::Modified, done);
+                done
+            }
+        }
+    }
+
+    /// Processor read of a cacheable `block` (draining a message from a
+    /// coherent queue). Hits are free at this granularity; misses fetch
+    /// from `miss_source` and install `Shared` (the supplier retains a
+    /// copy) via [`read_fill_state`] semantics.
+    pub fn proc_read_block(
+        &mut self,
+        now: Time,
+        block: BlockAddr,
+        miss_source: BlockSource,
+        supplier_keeps_copy: bool,
+    ) -> Time {
+        match self.cache.lookup(block) {
+            s if s.is_valid() => now,
+            _ => {
+                let g = self.bus.acquire(now, BusOp::BlockRead);
+                let done = g.end + self.miss_latency(miss_source);
+                self.fill(block, read_fill_state(supplier_keeps_copy), done);
+                done
+            }
+        }
+    }
+
+    /// The NI reads `block` over the bus (fetching a composed message
+    /// block). The processor cache snoops: if it holds the freshest copy
+    /// it supplies cache-to-cache (M→O per MOESI); otherwise the block
+    /// comes from `home`. Returns the completion time.
+    pub fn ni_read_block(&mut self, now: Time, block: BlockAddr, home: BlockSource) -> Time {
+        let g = self.bus.acquire(now, BusOp::BlockRead);
+        let state = self.cache.state_of(block);
+        let action = snoop_transition(state, SnoopKind::Read);
+        if state.is_valid() {
+            self.cache.set_state(block, action.next);
+        }
+        let responder = if action.supply {
+            self.c2c_latency
+        } else {
+            self.miss_latency(home)
+        };
+        g.end + responder
+    }
+
+    /// The NI writes a whole `block` (depositing an incoming message into
+    /// a memory-homed queue). Stale processor copies are invalidated; no
+    /// writeback is needed because the whole block is overwritten.
+    pub fn ni_write_block(&mut self, now: Time, block: BlockAddr) -> Time {
+        let g = self.bus.acquire(now, BusOp::BlockWrite);
+        self.cache.invalidate(block);
+        self.main_mem.record_write();
+        g.end
+    }
+
+    fn miss_latency(&mut self, source: BlockSource) -> Dur {
+        match source {
+            BlockSource::MainMemory => {
+                self.main_mem.record_read();
+                self.main_mem.read_latency()
+            }
+            BlockSource::Ni => {
+                self.ni_mem.record_read();
+                self.ni_mem.read_latency()
+            }
+        }
+    }
+
+    fn fill(&mut self, block: BlockAddr, state: MoesiState, at: Time) {
+        if let Some(ev) = self.cache.insert(block, state) {
+            if ev.state.dirty() {
+                // Victim writeback occupies the bus after the fill.
+                let _: BusGrant = self.bus.acquire(at, BusOp::BlockWrite);
+                self.main_mem.record_write();
+            }
+        }
+    }
+}
+
+/// One node of the simulated machine.
+pub struct Node {
+    /// The node's identity.
+    pub id: NodeId,
+    /// Shared hardware resources.
+    pub hw: NodeHw,
+    /// The network interface.
+    pub ni: NiUnit,
+    /// Processor execution state.
+    pub proc: ProcState,
+    /// Execution-time accounting.
+    pub ledger: TimeLedger,
+    /// The workload running on this node.
+    pub process: Box<dyn Process>,
+}
+
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Node")
+            .field("id", &self.id)
+            .field("proc", &self.proc.phase)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nisim_mem::Addr;
+
+    fn hw() -> NodeHw {
+        NodeHw::new(&MachineConfig::default(), NiKind::Cm5)
+    }
+
+    fn blk(hw: &NodeHw, a: u64) -> BlockAddr {
+        hw.cache.geometry().block_of(Addr::new(a))
+    }
+
+    #[test]
+    fn cni512q_gets_dram_ni_memory() {
+        let cfg = MachineConfig::default();
+        let slow = NodeHw::new(&cfg, NiKind::Cni512Q);
+        let fast = NodeHw::new(&cfg, NiKind::Cni32Qm);
+        assert_eq!(slow.ni_mem.read_latency(), Dur::ns(120));
+        assert_eq!(fast.ni_mem.read_latency(), Dur::ns(60));
+    }
+
+    #[test]
+    fn uncached_read_includes_responder() {
+        let mut hw = hw();
+        // 12 ns bus word read + 60 ns NI memory.
+        let done = hw.uncached_read(Time::ZERO, Dur::ns(60));
+        assert_eq!(done, Time::from_ns(72));
+    }
+
+    #[test]
+    fn uncached_write_is_posted() {
+        let mut hw = hw();
+        assert_eq!(hw.uncached_write(Time::ZERO), Time::from_ns(12));
+    }
+
+    #[test]
+    fn proc_write_miss_then_silent_hit() {
+        let mut hw = hw();
+        let b = blk(&hw, 0x10000);
+        // Cold miss: BusRdX (16 ns) + memory (120 ns).
+        let t1 = hw.proc_write_block(Time::ZERO, b, BlockSource::MainMemory);
+        assert_eq!(t1, Time::from_ns(136));
+        assert_eq!(hw.cache.state_of(b), MoesiState::Modified);
+        // Hit in M: free.
+        let t2 = hw.proc_write_block(t1, b, BlockSource::MainMemory);
+        assert_eq!(t2, t1);
+    }
+
+    #[test]
+    fn proc_write_on_owned_upgrades() {
+        let mut hw = hw();
+        let b = blk(&hw, 0x10000);
+        hw.proc_write_block(Time::ZERO, b, BlockSource::MainMemory);
+        // The NI reads the block: our cache supplies and demotes M -> O.
+        let t = hw.ni_read_block(Time::from_ns(200), b, BlockSource::MainMemory);
+        assert_eq!(hw.cache.state_of(b), MoesiState::Owned);
+        // c2c supply: 16 ns bus + 30 ns cache-to-cache.
+        assert_eq!(t, Time::from_ns(200 + 16 + 30));
+        // Second-lap write: BusUpgr only (8 ns).
+        let t2 = hw.proc_write_block(t, b, BlockSource::MainMemory);
+        assert_eq!(t2 - t, Dur::ns(8));
+        assert_eq!(hw.cache.state_of(b), MoesiState::Modified);
+    }
+
+    #[test]
+    fn ni_read_from_home_when_cache_cold() {
+        let mut hw = hw();
+        let b = blk(&hw, 0x40);
+        let t = hw.ni_read_block(Time::ZERO, b, BlockSource::Ni);
+        // 16 ns bus + 60 ns NI memory home.
+        assert_eq!(t, Time::from_ns(76));
+    }
+
+    #[test]
+    fn proc_read_miss_installs_shared_when_supplier_keeps_copy() {
+        let mut hw = hw();
+        let b = blk(&hw, 0x40);
+        let t = hw.proc_read_block(Time::ZERO, b, BlockSource::Ni, true);
+        assert_eq!(t, Time::from_ns(16 + 60));
+        assert_eq!(hw.cache.state_of(b), MoesiState::Shared);
+        // Subsequent read hits.
+        assert_eq!(hw.proc_read_block(t, b, BlockSource::Ni, true), t);
+    }
+
+    #[test]
+    fn proc_read_installs_exclusive_from_memory() {
+        let mut hw = hw();
+        let b = blk(&hw, 0x40);
+        hw.proc_read_block(Time::ZERO, b, BlockSource::MainMemory, false);
+        assert_eq!(hw.cache.state_of(b), MoesiState::Exclusive);
+        assert_eq!(hw.main_mem.reads(), 1);
+    }
+
+    #[test]
+    fn ni_write_invalidates_processor_copy() {
+        let mut hw = hw();
+        let b = blk(&hw, 0x40);
+        hw.proc_read_block(Time::ZERO, b, BlockSource::MainMemory, false);
+        assert!(hw.cache.contains(b));
+        let t = hw.ni_write_block(Time::from_ns(300), b);
+        assert!(!hw.cache.contains(b));
+        assert_eq!(t, Time::from_ns(316));
+        assert_eq!(hw.main_mem.writes(), 1);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let mut hw = hw();
+        // Two blocks that conflict in the direct-mapped cache (1 MB apart).
+        let b0 = blk(&hw, 0x0);
+        let b1 = blk(&hw, 1 << 20);
+        hw.proc_write_block(Time::ZERO, b0, BlockSource::MainMemory);
+        let before = hw.bus.stats().count(nisim_mem::BusOp::BlockWrite);
+        hw.proc_write_block(Time::from_ns(500), b1, BlockSource::MainMemory);
+        let after = hw.bus.stats().count(nisim_mem::BusOp::BlockWrite);
+        assert_eq!(after - before, 1, "victim writeback expected");
+    }
+
+    #[test]
+    fn bus_contention_is_shared_between_proc_and_ni() {
+        let mut hw = hw();
+        let b0 = blk(&hw, 0x40);
+        let b1 = blk(&hw, 0x80);
+        let t1 = hw.proc_read_block(Time::ZERO, b0, BlockSource::MainMemory, false);
+        // An NI access requested at t=0 queues behind the processor's.
+        let t2 = hw.ni_read_block(Time::ZERO, b1, BlockSource::MainMemory);
+        assert!(t2 > t1 - Dur::ns(120), "NI transaction must queue");
+        assert_eq!(hw.bus.stats().total(), 2);
+    }
+
+    #[test]
+    fn cycles_at_1ghz() {
+        assert_eq!(hw().cycles(12), Dur::ns(12));
+    }
+}

@@ -1,0 +1,154 @@
+//! Processor execution state.
+//!
+//! The processor is a sequential engine that alternates between its
+//! process's program actions and active-message handling, with two
+//! blocking states that the paper's buffering analysis hinges on:
+//!
+//! * **idle** — the program has nothing to do until a message arrives,
+//! * **blocked-send** — every outgoing flow-control buffer is busy, so
+//!   the next injection must wait for an ack (this is the "buffering"
+//!   time of Figure 1).
+//!
+//! A processor blocked on a send still drains incoming messages when it
+//! is woken — without that, two nodes blocked on sends to each other
+//! would deadlock, the §3.2 scenario.
+
+use std::collections::VecDeque;
+
+use nisim_engine::Time;
+use nisim_net::Fragment;
+
+use crate::ni::WireMsg;
+use crate::process::SendSpec;
+
+/// What the processor is doing right now.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProcPhase {
+    /// Executing; a continuation event is scheduled at `busy_until`.
+    Busy,
+    /// Waiting for a message (or finished and serving handlers).
+    Idle,
+    /// Waiting for a free outgoing flow-control buffer.
+    BlockedSend,
+}
+
+/// An application send in progress (fragments not yet handed to the NI).
+#[derive(Clone, Debug)]
+pub struct SendInProgress {
+    /// The application-level request.
+    pub spec: SendSpec,
+    /// Transfer identity (shared by all fragments).
+    pub transfer_id: u64,
+    /// The fragments to inject, in order.
+    pub frags: Vec<Fragment>,
+    /// Index of the next fragment to inject.
+    pub next: usize,
+    /// Whether the send-space check for the current fragment has already
+    /// been performed (and charged).
+    pub checked_space: bool,
+}
+
+impl SendInProgress {
+    /// True once every fragment has been handed to the NI.
+    pub fn is_complete(&self) -> bool {
+        self.next >= self.frags.len()
+    }
+}
+
+/// Per-node processor state.
+#[derive(Clone, Debug)]
+pub struct ProcState {
+    /// Current phase.
+    pub phase: ProcPhase,
+    /// End of the current busy period (valid when `phase == Busy`).
+    pub busy_until: Time,
+    /// True once the program returned [`Action::Done`](crate::process::Action::Done).
+    pub program_done: bool,
+    /// The send currently being fragmented and injected.
+    pub current_send: Option<SendInProgress>,
+    /// Handler-generated sends waiting their turn.
+    pub queued_sends: VecDeque<SendSpec>,
+    /// Returned fragments awaiting a software re-send (processor-managed
+    /// buffering only — §3.2: with FIFO NIs the processor itself must
+    /// consume returned messages and retry them).
+    pub pending_resends: VecDeque<WireMsg>,
+    /// Guards against scheduling duplicate wake events.
+    pub wake_pending: bool,
+    /// Fully assembled application messages handled so far.
+    pub app_messages_handled: u64,
+}
+
+impl ProcState {
+    /// A processor about to start its program at time zero.
+    pub fn new() -> ProcState {
+        ProcState {
+            phase: ProcPhase::Busy,
+            busy_until: Time::ZERO,
+            program_done: false,
+            current_send: None,
+            queued_sends: VecDeque::new(),
+            pending_resends: VecDeque::new(),
+            wake_pending: false,
+            app_messages_handled: 0,
+        }
+    }
+
+    /// True if the processor has nothing left to do locally (its program
+    /// is done and no sends are pending). Incoming messages can still
+    /// wake it.
+    pub fn is_locally_quiescent(&self) -> bool {
+        self.program_done
+            && self.current_send.is_none()
+            && self.queued_sends.is_empty()
+            && self.pending_resends.is_empty()
+    }
+}
+
+impl Default for ProcState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nisim_net::NodeId;
+
+    #[test]
+    fn new_processor_starts_busy_at_zero() {
+        let p = ProcState::new();
+        assert_eq!(p.phase, ProcPhase::Busy);
+        assert_eq!(p.busy_until, Time::ZERO);
+        assert!(!p.program_done);
+        assert!(!p.is_locally_quiescent());
+    }
+
+    #[test]
+    fn quiescence_requires_no_pending_sends() {
+        let mut p = ProcState::new();
+        p.program_done = true;
+        assert!(p.is_locally_quiescent());
+        p.queued_sends.push_back(SendSpec::new(NodeId(1), 8, 0));
+        assert!(!p.is_locally_quiescent());
+    }
+
+    #[test]
+    fn send_in_progress_completion() {
+        let s = SendInProgress {
+            spec: SendSpec::new(NodeId(1), 8, 0),
+            transfer_id: 0,
+            frags: vec![Fragment {
+                index: 0,
+                of: 1,
+                payload_bytes: 8,
+                offset: 0,
+            }],
+            next: 0,
+            checked_space: false,
+        };
+        assert!(!s.is_complete());
+        let done = SendInProgress { next: 1, ..s };
+        assert!(done.is_complete());
+    }
+}

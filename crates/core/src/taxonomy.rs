@@ -1,0 +1,181 @@
+//! The paper's design-space taxonomy (§2–§3, Table 2).
+//!
+//! Five parameters govern a memory-bus NI's performance:
+//!
+//! **Data transfer parameters** (per direction):
+//! 1. [`TransferSize`] — uncached words vs. memory-bus blocks,
+//! 2. [`TransferManager`] — whether the processor or the NI moves data,
+//! 3. [`TransferEndpoint`] — where data starts/ends on the node side.
+//!
+//! **Buffering parameters**:
+//! 4. [`BufferLocation`] — where incoming messages are buffered,
+//! 5. [`BufferingInvolvement`] — whether the processor must spend cycles
+//!    to buffer incoming messages.
+//!
+//! Each NI model self-describes with an [`NiDescriptor`]; the `table2`
+//! harness binary regenerates the paper's Table 2 from those descriptors.
+
+use std::fmt;
+
+/// Size of individual bus data transfers (§2.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TransferSize {
+    /// 1–8 byte uncached accesses.
+    Uncached,
+    /// Whole memory-bus blocks (64 B here).
+    Block,
+}
+
+impl fmt::Display for TransferSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TransferSize::Uncached => "Uncached",
+            TransferSize::Block => "Block",
+        })
+    }
+}
+
+/// Who manages the data transfer (§2.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TransferManager {
+    /// The processor moves every word/block itself (program-controlled
+    /// I/O, block load/store).
+    Processor,
+    /// The processor only initiates; the NI moves the data (UDMA,
+    /// coherent-queue NIs).
+    Ni,
+}
+
+impl fmt::Display for TransferManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TransferManager::Processor => "Processor",
+            TransferManager::Ni => "NI",
+        })
+    }
+}
+
+/// Source (sends) or destination (receives) of the transfer on the node
+/// side (§2.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TransferEndpoint {
+    /// Processor registers (uncached load/store interfaces).
+    ProcessorRegisters,
+    /// A dedicated on-chip block buffer (UltraSPARC block load/store).
+    BlockBuffer,
+    /// The processor cache, falling back to main memory (coherent
+    /// transfers).
+    CacheOrMemory,
+    /// Main memory only.
+    Memory,
+    /// The processor cache, supplied directly by the NI.
+    ProcessorCache,
+}
+
+impl fmt::Display for TransferEndpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TransferEndpoint::ProcessorRegisters => "Processor Registers",
+            TransferEndpoint::BlockBuffer => "Block Buffer",
+            TransferEndpoint::CacheOrMemory => "Cache/Memory",
+            TransferEndpoint::Memory => "Memory",
+            TransferEndpoint::ProcessorCache => "Processor Cache",
+        })
+    }
+}
+
+/// Where incoming messages are buffered (§3.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BufferLocation {
+    /// Dedicated NI memory, spilling to virtual memory by software.
+    NiAndVm,
+    /// NI memory, virtual memory, or main memory (UDMA's hybrid).
+    NiVmAndMemory,
+    /// Main memory (coherent queues homed in memory).
+    Memory,
+    /// An NI cache backed by main memory (`CNI_32Q_m`).
+    NiCacheAndMemory,
+}
+
+impl fmt::Display for BufferLocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BufferLocation::NiAndVm => "NI / VM",
+            BufferLocation::NiVmAndMemory => "NI / VM / Memory",
+            BufferLocation::Memory => "Memory",
+            BufferLocation::NiCacheAndMemory => "NI Cache / Memory",
+        })
+    }
+}
+
+/// Whether the processor must spend cycles to buffer incoming messages
+/// (§3.2) — draining the NI to avoid clogging the network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BufferingInvolvement {
+    /// The processor must drain messages from limited NI buffers.
+    ProcessorInvolved,
+    /// The NI spills to plentiful memory without the processor.
+    NiManaged,
+}
+
+impl fmt::Display for BufferingInvolvement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BufferingInvolvement::ProcessorInvolved => "Yes",
+            BufferingInvolvement::NiManaged => "No",
+        })
+    }
+}
+
+/// The data-transfer half of a Table 2 row, for one direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TransferParams {
+    /// Size of individual transfers.
+    pub size: TransferSize,
+    /// Who manages the transfer.
+    pub manager: TransferManager,
+    /// Node-side source (send) or destination (receive).
+    pub endpoint: TransferEndpoint,
+}
+
+/// One NI's full classification — a row of Table 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct NiDescriptor {
+    /// The paper's symbolic name, e.g. `NI_2w`.
+    pub symbol: &'static str,
+    /// The paper's informal description, e.g. "TMC CM-5 NI-like".
+    pub description: &'static str,
+    /// Send-side data transfer parameters.
+    pub send: TransferParams,
+    /// Receive-side data transfer parameters.
+    pub receive: TransferParams,
+    /// Where incoming messages are buffered.
+    pub buffer_location: BufferLocation,
+    /// Whether buffering needs the processor.
+    pub buffering: BufferingInvolvement,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_strings_match_table2_vocabulary() {
+        assert_eq!(TransferSize::Block.to_string(), "Block");
+        assert_eq!(TransferSize::Uncached.to_string(), "Uncached");
+        assert_eq!(TransferManager::Ni.to_string(), "NI");
+        assert_eq!(TransferManager::Processor.to_string(), "Processor");
+        assert_eq!(
+            TransferEndpoint::ProcessorRegisters.to_string(),
+            "Processor Registers"
+        );
+        assert_eq!(TransferEndpoint::CacheOrMemory.to_string(), "Cache/Memory");
+        assert_eq!(BufferLocation::NiAndVm.to_string(), "NI / VM");
+        assert_eq!(
+            BufferLocation::NiCacheAndMemory.to_string(),
+            "NI Cache / Memory"
+        );
+        assert_eq!(BufferingInvolvement::ProcessorInvolved.to_string(), "Yes");
+        assert_eq!(BufferingInvolvement::NiManaged.to_string(), "No");
+    }
+}

@@ -1,0 +1,296 @@
+//! The event scheduler.
+//!
+//! [`Sim<M>`] owns a priority queue of events scheduled against a model of
+//! type `M`. Events are boxed `FnOnce(&mut M, &mut Sim<M>)` closures; firing
+//! an event may mutate the model and schedule further events. Events
+//! scheduled for the same instant fire in the order they were scheduled
+//! (FIFO), which makes runs exactly reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{Dur, Time};
+
+/// A scheduled event: fires against the model and may schedule more events.
+type BoxedEvent<M> = Box<dyn FnOnce(&mut M, &mut Sim<M>)>;
+
+struct Entry<M> {
+    at: Time,
+    seq: u64,
+    event: BoxedEvent<M>,
+}
+
+impl<M> PartialEq for Entry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Entry<M> {}
+impl<M> PartialOrd for Entry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Entry<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse to pop the earliest (time, seq).
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Why a [`Sim::run`] call returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SimStatus {
+    /// The event queue drained completely.
+    Drained,
+    /// The time horizon passed with events still pending.
+    HorizonReached,
+    /// The event budget was exhausted with events still pending.
+    EventBudgetExhausted,
+}
+
+/// A deterministic discrete-event scheduler over a model `M`.
+///
+/// # Example
+///
+/// ```
+/// use nisim_engine::{Sim, Dur};
+///
+/// let mut log = Vec::new();
+/// let mut sim: Sim<Vec<&'static str>> = Sim::new();
+/// sim.schedule_in(Dur::ns(10), |m: &mut Vec<&'static str>, _| m.push("b"));
+/// sim.schedule_in(Dur::ns(5), |m: &mut Vec<&'static str>, _| m.push("a"));
+/// sim.run(&mut log);
+/// assert_eq!(log, ["a", "b"]);
+/// ```
+pub struct Sim<M> {
+    now: Time,
+    seq: u64,
+    fired: u64,
+    queue: BinaryHeap<Entry<M>>,
+}
+
+impl<M> Default for Sim<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> Sim<M> {
+    /// Creates an empty scheduler at time zero.
+    pub fn new() -> Self {
+        Sim {
+            now: Time::ZERO,
+            seq: 0,
+            fired: 0,
+            queue: BinaryHeap::new(),
+        }
+    }
+
+    /// The current simulated time.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of events fired so far.
+    #[inline]
+    pub fn events_fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Number of events currently pending.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (before [`Sim::now`]).
+    pub fn schedule_at(&mut self, at: Time, event: impl FnOnce(&mut M, &mut Sim<M>) + 'static) {
+        assert!(
+            at >= self.now,
+            "cannot schedule event in the past: at={at:?} now={:?}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Entry {
+            at,
+            seq,
+            event: Box::new(event),
+        });
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: Dur, event: impl FnOnce(&mut M, &mut Sim<M>) + 'static) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Runs until the queue drains. Returns [`SimStatus::Drained`].
+    pub fn run(&mut self, model: &mut M) -> SimStatus {
+        self.run_bounded(model, Time::MAX, u64::MAX)
+    }
+
+    /// Runs until the queue drains or simulated time would pass `horizon`.
+    ///
+    /// Events scheduled exactly at `horizon` do fire; the first event
+    /// strictly after it is left pending and `now` is clamped to `horizon`.
+    pub fn run_until(&mut self, model: &mut M, horizon: Time) -> SimStatus {
+        self.run_bounded(model, horizon, u64::MAX)
+    }
+
+    /// Runs until drained, `horizon` passes, or `max_events` have fired.
+    pub fn run_bounded(&mut self, model: &mut M, horizon: Time, max_events: u64) -> SimStatus {
+        let mut budget = max_events;
+        loop {
+            match self.queue.peek() {
+                None => return SimStatus::Drained,
+                Some(head) if head.at > horizon => {
+                    self.now = horizon;
+                    return SimStatus::HorizonReached;
+                }
+                Some(_) => {}
+            }
+            if budget == 0 {
+                return SimStatus::EventBudgetExhausted;
+            }
+            budget -= 1;
+            let entry = self.queue.pop().expect("peeked entry vanished");
+            debug_assert!(entry.at >= self.now, "event queue returned stale event");
+            self.now = entry.at;
+            self.fired += 1;
+            (entry.event)(model, self);
+        }
+    }
+
+    /// Fires at most one pending event. Returns `false` if the queue was
+    /// empty.
+    pub fn step(&mut self, model: &mut M) -> bool {
+        match self.queue.pop() {
+            None => false,
+            Some(entry) => {
+                self.now = entry.at;
+                self.fired += 1;
+                (entry.event)(model, self);
+                true
+            }
+        }
+    }
+}
+
+impl<M> std::fmt::Debug for Sim<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("fired", &self.fired)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_time_order() {
+        let mut out: Vec<u64> = Vec::new();
+        let mut sim: Sim<Vec<u64>> = Sim::new();
+        for &t in &[30u64, 10, 20] {
+            sim.schedule_at(Time::from_ns(t), move |m: &mut Vec<u64>, _| m.push(t));
+        }
+        assert_eq!(sim.run(&mut out), SimStatus::Drained);
+        assert_eq!(out, [10, 20, 30]);
+        assert_eq!(sim.now(), Time::from_ns(30));
+    }
+
+    #[test]
+    fn same_time_events_fire_fifo() {
+        let mut out: Vec<u32> = Vec::new();
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        for i in 0..100u32 {
+            sim.schedule_at(Time::from_ns(7), move |m: &mut Vec<u32>, _| m.push(i));
+        }
+        sim.run(&mut out);
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut count = 0u64;
+        let mut sim: Sim<u64> = Sim::new();
+        fn chain(n: u64) -> impl FnOnce(&mut u64, &mut Sim<u64>) {
+            move |m, sim| {
+                *m += 1;
+                if n > 0 {
+                    sim.schedule_in(Dur::ns(1), chain(n - 1));
+                }
+            }
+        }
+        sim.schedule_at(Time::ZERO, chain(9));
+        sim.run(&mut count);
+        assert_eq!(count, 10);
+        assert_eq!(sim.now(), Time::from_ns(9));
+        assert_eq!(sim.events_fired(), 10);
+    }
+
+    #[test]
+    fn horizon_stops_run_and_clamps_now() {
+        let mut hits = 0u64;
+        let mut sim: Sim<u64> = Sim::new();
+        sim.schedule_at(Time::from_ns(5), |m: &mut u64, _| *m += 1);
+        sim.schedule_at(Time::from_ns(10), |m: &mut u64, _| *m += 1);
+        sim.schedule_at(Time::from_ns(50), |m: &mut u64, _| *m += 1);
+        let status = sim.run_until(&mut hits, Time::from_ns(10));
+        assert_eq!(status, SimStatus::HorizonReached);
+        assert_eq!(hits, 2); // the event at exactly the horizon fires
+        assert_eq!(sim.now(), Time::from_ns(10));
+        assert_eq!(sim.pending(), 1);
+    }
+
+    #[test]
+    fn event_budget_stops_run() {
+        let mut hits = 0u64;
+        let mut sim: Sim<u64> = Sim::new();
+        for i in 0..10 {
+            sim.schedule_at(Time::from_ns(i), |m: &mut u64, _| *m += 1);
+        }
+        let status = sim.run_bounded(&mut hits, Time::MAX, 4);
+        assert_eq!(status, SimStatus::EventBudgetExhausted);
+        assert_eq!(hits, 4);
+        assert_eq!(sim.pending(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule event in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut model = ();
+        let mut sim: Sim<()> = Sim::new();
+        sim.schedule_at(Time::from_ns(10), |_, _| {});
+        sim.run(&mut model);
+        sim.schedule_at(Time::from_ns(5), |_, _| {});
+    }
+
+    #[test]
+    fn step_fires_single_event() {
+        let mut n = 0u64;
+        let mut sim: Sim<u64> = Sim::new();
+        sim.schedule_at(Time::from_ns(1), |m: &mut u64, _| *m += 1);
+        sim.schedule_at(Time::from_ns(2), |m: &mut u64, _| *m += 1);
+        assert!(sim.step(&mut n));
+        assert_eq!(n, 1);
+        assert!(sim.step(&mut n));
+        assert!(!sim.step(&mut n));
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let sim: Sim<()> = Sim::new();
+        assert!(format!("{sim:?}").contains("Sim"));
+    }
+}

@@ -1,0 +1,316 @@
+//! Integer-nanosecond simulated time.
+//!
+//! The whole study runs on an integer nanosecond clock: the simulated
+//! processor runs at 1 GHz (1 cycle = 1 ns) and the memory bus at 250 MHz
+//! (1 bus cycle = 4 ns), so every latency in the paper's Table 3 is an
+//! integral number of nanoseconds. Integer time keeps simulations exactly
+//! deterministic and free of floating-point drift.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+/// An absolute instant in simulated time, in nanoseconds since simulation
+/// start.
+///
+/// `Time` is ordered, copyable and cheap; subtracting two `Time`s yields a
+/// [`Dur`].
+///
+/// # Example
+///
+/// ```
+/// use nisim_engine::{Time, Dur};
+/// let t = Time::ZERO + Dur::us(2);
+/// assert_eq!(t.as_ns(), 2_000);
+/// assert_eq!(t - Time::from_ns(500), Dur::ns(1_500));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+/// A span of simulated time, in nanoseconds.
+///
+/// # Example
+///
+/// ```
+/// use nisim_engine::Dur;
+/// assert_eq!(Dur::us(1), Dur::ns(1_000));
+/// assert_eq!(Dur::ns(6) * 3, Dur::ns(18));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Dur(u64);
+
+impl Time {
+    /// The simulation epoch.
+    pub const ZERO: Time = Time(0);
+    /// The greatest representable instant (used as "never").
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates a `Time` from a nanosecond count.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Time {
+        Time(ns)
+    }
+
+    /// Returns the instant as nanoseconds since simulation start.
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the instant as (fractional) microseconds.
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Returns the later of two instants.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        Time(self.0.max(other.0))
+    }
+
+    /// Returns the earlier of two instants.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        Time(self.0.min(other.0))
+    }
+
+    /// Duration since `earlier`, saturating to zero if `earlier` is later
+    /// than `self`.
+    #[inline]
+    pub fn saturating_since(self, earlier: Time) -> Dur {
+        Dur(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Dur {
+    /// The empty duration.
+    pub const ZERO: Dur = Dur(0);
+
+    /// Creates a duration of `ns` nanoseconds.
+    #[inline]
+    pub const fn ns(ns: u64) -> Dur {
+        Dur(ns)
+    }
+
+    /// Creates a duration of `us` microseconds.
+    #[inline]
+    pub const fn us(us: u64) -> Dur {
+        Dur(us * 1_000)
+    }
+
+    /// Creates a duration of `ms` milliseconds.
+    #[inline]
+    pub const fn ms(ms: u64) -> Dur {
+        Dur(ms * 1_000_000)
+    }
+
+    /// Creates a duration of `cycles` cycles of a clock with period
+    /// `period_ns` nanoseconds.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use nisim_engine::Dur;
+    /// // 3 bus cycles at 250 MHz (4 ns period).
+    /// assert_eq!(Dur::cycles(3, 4), Dur::ns(12));
+    /// ```
+    #[inline]
+    pub const fn cycles(cycles: u64, period_ns: u64) -> Dur {
+        Dur(cycles * period_ns)
+    }
+
+    /// Returns the duration in nanoseconds.
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration as (fractional) microseconds.
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Returns the larger of two durations.
+    #[inline]
+    pub fn max(self, other: Dur) -> Dur {
+        Dur(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two durations.
+    #[inline]
+    pub fn min(self, other: Dur) -> Dur {
+        Dur(self.0.min(other.0))
+    }
+
+    /// True if the duration is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, other: Dur) -> Dur {
+        Dur(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<Dur> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Dur) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Dur> for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Dur;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    #[inline]
+    fn sub(self, rhs: Time) -> Dur {
+        debug_assert!(self.0 >= rhs.0, "time went backwards: {self:?} - {rhs:?}");
+        Dur(self.0 - rhs.0)
+    }
+}
+
+impl Sub<Dur> for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Dur) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl Add for Dur {
+    type Output = Dur;
+    #[inline]
+    fn add(self, rhs: Dur) -> Dur {
+        Dur(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Dur {
+    #[inline]
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Dur {
+    type Output = Dur;
+    #[inline]
+    fn sub(self, rhs: Dur) -> Dur {
+        debug_assert!(self.0 >= rhs.0, "negative duration: {self:?} - {rhs:?}");
+        Dur(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Dur {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Dur) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Dur {
+    type Output = Dur;
+    #[inline]
+    fn mul(self, rhs: u64) -> Dur {
+        Dur(self.0 * rhs)
+    }
+}
+
+impl Sum for Dur {
+    fn sum<I: Iterator<Item = Dur>>(iter: I) -> Dur {
+        iter.fold(Dur::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}ns", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+impl fmt::Debug for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_round_trips() {
+        let t = Time::from_ns(100);
+        assert_eq!((t + Dur::ns(20)) - t, Dur::ns(20));
+        assert_eq!(t - Dur::ns(40), Time::from_ns(60));
+    }
+
+    #[test]
+    fn dur_constructors_scale() {
+        assert_eq!(Dur::us(3).as_ns(), 3_000);
+        assert_eq!(Dur::ms(2).as_ns(), 2_000_000);
+        assert_eq!(Dur::cycles(5, 4).as_ns(), 20);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let a = Time::from_ns(10);
+        let b = Time::from_ns(30);
+        assert_eq!(b.saturating_since(a), Dur::ns(20));
+        assert_eq!(a.saturating_since(b), Dur::ZERO);
+    }
+
+    #[test]
+    fn min_max_behave() {
+        assert_eq!(Time::from_ns(4).max(Time::from_ns(9)), Time::from_ns(9));
+        assert_eq!(Dur::ns(4).min(Dur::ns(9)), Dur::ns(4));
+        assert_eq!(Dur::ns(9).max(Dur::ns(4)), Dur::ns(9));
+    }
+
+    #[test]
+    fn dur_sum_and_mul() {
+        let total: Dur = [Dur::ns(1), Dur::ns(2), Dur::ns(3)].into_iter().sum();
+        assert_eq!(total, Dur::ns(6));
+        assert_eq!(Dur::ns(6) * 7, Dur::ns(42));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Time::from_ns(12).to_string(), "12ns");
+        assert_eq!(Dur::ns(7).to_string(), "7ns");
+        assert_eq!(format!("{:?}", Time::from_ns(12)), "t=12ns");
+    }
+
+    #[test]
+    fn us_conversion() {
+        assert!((Dur::ns(2_500).as_us_f64() - 2.5).abs() < 1e-12);
+        assert!((Time::from_ns(1_500).as_us_f64() - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests of the event engine: global time ordering, FIFO
+//! stability at equal timestamps, and horizon semantics under arbitrary
+//! schedules.
+
+use proptest::prelude::*;
+
+use nisim_engine::{Sim, SimStatus, Time};
+
+proptest! {
+    /// Events fire in non-decreasing time order, and events with equal
+    /// timestamps fire in scheduling order.
+    #[test]
+    fn ordering_and_fifo_stability(times in proptest::collection::vec(0u64..500, 1..200)) {
+        let mut log: Vec<(u64, usize)> = Vec::new();
+        let mut sim: Sim<Vec<(u64, usize)>> = Sim::new();
+        for (i, &t) in times.iter().enumerate() {
+            sim.schedule_at(Time::from_ns(t), move |m: &mut Vec<(u64, usize)>, _| {
+                m.push((t, i));
+            });
+        }
+        prop_assert_eq!(sim.run(&mut log), SimStatus::Drained);
+        prop_assert_eq!(log.len(), times.len());
+        for w in log.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO stability violated");
+            }
+        }
+    }
+
+    /// Cascading events (each scheduling the next) preserve exact time
+    /// arithmetic no matter the delays.
+    #[test]
+    fn cascades_accumulate_delays(delays in proptest::collection::vec(1u64..50, 1..40)) {
+        #[derive(Default)]
+        struct ModelState {
+            fired_at: Vec<u64>,
+        }
+        let mut model = ModelState::default();
+        let mut sim: Sim<ModelState> = Sim::new();
+        fn chain(delays: Vec<u64>, i: usize) -> impl FnOnce(&mut ModelState, &mut Sim<ModelState>) {
+            move |m, sim| {
+                m.fired_at.push(sim.now().as_ns());
+                if i + 1 < delays.len() {
+                    let d = delays[i + 1];
+                    sim.schedule_in(nisim_engine::Dur::ns(d), chain(delays, i + 1));
+                }
+            }
+        }
+        sim.schedule_at(Time::from_ns(delays[0]), chain(delays.clone(), 0));
+        sim.run(&mut model);
+        let mut expect = 0u64;
+        for (i, &d) in delays.iter().enumerate() {
+            expect += if i == 0 { d } else { d };
+            prop_assert_eq!(model.fired_at[i], expect);
+        }
+    }
+
+    /// run_until never fires events past the horizon, and what remains
+    /// pending is exactly the later-than-horizon portion.
+    #[test]
+    fn horizon_splits_schedule(times in proptest::collection::vec(0u64..1000, 0..100), horizon in 0u64..1000) {
+        let mut count = 0u64;
+        let mut sim: Sim<u64> = Sim::new();
+        for &t in &times {
+            sim.schedule_at(Time::from_ns(t), |m: &mut u64, _| *m += 1);
+        }
+        sim.run_until(&mut count, Time::from_ns(horizon));
+        let before = times.iter().filter(|&&t| t <= horizon).count() as u64;
+        prop_assert_eq!(count, before);
+        prop_assert_eq!(sim.pending(), times.len() - before as usize);
+        prop_assert!(sim.now() <= Time::from_ns(horizon));
+    }
+}

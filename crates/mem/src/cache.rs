@@ -1,0 +1,444 @@
+//! Set-associative cache model with MOESI line states.
+//!
+//! The study's processor cache is 1 MB, direct-mapped, 64-byte blocks
+//! ([`CacheConfig::default`]). The same structure models the small NI
+//! caches of the coherent network interfaces (e.g. the 32-entry,
+//! fully-associative receive cache of `CNI_32Q_m`), so associativity is a
+//! parameter.
+//!
+//! The cache tracks *tags and states only* — simulated programs have no
+//! data values, the timing model only needs to know where the freshest copy
+//! of each block lives.
+
+use crate::addr::{Addr, BlockAddr, BlockGeometry};
+use crate::moesi::MoesiState;
+
+/// Cache geometry and policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Block (line) size in bytes; must match the bus geometry.
+    pub block_bytes: u64,
+    /// Associativity; 1 = direct-mapped. Use `ways == size/block` for a
+    /// fully-associative cache.
+    pub ways: u32,
+}
+
+impl Default for CacheConfig {
+    /// The paper's processor cache: 1 MB, direct-mapped, 64 B blocks.
+    fn default() -> Self {
+        CacheConfig {
+            size_bytes: 1 << 20,
+            block_bytes: 64,
+            ways: 1,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// A fully-associative cache of `entries` blocks of `block_bytes`.
+    pub fn fully_associative(entries: u32, block_bytes: u64) -> CacheConfig {
+        CacheConfig {
+            size_bytes: entries as u64 * block_bytes,
+            block_bytes,
+            ways: entries,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / self.block_bytes / self.ways as u64
+    }
+}
+
+/// A block evicted to make room for a fill.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Eviction {
+    /// The evicted block.
+    pub block: BlockAddr,
+    /// Its state at eviction; dirty states require a writeback.
+    pub state: MoesiState,
+}
+
+/// Hit/miss/writeback counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a valid line.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Evictions of dirty lines.
+    pub dirty_evictions: u64,
+    /// Lines invalidated by snoops.
+    pub snoop_invalidations: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Line {
+    tag: u64,
+    state: MoesiState,
+    /// Monotonic last-use stamp for LRU victim selection.
+    lru: u64,
+}
+
+const EMPTY: Line = Line {
+    tag: 0,
+    state: MoesiState::Invalid,
+    lru: 0,
+};
+
+/// A set-associative, MOESI-state cache (tags only).
+///
+/// # Example
+///
+/// ```
+/// use nisim_mem::{Cache, CacheConfig, MoesiState, Addr};
+/// let mut c = Cache::new(CacheConfig::fully_associative(2, 64));
+/// let geo = c.geometry();
+/// let b0 = geo.block_of(Addr::new(0));
+/// let b1 = geo.block_of(Addr::new(64));
+/// let b2 = geo.block_of(Addr::new(128));
+/// assert!(c.insert(b0, MoesiState::Exclusive).is_none());
+/// assert!(c.insert(b1, MoesiState::Modified).is_none());
+/// // Third insert into a 2-entry cache evicts the LRU block (b0).
+/// let ev = c.insert(b2, MoesiState::Shared).unwrap();
+/// assert_eq!(ev.block, b0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    geo: BlockGeometry,
+    sets: Vec<Line>,
+    ways: usize,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (non-power-of-two block size,
+    /// capacity not divisible into `ways` equal sets, or zero ways).
+    pub fn new(cfg: CacheConfig) -> Cache {
+        assert!(cfg.ways > 0, "cache must have at least one way");
+        let geo = BlockGeometry::new(cfg.block_bytes);
+        let blocks = cfg.size_bytes / cfg.block_bytes;
+        assert!(
+            blocks.is_multiple_of(cfg.ways as u64) && blocks > 0,
+            "cache capacity must divide into an integral number of sets"
+        );
+        let sets = blocks / cfg.ways as u64;
+        assert!(
+            sets.is_power_of_two(),
+            "number of sets must be a power of two, got {sets}"
+        );
+        Cache {
+            cfg,
+            geo,
+            sets: vec![EMPTY; blocks as usize],
+            ways: cfg.ways as usize,
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// The block geometry shared with the bus.
+    pub fn geometry(&self) -> BlockGeometry {
+        self.geo
+    }
+
+    /// Hit/miss statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn set_index(&self, block: BlockAddr) -> usize {
+        let sets = self.cfg.sets();
+        ((block.raw() / self.cfg.block_bytes) % sets) as usize
+    }
+
+    fn set_range(&self, block: BlockAddr) -> std::ops::Range<usize> {
+        let start = self.set_index(block) * self.ways;
+        start..start + self.ways
+    }
+
+    fn find(&self, block: BlockAddr) -> Option<usize> {
+        let range = self.set_range(block);
+        self.sets[range.clone()]
+            .iter()
+            .position(|l| l.state.is_valid() && l.tag == block.raw())
+            .map(|i| range.start + i)
+    }
+
+    /// The MOESI state of `block` (`Invalid` if not present).
+    pub fn state_of(&self, block: BlockAddr) -> MoesiState {
+        self.find(block)
+            .map(|i| self.sets[i].state)
+            .unwrap_or(MoesiState::Invalid)
+    }
+
+    /// True if the block is present in a valid state.
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        self.find(block).is_some()
+    }
+
+    /// Looks up `block`, recording a hit or miss and refreshing LRU on hit.
+    /// Returns the state found (`Invalid` on miss).
+    pub fn lookup(&mut self, block: BlockAddr) -> MoesiState {
+        self.clock += 1;
+        match self.find(block) {
+            Some(i) => {
+                self.stats.hits += 1;
+                self.sets[i].lru = self.clock;
+                self.sets[i].state
+            }
+            None => {
+                self.stats.misses += 1;
+                MoesiState::Invalid
+            }
+        }
+    }
+
+    /// Sets the state of a resident block (e.g. after a snoop or an
+    /// upgrade). Setting `Invalid` removes the line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is not resident.
+    pub fn set_state(&mut self, block: BlockAddr, state: MoesiState) {
+        let i = self
+            .find(block)
+            .unwrap_or_else(|| panic!("set_state on non-resident {block:?}"));
+        self.sets[i].state = state;
+    }
+
+    /// Invalidates `block` if present, returning its prior state.
+    pub fn invalidate(&mut self, block: BlockAddr) -> MoesiState {
+        match self.find(block) {
+            Some(i) => {
+                let prior = self.sets[i].state;
+                self.sets[i].state = MoesiState::Invalid;
+                self.stats.snoop_invalidations += 1;
+                prior
+            }
+            None => MoesiState::Invalid,
+        }
+    }
+
+    /// Inserts `block` with `state`, evicting the set's LRU valid line if
+    /// the set is full. Returns the eviction, if any.
+    ///
+    /// Inserting a block that is already resident just updates its state.
+    pub fn insert(&mut self, block: BlockAddr, state: MoesiState) -> Option<Eviction> {
+        self.clock += 1;
+        if let Some(i) = self.find(block) {
+            self.sets[i].state = state;
+            self.sets[i].lru = self.clock;
+            return None;
+        }
+        let range = self.set_range(block);
+        // Prefer an invalid slot; otherwise evict the least-recently-used.
+        let slot = self.sets[range.clone()]
+            .iter()
+            .position(|l| !l.state.is_valid())
+            .map(|i| range.start + i)
+            .unwrap_or_else(|| {
+                self.sets[range.clone()]
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| l.lru)
+                    .map(|(i, _)| range.start + i)
+                    .expect("cache set cannot be empty")
+            });
+        let victim = self.sets[slot];
+        let eviction = victim.state.is_valid().then(|| {
+            if victim.state.dirty() {
+                self.stats.dirty_evictions += 1;
+            }
+            Eviction {
+                block: BlockAddr::from_raw(victim.tag),
+                state: victim.state,
+            }
+        });
+        self.sets[slot] = Line {
+            tag: block.raw(),
+            state,
+            lru: self.clock,
+        };
+        eviction
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn valid_lines(&self) -> usize {
+        self.sets.iter().filter(|l| l.state.is_valid()).count()
+    }
+
+    /// Iterates over all resident `(block, state)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, MoesiState)> + '_ {
+        self.sets
+            .iter()
+            .filter(|l| l.state.is_valid())
+            .map(|l| (BlockAddr::from_raw(l.tag), l.state))
+    }
+
+    /// The block that `addr` falls in, for convenience.
+    pub fn block_of(&self, addr: Addr) -> BlockAddr {
+        self.geo.block_of(addr)
+    }
+
+    /// Clears every line (used between experiment phases).
+    pub fn flush_all(&mut self) {
+        for l in &mut self.sets {
+            l.state = MoesiState::Invalid;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets x 1 way x 64 B = 256 B direct-mapped.
+        Cache::new(CacheConfig {
+            size_bytes: 256,
+            block_bytes: 64,
+            ways: 1,
+        })
+    }
+
+    fn block(c: &Cache, addr: u64) -> BlockAddr {
+        c.geometry().block_of(Addr::new(addr))
+    }
+
+    #[test]
+    fn default_config_matches_paper() {
+        let cfg = CacheConfig::default();
+        assert_eq!(cfg.size_bytes, 1 << 20);
+        assert_eq!(cfg.block_bytes, 64);
+        assert_eq!(cfg.ways, 1);
+        assert_eq!(cfg.sets(), 16384);
+    }
+
+    #[test]
+    fn insert_then_lookup_hits() {
+        let mut c = small();
+        let b = block(&c, 0x40);
+        assert_eq!(c.lookup(b), MoesiState::Invalid);
+        c.insert(b, MoesiState::Exclusive);
+        assert_eq!(c.lookup(b), MoesiState::Exclusive);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn direct_mapped_conflict_evicts() {
+        let mut c = small();
+        let b0 = block(&c, 0x00);
+        let b_conflict = block(&c, 0x100); // same set (4 sets * 64 B = 256 B stride)
+        c.insert(b0, MoesiState::Modified);
+        let ev = c.insert(b_conflict, MoesiState::Exclusive).unwrap();
+        assert_eq!(ev.block, b0);
+        assert_eq!(ev.state, MoesiState::Modified);
+        assert!(!c.contains(b0));
+        assert_eq!(c.stats().dirty_evictions, 1);
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut c = small();
+        c.insert(block(&c, 0x00), MoesiState::Shared);
+        assert!(c.insert(block(&c, 0x40), MoesiState::Shared).is_none());
+        assert_eq!(c.valid_lines(), 2);
+    }
+
+    #[test]
+    fn fully_associative_lru() {
+        let mut c = Cache::new(CacheConfig::fully_associative(2, 64));
+        let b = |a| c.geometry().block_of(Addr::new(a));
+        let (b0, b1, b2) = (b(0), b(64), b(128));
+        c.insert(b0, MoesiState::Exclusive);
+        c.insert(b1, MoesiState::Exclusive);
+        c.lookup(b0); // refresh b0; b1 becomes LRU
+        let ev = c.insert(b2, MoesiState::Exclusive).unwrap();
+        assert_eq!(ev.block, b1);
+        assert!(c.contains(b0) && c.contains(b2));
+    }
+
+    #[test]
+    fn reinsert_updates_state_without_eviction() {
+        let mut c = small();
+        let b = block(&c, 0x80);
+        c.insert(b, MoesiState::Shared);
+        assert!(c.insert(b, MoesiState::Modified).is_none());
+        assert_eq!(c.state_of(b), MoesiState::Modified);
+        assert_eq!(c.valid_lines(), 1);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = small();
+        let b = block(&c, 0x40);
+        c.insert(b, MoesiState::Owned);
+        assert_eq!(c.invalidate(b), MoesiState::Owned);
+        assert!(!c.contains(b));
+        assert_eq!(c.invalidate(b), MoesiState::Invalid);
+        assert_eq!(c.stats().snoop_invalidations, 1);
+    }
+
+    #[test]
+    fn set_state_transitions() {
+        let mut c = small();
+        let b = block(&c, 0xC0);
+        c.insert(b, MoesiState::Exclusive);
+        c.set_state(b, MoesiState::Shared);
+        assert_eq!(c.state_of(b), MoesiState::Shared);
+        c.set_state(b, MoesiState::Invalid);
+        assert!(!c.contains(b));
+    }
+
+    #[test]
+    #[should_panic(expected = "set_state on non-resident")]
+    fn set_state_missing_panics() {
+        let mut c = small();
+        let b = block(&c, 0x40);
+        c.set_state(b, MoesiState::Shared);
+    }
+
+    #[test]
+    fn flush_all_empties() {
+        let mut c = small();
+        c.insert(block(&c, 0), MoesiState::Modified);
+        c.insert(block(&c, 64), MoesiState::Shared);
+        c.flush_all();
+        assert_eq!(c.valid_lines(), 0);
+    }
+
+    #[test]
+    fn iter_lists_resident_blocks() {
+        let mut c = small();
+        c.insert(block(&c, 0), MoesiState::Modified);
+        c.insert(block(&c, 64), MoesiState::Shared);
+        let mut blocks: Vec<u64> = c.iter().map(|(b, _)| b.raw()).collect();
+        blocks.sort_unstable();
+        assert_eq!(blocks, vec![0, 64]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn zero_ways_panics() {
+        Cache::new(CacheConfig {
+            size_bytes: 256,
+            block_bytes: 64,
+            ways: 0,
+        });
+    }
+}

@@ -1,0 +1,87 @@
+//! Table 1 of the paper: buffering available between an input port and an
+//! output port in five commercial network switches/routers of the era.
+//!
+//! The table motivates the buffering half of the study: switches provide
+//! only a few hundred bytes, so an NI that fails to drain the network
+//! quickly causes back-pressure (or message drops on Myrinet-style
+//! networks). The data is literature/personal-communication material, not
+//! simulation output; it is reproduced here so the `table1` harness binary
+//! can regenerate the table.
+
+/// One row of Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SwitchBuffering {
+    /// Switch or router name.
+    pub name: &'static str,
+    /// Description of the maximum buffering between an input and an
+    /// output port.
+    pub max_buffering: &'static str,
+    /// Representative per-port buffer bytes (for plots; the shared-pool
+    /// cases use their dedicated component).
+    pub approx_bytes: u32,
+}
+
+/// The five switches of Table 1.
+pub const SWITCH_SURVEY: [SwitchBuffering; 5] = [
+    SwitchBuffering {
+        name: "Cray T3E router",
+        max_buffering: "105 bytes per non-adaptive virtual channel",
+        approx_bytes: 105,
+    },
+    SwitchBuffering {
+        name: "IBM Vulcan switch (SP2)",
+        max_buffering: "31 bytes + 1 Kbyte buffer pool shared between four ports",
+        approx_bytes: 31,
+    },
+    SwitchBuffering {
+        name: "Myricom M2M switch",
+        max_buffering: "20 bytes",
+        approx_bytes: 20,
+    },
+    SwitchBuffering {
+        name: "SGI Spider/Craylink switch",
+        max_buffering: "256 bytes per virtual channel",
+        approx_bytes: 256,
+    },
+    SwitchBuffering {
+        name: "TMC CM-5 network router",
+        max_buffering: "100 bytes",
+        approx_bytes: 100,
+    },
+];
+
+/// The largest per-port buffering in the survey, in bytes.
+///
+/// Even the roomiest switch buffers less than two of the study's 256-byte
+/// network messages — the quantitative core of the paper's argument that
+/// NIs cannot rely on the network for buffering.
+pub fn max_survey_bytes() -> u32 {
+    SWITCH_SURVEY
+        .iter()
+        .map(|s| s.approx_bytes)
+        .max()
+        .expect("survey is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_five_switches() {
+        assert_eq!(SWITCH_SURVEY.len(), 5);
+    }
+
+    #[test]
+    fn max_is_spider() {
+        assert_eq!(max_survey_bytes(), 256);
+    }
+
+    #[test]
+    fn all_buffering_under_two_messages() {
+        // The argument of §3: switch buffering < 2 x 256 B messages.
+        for s in SWITCH_SURVEY {
+            assert!(s.approx_bytes < 512, "{} buffers too much", s.name);
+        }
+    }
+}

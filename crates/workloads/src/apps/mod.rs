@@ -1,0 +1,185 @@
+//! The seven macrobenchmark communication skeletons (§5.2, Table 4).
+//!
+//! | app | pattern | skeleton module |
+//! |---|---|---|
+//! | appbt | near-neighbour request/response on a 3-D grid | [`appbt`] |
+//! | barnes | irregular all-to-all request/response | [`barnes`] |
+//! | dsmc | fine-grain producer/consumer particle exchange | [`dsmc`] |
+//! | em3d | bursty one-way graph updates | [`em3d`] |
+//! | moldyn | bulk ring reduction | [`moldyn`] |
+//! | spsolve | very fine-grain DAG propagation | [`spsolve`] |
+//! | unstructured | single-producer multi-consumer bulk updates | [`unstructured`] |
+
+pub mod appbt;
+pub mod barnes;
+pub mod dsmc;
+pub mod em3d;
+pub mod moldyn;
+pub mod spsolve;
+pub mod unstructured;
+
+use nisim_core::{Machine, MachineConfig, MachineReport};
+use nisim_engine::Dur;
+
+/// Which macrobenchmark to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MacroApp {
+    /// NAS appbt: 3-D CFD, near-neighbour shared-memory protocol.
+    Appbt,
+    /// Barnes-Hut N-body: irregular shared-memory protocol.
+    Barnes,
+    /// Discrete simulation Monte Carlo: producer/consumer particles.
+    Dsmc,
+    /// Electromagnetic wave propagation: bursty fine-grain updates.
+    Em3d,
+    /// Molecular dynamics: custom bulk reduction protocol.
+    Moldyn,
+    /// Sparse iterative solver: DAG-propagated active messages.
+    Spsolve,
+    /// Unstructured-mesh CFD: batched single-producer/multi-consumer.
+    Unstructured,
+}
+
+impl MacroApp {
+    /// All seven, in the paper's order.
+    pub const ALL: [MacroApp; 7] = [
+        MacroApp::Appbt,
+        MacroApp::Barnes,
+        MacroApp::Dsmc,
+        MacroApp::Em3d,
+        MacroApp::Moldyn,
+        MacroApp::Spsolve,
+        MacroApp::Unstructured,
+    ];
+
+    /// The benchmark's name as the paper prints it.
+    pub fn name(self) -> &'static str {
+        match self {
+            MacroApp::Appbt => "appbt",
+            MacroApp::Barnes => "barnes",
+            MacroApp::Dsmc => "dsmc",
+            MacroApp::Em3d => "em3d",
+            MacroApp::Moldyn => "moldyn",
+            MacroApp::Spsolve => "spsolve",
+            MacroApp::Unstructured => "unstructured",
+        }
+    }
+
+    /// Default (scaled-down) parameters tuned so the full NI × buffer
+    /// sweeps finish quickly while preserving each pattern's character.
+    pub fn default_params(self) -> AppParams {
+        match self {
+            // Request/response apps: computation dominates per iteration
+            // (the real applications are compute-heavy CFD/N-body codes).
+            MacroApp::Appbt => AppParams {
+                iterations: 4,
+                intensity: 4,
+                compute: Dur::us(12),
+            },
+            MacroApp::Barnes => AppParams {
+                iterations: 4,
+                intensity: 6,
+                compute: Dur::us(12),
+            },
+            MacroApp::Dsmc => AppParams {
+                iterations: 5,
+                intensity: 8,
+                compute: Dur::us(14),
+            },
+            // The two bursty fine-grain apps: little compute per message.
+            MacroApp::Em3d => AppParams {
+                iterations: 5,
+                intensity: 26,
+                compute: Dur::us(3),
+            },
+            MacroApp::Spsolve => AppParams {
+                iterations: 4,
+                intensity: 10,
+                compute: Dur::us(1),
+            },
+            MacroApp::Moldyn => AppParams {
+                iterations: 3,
+                intensity: 1,
+                compute: Dur::us(20),
+            },
+            MacroApp::Unstructured => AppParams {
+                iterations: 4,
+                intensity: 2,
+                compute: Dur::us(16),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for MacroApp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Scale parameters of a macrobenchmark skeleton.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AppParams {
+    /// Outer iterations (time steps).
+    pub iterations: u32,
+    /// Per-iteration communication intensity multiplier (requests per
+    /// neighbour, updates per edge, sparks per node, ...).
+    pub intensity: u32,
+    /// Base computation per iteration per node.
+    pub compute: Dur,
+}
+
+/// Runs `app` on the machine described by `cfg` and returns the report.
+pub fn run_app(app: MacroApp, cfg: &MachineConfig, params: &AppParams) -> MachineReport {
+    let cfg = cfg.clone();
+    let nodes = cfg.nodes;
+    let seed = cfg.seed;
+    let params = *params;
+    let report = match app {
+        MacroApp::Appbt => Machine::run(cfg, appbt::factory(nodes, seed, params)),
+        MacroApp::Barnes => Machine::run(cfg, barnes::factory(nodes, seed, params)),
+        MacroApp::Dsmc => Machine::run(cfg, dsmc::factory(nodes, seed, params)),
+        MacroApp::Em3d => Machine::run(cfg, em3d::factory(nodes, seed, params)),
+        MacroApp::Moldyn => Machine::run(cfg, moldyn::factory(nodes, seed, params)),
+        MacroApp::Spsolve => Machine::run(cfg, spsolve::factory(nodes, seed, params)),
+        MacroApp::Unstructured => Machine::run(cfg, unstructured::factory(nodes, seed, params)),
+    };
+    assert!(
+        report.all_quiescent,
+        "{app} did not reach quiescence (status {:?})",
+        report.status
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nisim_core::NiKind;
+
+    #[test]
+    fn every_app_completes_on_the_reference_ni() {
+        let cfg = MachineConfig::with_ni(NiKind::Ap3000).nodes(16);
+        for app in MacroApp::ALL {
+            let r = run_app(app, &cfg, &app.default_params());
+            assert!(r.app_messages > 50, "{app} sent too few messages");
+        }
+    }
+
+    #[test]
+    fn names_match_the_paper() {
+        let names: Vec<&str> = MacroApp::ALL.iter().map(|a| a.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "appbt",
+                "barnes",
+                "dsmc",
+                "em3d",
+                "moldyn",
+                "spsolve",
+                "unstructured"
+            ]
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! # nisim-workloads
+//!
+//! Micro- and macrobenchmark workloads for the `nisim` NI design study.
+//!
+//! * [`micro`] — the two §6.1 microbenchmarks: process-to-process
+//!   round-trip latency and streaming bandwidth (Table 5),
+//! * [`apps`] — communication skeletons of the seven §5.2
+//!   macrobenchmarks (appbt, barnes, dsmc, em3d, moldyn, spsolve,
+//!   unstructured), parameterised by the paper's Table 4 message-size
+//!   distributions and communication patterns,
+//! * [`skeleton`] — the shared workload framework: step-driven
+//!   processes and a real message-based barrier,
+//! * [`table4`] — the Table 4 distributions as data plus the
+//!   characterisation runner that regenerates the table from simulated
+//!   traffic.
+//!
+//! The applications are *skeletons*: they reproduce each application's
+//! communication pattern (who talks to whom, how often, in what sizes and
+//! bursts, with how much computation in between) rather than its numerics
+//! — which is what the paper's NI comparisons are sensitive to. See
+//! DESIGN.md §2 for the substitution argument.
+
+pub mod apps;
+pub mod micro;
+pub mod skeleton;
+pub mod skeleton_support;
+pub mod synthetic;
+pub mod table4;
+
+pub use apps::{run_app, AppParams, MacroApp};
+pub use micro::bandwidth::{measure_bandwidth, BandwidthResult};
+pub use micro::pingpong::{measure_round_trip, RoundTripResult};
+pub use skeleton::{Skeleton, SkeletonProcess, Step};
+pub use synthetic::{run_synthetic, Locality, SyntheticParams};

@@ -1,0 +1,5 @@
+//! The §6.1 microbenchmarks: round-trip latency and bandwidth (Table 5).
+
+pub mod bandwidth;
+pub mod logp;
+pub mod pingpong;

@@ -1,0 +1,85 @@
+//! Measurement helpers shared by the microbenchmarks.
+
+use nisim_core::process::{Action, AppMessage, HandlerSpec, Process, SendSpec};
+use nisim_core::{Machine, MachineConfig, TimeCategory};
+use nisim_engine::{Dur, Time};
+use nisim_net::NodeId;
+
+struct Source {
+    payload: u64,
+    left: u32,
+    done: bool,
+}
+
+impl Process for Source {
+    fn next_action(&mut self, _now: Time) -> Action {
+        if self.left == 0 {
+            self.done = true;
+            return Action::Done;
+        }
+        self.left -= 1;
+        Action::Send(SendSpec::new(NodeId(1), self.payload, 0))
+    }
+    fn on_message(&mut self, _m: &AppMessage, _now: Time) -> HandlerSpec {
+        HandlerSpec::empty()
+    }
+    fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+struct Sink;
+
+impl Process for Sink {
+    fn next_action(&mut self, _now: Time) -> Action {
+        Action::Done
+    }
+    fn on_message(&mut self, _m: &AppMessage, _now: Time) -> HandlerSpec {
+        HandlerSpec::empty()
+    }
+    fn is_done(&self) -> bool {
+        true
+    }
+}
+
+/// Streams `count` messages of `payload` bytes from node 0 to node 1 and
+/// returns `(sender data-transfer time, receiver data-transfer time,
+/// messages)` — the per-side processor occupancy attributable to
+/// messaging.
+pub fn stream_occupancy(cfg: &MachineConfig, payload: u64) -> (Dur, Dur, u32) {
+    let count = 100u32;
+    let cfg = cfg.clone().nodes(2);
+    let report = Machine::run(cfg, move |id| -> Box<dyn Process> {
+        if id.0 == 0 {
+            Box::new(Source {
+                payload,
+                left: count,
+                done: false,
+            })
+        } else {
+            Box::new(Sink)
+        }
+    });
+    assert!(report.all_quiescent, "occupancy stream did not complete");
+    (
+        report.ledgers[0].get(TimeCategory::DataTransfer),
+        report.ledgers[1].get(TimeCategory::DataTransfer),
+        count,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nisim_core::NiKind;
+
+    #[test]
+    fn occupancy_is_positive_and_scales() {
+        let cfg = MachineConfig::with_ni(NiKind::Cm5);
+        let (s8, r8, n) = stream_occupancy(&cfg, 8);
+        let (s256, r256, _) = stream_occupancy(&cfg, 256);
+        assert_eq!(n, 100);
+        assert!(s8 > Dur::ZERO && r8 > Dur::ZERO);
+        assert!(s256 > s8 && r256 > r8);
+    }
+}

@@ -1,0 +1,161 @@
+//! Table 4 of the paper: macrobenchmark message-size distributions.
+//!
+//! The paper reports, for each application, the modal message sizes
+//! (header included) and the percentage of traffic at each. Those
+//! distributions are encoded here as the *target* the skeletons are
+//! parameterised to produce; [`characterize`] reruns a skeleton and
+//! returns the message-size histogram actually generated so the `table4`
+//! harness binary can print measured-vs-paper side by side.
+
+use nisim_core::MachineConfig;
+use nisim_engine::stats::Histogram;
+
+use crate::apps::{run_app, MacroApp};
+
+/// One modal size of an application's traffic.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SizeMode {
+    /// Message size in bytes, header included.
+    pub bytes: u64,
+    /// Fraction of the application's messages at this size.
+    pub fraction: f64,
+}
+
+/// The paper's Table 4 rows (modal sizes and fractions).
+///
+/// `unstructured` is special-cased in the paper: one mode at 8 bytes and
+/// a broad 12–1812 B range averaging 351 B; we record the 8 B mode and
+/// the range's average under [`UNSTRUCTURED_RANGE_MEAN`].
+pub fn paper_modes(app: MacroApp) -> &'static [SizeMode] {
+    match app {
+        MacroApp::Appbt => &[
+            SizeMode {
+                bytes: 12,
+                fraction: 0.67,
+            },
+            SizeMode {
+                bytes: 32,
+                fraction: 0.32,
+            },
+        ],
+        MacroApp::Barnes => &[
+            SizeMode {
+                bytes: 12,
+                fraction: 0.67,
+            },
+            SizeMode {
+                bytes: 16,
+                fraction: 0.04,
+            },
+            SizeMode {
+                bytes: 140,
+                fraction: 0.29,
+            },
+        ],
+        MacroApp::Dsmc => &[
+            SizeMode {
+                bytes: 12,
+                fraction: 0.45,
+            },
+            SizeMode {
+                bytes: 44,
+                fraction: 0.25,
+            },
+            SizeMode {
+                bytes: 140,
+                fraction: 0.26,
+            },
+        ],
+        MacroApp::Em3d => &[
+            SizeMode {
+                bytes: 12,
+                fraction: 0.02,
+            },
+            SizeMode {
+                bytes: 20,
+                fraction: 0.98,
+            },
+        ],
+        MacroApp::Moldyn => &[
+            SizeMode {
+                bytes: 8,
+                fraction: 0.05,
+            },
+            SizeMode {
+                bytes: 12,
+                fraction: 0.65,
+            },
+            SizeMode {
+                bytes: 140,
+                fraction: 0.27,
+            },
+            SizeMode {
+                bytes: 3084,
+                fraction: 0.02,
+            },
+        ],
+        MacroApp::Spsolve => &[
+            SizeMode {
+                bytes: 8,
+                fraction: 0.06,
+            },
+            SizeMode {
+                bytes: 12,
+                fraction: 0.03,
+            },
+            SizeMode {
+                bytes: 20,
+                fraction: 0.91,
+            },
+        ],
+        MacroApp::Unstructured => &[SizeMode {
+            bytes: 8,
+            fraction: 0.35,
+        }],
+    }
+}
+
+/// Mean of unstructured's bulk-message size range (bytes, with header).
+pub const UNSTRUCTURED_RANGE_MEAN: f64 = 351.0;
+
+/// The paper's reported per-application average message sizes span
+/// 19–230 bytes (§2.1); used as a sanity check on the skeletons.
+pub const PAPER_AVG_RANGE: (f64, f64) = (19.0, 230.0);
+
+/// Runs `app` under `cfg` and returns the message-size histogram its
+/// simulated traffic produced (header-inclusive sizes).
+pub fn characterize(app: MacroApp, cfg: &MachineConfig) -> Histogram {
+    run_app(app, cfg, &app.default_params()).msg_sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fractions_are_near_complete() {
+        // Each row's listed fractions should cover most of the traffic
+        // (the paper notes trivial fractions at other sizes).
+        for app in MacroApp::ALL {
+            if app == MacroApp::Unstructured {
+                continue; // one mode + a range
+            }
+            let total: f64 = paper_modes(app).iter().map(|m| m.fraction).sum();
+            assert!(total >= 0.9, "{app:?}: {total}");
+        }
+    }
+
+    #[test]
+    fn modes_are_sorted_and_positive() {
+        for app in MacroApp::ALL {
+            let modes = paper_modes(app);
+            for w in modes.windows(2) {
+                assert!(w[0].bytes < w[1].bytes);
+            }
+            for m in modes {
+                assert!(m.fraction > 0.0 && m.fraction <= 1.0);
+                assert!(m.bytes >= 8, "messages include an 8-byte header");
+            }
+        }
+    }
+}

@@ -1,0 +1,1 @@
+//! Integration test support crate for nisim (tests live in `tests/tests`).

@@ -1,0 +1,161 @@
+//! Executable acceptance criteria: the paper's qualitative results
+//! (DESIGN.md §5) asserted against the simulator. These are the
+//! macro-level claims; the microbenchmark orderings of Table 5 are
+//! asserted in `nisim-bench`'s unit tests.
+
+use nisim_core::{MachineConfig, NiKind, TimeCategory};
+use nisim_net::BufferCount;
+use nisim_workloads::apps::{run_app, MacroApp};
+
+fn elapsed(app: MacroApp, ni: NiKind, buffers: BufferCount) -> f64 {
+    let cfg = MachineConfig::with_ni(ni).flow_buffers(buffers);
+    run_app(app, &cfg, &app.default_params()).elapsed.as_ns() as f64
+}
+
+/// §6.2.1: with infinite buffering, the AP3000-like NI is the fastest of
+/// the three FIFO NIs and the UDMA-based NI is at least as fast as the
+/// CM-5-like NI.
+#[test]
+fn fifo_ordering_with_infinite_buffers() {
+    for app in [MacroApp::Appbt, MacroApp::Em3d, MacroApp::Unstructured] {
+        let cm5 = elapsed(app, NiKind::Cm5, BufferCount::Infinite);
+        let udma = elapsed(app, NiKind::Udma, BufferCount::Infinite);
+        let ap = elapsed(app, NiKind::Ap3000, BufferCount::Infinite);
+        assert!(udma <= cm5 * 1.02, "{app}: udma {udma} vs cm5 {cm5}");
+        assert!(ap < udma, "{app}: ap {ap} vs udma {udma}");
+    }
+}
+
+/// §6.2.1: going from one to two flow-control buffers helps every FIFO
+/// NI on the communication-heavy applications.
+#[test]
+fn one_to_two_buffers_helps() {
+    for app in [MacroApp::Barnes, MacroApp::Em3d] {
+        for ni in [NiKind::Cm5, NiKind::Ap3000] {
+            let b1 = elapsed(app, ni, BufferCount::Finite(1));
+            let b2 = elapsed(app, ni, BufferCount::Finite(2));
+            assert!(b2 < b1, "{app} on {ni}: B=2 ({b2}) should beat B=1 ({b1})");
+        }
+    }
+}
+
+/// §6.2.1: em3d keeps improving well beyond two buffers (its paper
+/// breakeven is 128), unlike the request/response applications.
+#[test]
+fn em3d_wants_deep_buffering() {
+    let b2 = elapsed(MacroApp::Em3d, NiKind::Cm5, BufferCount::Finite(2));
+    let binf = elapsed(MacroApp::Em3d, NiKind::Cm5, BufferCount::Infinite);
+    assert!(
+        b2 > 1.12 * binf,
+        "em3d 2->inf should improve >12%: {b2} vs {binf}"
+    );
+    let appbt2 = elapsed(MacroApp::Appbt, NiKind::Cm5, BufferCount::Finite(2));
+    let appbt_inf = elapsed(MacroApp::Appbt, NiKind::Cm5, BufferCount::Infinite);
+    assert!(
+        appbt2 < 1.12 * appbt_inf,
+        "appbt should gain little beyond 2 buffers"
+    );
+}
+
+/// §6.2.2: the coherent NIs are largely insensitive to the flow-control
+/// buffer count (NI-managed, plentiful buffering in memory).
+#[test]
+fn coherent_nis_are_buffer_insensitive() {
+    for ni in [NiKind::StartJr, NiKind::Cni32Qm] {
+        let b1 = elapsed(MacroApp::Em3d, ni, BufferCount::Finite(1));
+        let b8 = elapsed(MacroApp::Em3d, ni, BufferCount::Finite(8));
+        let ratio = b1 / b8;
+        // "Largely insensitive": a small residual sensitivity remains in
+        // our model because the one flow-control buffer is occupied for
+        // the deposit duration; compare CM-5's ~1.4x over the same sweep.
+        assert!((0.95..=1.2).contains(&ratio), "{ni} em3d B1/B8 = {ratio}");
+    }
+}
+
+/// §6.2.2: CNI_32Qm is the best of the four coherent NIs, and loses to
+/// the AP3000-like NI only on unstructured (whose bulk streams favour
+/// raw bandwidth).
+#[test]
+fn cni32qm_wins_among_coherent_nis() {
+    for app in [MacroApp::Appbt, MacroApp::Em3d, MacroApp::Unstructured] {
+        let c32 = elapsed(app, NiKind::Cni32Qm, BufferCount::Finite(1));
+        for other in [NiKind::StartJr, NiKind::Cni512Q] {
+            let o = elapsed(app, other, BufferCount::Finite(1));
+            assert!(c32 <= o * 1.02, "{app}: CNI_32Qm ({c32}) vs {other} ({o})");
+        }
+    }
+    // The unstructured exception: AP3000@8 beats CNI_32Qm there.
+    let ap = elapsed(
+        MacroApp::Unstructured,
+        NiKind::Ap3000,
+        BufferCount::Finite(8),
+    );
+    let c32 = elapsed(
+        MacroApp::Unstructured,
+        NiKind::Cni32Qm,
+        BufferCount::Finite(1),
+    );
+    assert!(c32 > ap, "unstructured should favour the AP3000-like NI");
+    // ...but em3d favours CNI_32Qm's buffering.
+    let ap_em3d = elapsed(MacroApp::Em3d, NiKind::Ap3000, BufferCount::Finite(8));
+    let c32_em3d = elapsed(MacroApp::Em3d, NiKind::Cni32Qm, BufferCount::Finite(1));
+    assert!(c32_em3d < ap_em3d, "em3d should favour CNI_32Qm");
+}
+
+/// §6.2.2: CNI_32Qm sharply reduces main-memory-to-cache transfers
+/// relative to the StarT-JR-like NI (the paper reports 54% on average)
+/// by supplying messages NI-cache-to-processor-cache.
+#[test]
+fn cni32qm_cuts_memory_traffic() {
+    let cfg32 = MachineConfig::with_ni(NiKind::Cni32Qm).flow_buffers(BufferCount::Finite(1));
+    let cfgsj = MachineConfig::with_ni(NiKind::StartJr).flow_buffers(BufferCount::Finite(1));
+    let p = MacroApp::Em3d.default_params();
+    let r32 = run_app(MacroApp::Em3d, &cfg32, &p);
+    let rsj = run_app(MacroApp::Em3d, &cfgsj, &p);
+    assert!(
+        (r32.mem_reads as f64) < 0.6 * rsj.mem_reads as f64,
+        "CNI_32Qm {} vs StarT-JR {} memory reads",
+        r32.mem_reads,
+        rsj.mem_reads
+    );
+}
+
+/// §6.3 / Figure 4: the single-cycle (register-mapped) NI_2w loses
+/// ground as its buffering shrinks on the bursty applications —
+/// register memory is precious, so small buffer pools are its realistic
+/// operating point.
+#[test]
+fn single_cycle_ni_degrades_with_small_buffers() {
+    let b1 = elapsed(
+        MacroApp::Em3d,
+        NiKind::Cm5SingleCycle,
+        BufferCount::Finite(1),
+    );
+    let b32 = elapsed(
+        MacroApp::Em3d,
+        NiKind::Cm5SingleCycle,
+        BufferCount::Finite(32),
+    );
+    assert!(
+        b1 > 1.2 * b32,
+        "em3d on the register-mapped NI: B=1 ({b1}) vs B=32 ({b32})"
+    );
+}
+
+/// Figure 1: the two fine-grain bursty applications are dominated by
+/// messaging (data transfer + buffering), while the solver apps keep a
+/// substantial compute share.
+#[test]
+fn fig1_app_classes_differ() {
+    let frac = |app: MacroApp, cat: TimeCategory| {
+        let cfg = MachineConfig::with_ni(NiKind::Cm5).flow_buffers(BufferCount::Finite(1));
+        run_app(app, &cfg, &app.default_params()).fraction(cat)
+    };
+    let em3d_msg = frac(MacroApp::Em3d, TimeCategory::DataTransfer)
+        + frac(MacroApp::Em3d, TimeCategory::Buffering);
+    assert!(em3d_msg > 0.6, "em3d messaging share {em3d_msg}");
+    let appbt_compute = frac(MacroApp::Appbt, TimeCategory::Compute);
+    assert!(appbt_compute > 0.25, "appbt compute share {appbt_compute}");
+    let em3d_buf = frac(MacroApp::Em3d, TimeCategory::Buffering);
+    assert!(em3d_buf > 0.15, "em3d buffering share at B=1: {em3d_buf}");
+}

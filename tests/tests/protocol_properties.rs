@@ -1,0 +1,155 @@
+//! Property-based tests of the simulator's end-to-end protocol
+//! invariants: message conservation, quiescence, accounting completeness
+//! and determinism under arbitrary traffic patterns.
+
+use proptest::prelude::*;
+
+use nisim_core::process::{Action, AppMessage, HandlerSpec, Process, SendSpec};
+use nisim_core::{Machine, MachineConfig, MachineReport, NiKind, TimeCategory};
+use nisim_engine::{Dur, SimStatus, Time};
+use nisim_net::{BufferCount, NodeId};
+
+/// A scripted process: performs a fixed list of sends (with small compute
+/// gaps) and counts what it receives.
+struct Scripted {
+    plan: Vec<SendSpec>,
+    next: usize,
+    received: u64,
+}
+
+impl Process for Scripted {
+    fn next_action(&mut self, _now: Time) -> Action {
+        if self.next >= self.plan.len() {
+            return Action::Done;
+        }
+        let spec = self.plan[self.next];
+        self.next += 1;
+        Action::Send(spec)
+    }
+
+    fn on_message(&mut self, _msg: &AppMessage, _now: Time) -> HandlerSpec {
+        self.received += 1;
+        HandlerSpec::compute(Dur::ns(30))
+    }
+
+    fn is_done(&self) -> bool {
+        self.next >= self.plan.len()
+    }
+}
+
+/// One random traffic plan: per node, a list of (dst offset, payload).
+#[derive(Clone, Debug)]
+struct Plan {
+    nodes: u32,
+    sends: Vec<Vec<(u32, u64)>>,
+}
+
+fn plan_strategy() -> impl Strategy<Value = Plan> {
+    (2u32..6)
+        .prop_flat_map(|nodes| {
+            let sends = proptest::collection::vec(
+                proptest::collection::vec((1..nodes, 0u64..600), 0..12),
+                nodes as usize,
+            );
+            (Just(nodes), sends)
+        })
+        .prop_map(|(nodes, sends)| Plan { nodes, sends })
+}
+
+fn ni_strategy() -> impl Strategy<Value = NiKind> {
+    prop_oneof![
+        Just(NiKind::Cm5),
+        Just(NiKind::Cm5SingleCycle),
+        Just(NiKind::Udma),
+        Just(NiKind::Ap3000),
+        Just(NiKind::StartJr),
+        Just(NiKind::MemoryChannel),
+        Just(NiKind::Cni512Q),
+        Just(NiKind::Cni32Qm),
+    ]
+}
+
+fn buffers_strategy() -> impl Strategy<Value = BufferCount> {
+    prop_oneof![
+        Just(BufferCount::Finite(1)),
+        Just(BufferCount::Finite(2)),
+        Just(BufferCount::Finite(8)),
+        Just(BufferCount::Infinite),
+    ]
+}
+
+fn run_plan(plan: &Plan, ni: NiKind, buffers: BufferCount) -> MachineReport {
+    let cfg = MachineConfig::with_ni(ni)
+        .nodes(plan.nodes)
+        .flow_buffers(buffers);
+    let sends = plan.sends.clone();
+    let nodes = plan.nodes;
+    Machine::run(cfg, move |id| -> Box<dyn Process> {
+        let mine = sends[id.index()]
+            .iter()
+            .map(|&(off, payload)| SendSpec::new(NodeId((id.0 + off) % nodes), payload, 0))
+            .collect();
+        Box::new(Scripted {
+            plan: mine,
+            next: 0,
+            received: 0,
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every sent message is delivered exactly once, on every NI design,
+    /// at every buffering level, and the machine reaches quiescence.
+    #[test]
+    fn messages_are_conserved(plan in plan_strategy(), ni in ni_strategy(), b in buffers_strategy()) {
+        let total_sends: u64 = plan.sends.iter().map(|s| s.len() as u64).sum();
+        let report = run_plan(&plan, ni, b);
+        prop_assert_eq!(report.status, SimStatus::Drained);
+        prop_assert!(report.all_quiescent, "not quiescent on {}", ni);
+        prop_assert_eq!(report.app_messages, total_sends);
+    }
+
+    /// Per-node accounting is complete: the category durations sum to the
+    /// span the ledger covers (no holes, no double counting).
+    #[test]
+    fn accounting_is_complete(plan in plan_strategy(), ni in ni_strategy()) {
+        let report = run_plan(&plan, ni, BufferCount::Finite(2));
+        for ledger in &report.ledgers {
+            prop_assert_eq!(ledger.total(), ledger.stamp() - Time::ZERO);
+        }
+    }
+
+    /// The simulation is deterministic: identical inputs give identical
+    /// timing and traffic, bit for bit.
+    #[test]
+    fn runs_are_deterministic(plan in plan_strategy(), ni in ni_strategy(), b in buffers_strategy()) {
+        let a = run_plan(&plan, ni, b);
+        let c = run_plan(&plan, ni, b);
+        prop_assert_eq!(a.elapsed, c.elapsed);
+        prop_assert_eq!(a.bus_transactions, c.bus_transactions);
+        prop_assert_eq!(a.retries, c.retries);
+        prop_assert_eq!(a.mem_reads, c.mem_reads);
+    }
+
+    /// Infinite buffering never stalls, rejects, or retries.
+    #[test]
+    fn infinite_buffers_are_frictionless(plan in plan_strategy(), ni in ni_strategy()) {
+        let report = run_plan(&plan, ni, BufferCount::Infinite);
+        prop_assert_eq!(report.send_stalls, 0);
+        prop_assert_eq!(report.recv_rejects, 0);
+        prop_assert_eq!(report.retries, 0);
+    }
+
+    /// Tighter buffering never delivers fewer messages (reliability is
+    /// independent of buffer count) and never improves raw traffic
+    /// metrics below the frictionless case.
+    #[test]
+    fn reliability_is_buffer_independent(plan in plan_strategy(), ni in ni_strategy()) {
+        let tight = run_plan(&plan, ni, BufferCount::Finite(1));
+        let loose = run_plan(&plan, ni, BufferCount::Infinite);
+        prop_assert_eq!(tight.app_messages, loose.app_messages);
+        prop_assert_eq!(tight.fragments_sent, loose.fragments_sent);
+    }
+}
