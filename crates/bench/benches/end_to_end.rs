@@ -1,37 +1,28 @@
-//! Criterion end-to-end benches: full simulations of the paper's
-//! microbenchmarks and one macrobenchmark per class, for tracking
-//! simulator performance regressions.
+//! End-to-end benches: full simulations of the paper's microbenchmarks
+//! and one macrobenchmark per class, for tracking simulator performance
+//! regressions. Uses the dependency-free harness in
+//! `nisim_bench::harness` (run with `cargo bench`).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nisim_bench::harness::{bench, black_box};
 use nisim_core::{MachineConfig, NiKind};
 use nisim_workloads::apps::{run_app, AppParams, MacroApp};
 use nisim_workloads::{measure_bandwidth, measure_round_trip};
 
-fn bench_pingpong(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pingpong_rtt64");
+fn main() {
     for kind in [NiKind::Cm5, NiKind::Ap3000, NiKind::Cni32Qm] {
-        g.bench_function(kind.name(), |b| {
-            let cfg = MachineConfig::with_ni(kind);
-            b.iter(|| black_box(measure_round_trip(&cfg, 64).mean_us))
+        let cfg = MachineConfig::with_ni(kind);
+        bench(&format!("pingpong_rtt64/{}", kind.name()), 20, || {
+            black_box(measure_round_trip(&cfg, 64).mean_us)
         });
     }
-    g.finish();
-}
 
-fn bench_bandwidth(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bandwidth_4096");
     for kind in [NiKind::Ap3000, NiKind::Cni32QmThrottle] {
-        g.bench_function(kind.name(), |b| {
-            let cfg = MachineConfig::with_ni(kind);
-            b.iter(|| black_box(measure_bandwidth(&cfg, 4096).mb_per_s))
+        let cfg = MachineConfig::with_ni(kind);
+        bench(&format!("bandwidth_4096/{}", kind.name()), 20, || {
+            black_box(measure_bandwidth(&cfg, 4096).mb_per_s)
         });
     }
-    g.finish();
-}
 
-fn bench_macro(c: &mut Criterion) {
-    let mut g = c.benchmark_group("macro_small");
-    g.sample_size(10);
     let params = AppParams {
         iterations: 2,
         intensity: 2,
@@ -41,13 +32,9 @@ fn bench_macro(c: &mut Criterion) {
         (MacroApp::Appbt, NiKind::Cni32Qm),
         (MacroApp::Em3d, NiKind::Cm5),
     ] {
-        g.bench_function(format!("{app}_{}", ni.name()), |b| {
-            let cfg = MachineConfig::with_ni(ni);
-            b.iter(|| black_box(run_app(app, &cfg, &params).elapsed.as_ns()))
+        let cfg = MachineConfig::with_ni(ni);
+        bench(&format!("macro_small/{app}_{}", ni.name()), 5, || {
+            black_box(run_app(app, &cfg, &params).elapsed.as_ns())
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_pingpong, bench_bandwidth, bench_macro);
-criterion_main!(benches);

@@ -1,72 +1,52 @@
-//! Criterion microbenches of the simulator's hot primitives: the event
-//! queue, MOESI transitions, the cache, the bus, and fragmentation.
+//! Microbenches of the simulator's hot primitives: the event queue,
+//! the cache, the bus, and fragmentation. Uses the dependency-free
+//! harness in `nisim_bench::harness` (run with `cargo bench`).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nisim_bench::harness::{bench, black_box};
 use nisim_engine::{Dur, Sim, SplitMix64, Time};
 use nisim_mem::{Addr, Bus, BusConfig, BusOp, Cache, CacheConfig, MoesiState};
 use nisim_net::{fragment_payload, NetConfig};
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("sim_schedule_and_drain_1k", |b| {
-        b.iter(|| {
-            let mut model = 0u64;
-            let mut sim: Sim<u64> = Sim::new();
-            for i in 0..1_000u64 {
-                sim.schedule_at(Time::from_ns((i * 7) % 997), |m: &mut u64, _| *m += 1);
-            }
-            sim.run(&mut model);
-            black_box(model)
-        })
+fn main() {
+    bench("sim_schedule_and_drain_1k", 200, || {
+        let mut model = 0u64;
+        let mut sim: Sim<u64> = Sim::new();
+        for i in 0..1_000u64 {
+            sim.schedule_at(Time::from_ns((i * 7) % 997), |m: &mut u64, _| *m += 1);
+        }
+        sim.run(&mut model);
+        black_box(model)
     });
-}
 
-fn bench_cache(c: &mut Criterion) {
-    c.bench_function("cache_lookup_insert_1k", |b| {
-        let mut cache = Cache::new(CacheConfig::default());
-        let mut rng = SplitMix64::new(7);
-        b.iter(|| {
-            for _ in 0..1_000 {
-                let addr = Addr::new(rng.gen_range(1 << 22) & !63);
-                let block = cache.geometry().block_of(addr);
-                if cache.lookup(block) == MoesiState::Invalid {
-                    cache.insert(block, MoesiState::Exclusive);
-                }
+    let mut cache = Cache::new(CacheConfig::default());
+    let mut rng = SplitMix64::new(7);
+    bench("cache_lookup_insert_1k", 200, || {
+        for _ in 0..1_000 {
+            let addr = Addr::new(rng.gen_range(1 << 22) & !63);
+            let block = cache.geometry().block_of(addr);
+            if cache.lookup(block) == MoesiState::Invalid {
+                cache.insert(block, MoesiState::Exclusive);
             }
-            black_box(cache.valid_lines())
-        })
+        }
+        black_box(cache.valid_lines())
     });
-}
 
-fn bench_bus(c: &mut Criterion) {
-    c.bench_function("bus_acquire_1k", |b| {
-        b.iter(|| {
-            let mut bus = Bus::new(BusConfig::default());
-            let mut t = Time::ZERO;
-            for i in 0..1_000u64 {
-                let op = if i % 3 == 0 {
-                    BusOp::BlockRead
-                } else {
-                    BusOp::WordWrite
-                };
-                t = bus.acquire(t, op).end + Dur::ns(1);
-            }
-            black_box(bus.stats().total())
-        })
+    bench("bus_acquire_1k", 200, || {
+        let mut bus = Bus::new(BusConfig::default());
+        let mut t = Time::ZERO;
+        for i in 0..1_000u64 {
+            let op = if i % 3 == 0 {
+                BusOp::BlockRead
+            } else {
+                BusOp::WordWrite
+            };
+            t = bus.acquire(t, op).end + Dur::ns(1);
+        }
+        black_box(bus.stats().total())
     });
-}
 
-fn bench_fragmentation(c: &mut Criterion) {
     let cfg = NetConfig::default();
-    c.bench_function("fragment_4096B", |b| {
-        b.iter(|| black_box(fragment_payload(&cfg, black_box(4096)).len()))
+    bench("fragment_4096B", 10_000, || {
+        black_box(fragment_payload(&cfg, black_box(4096)).len())
     });
 }
-
-criterion_group!(
-    benches,
-    bench_event_queue,
-    bench_cache,
-    bench_bus,
-    bench_fragmentation
-);
-criterion_main!(benches);

@@ -626,6 +626,168 @@ pub fn run_fig1_differential() -> Vec<Fig1Differential> {
         .collect()
 }
 
+/// The packet-loss levels of the fault study (percent).
+pub const FAULT_DROPS_PCT: [u32; 5] = [0, 1, 2, 5, 10];
+
+/// One fault-study measurement: a macrobenchmark under injected packet
+/// loss with the retransmission layer recovering every drop.
+#[derive(Clone, Debug)]
+pub struct FaultPoint {
+    /// The macrobenchmark.
+    pub app: MacroApp,
+    /// The NI design.
+    pub ni: NiKind,
+    /// Drop probability in percent.
+    pub drop_pct: u32,
+    /// Execution time in nanoseconds.
+    pub elapsed_ns: u64,
+    /// Execution time normalised to the zero-drop run of the same
+    /// app/NI pair.
+    pub normalized: f64,
+    /// Fragments offered to the fault layer (0 when faults are off).
+    pub offered: u64,
+    /// Fragments the wire lost.
+    pub dropped: u64,
+    /// Retransmissions the reliability layer issued to recover them.
+    pub retransmits: u64,
+    /// Duplicate arrivals the receiver suppressed.
+    pub dup_discards: u64,
+    /// Fully delivered application messages.
+    pub app_messages: u64,
+    /// True iff the run drained cleanly with every endpoint quiescent —
+    /// i.e. every lost fragment was recovered.
+    pub recovered_all: bool,
+}
+
+/// Runs one app/NI pair of the fault study: a sweep over `drops_pct`
+/// with a fixed fault seed and the reliability layer on (at 0% the
+/// fault layer and reliability are fully off — the pristine baseline).
+pub fn run_fault_study(app: MacroApp, ni: NiKind, drops_pct: &[u32]) -> Vec<FaultPoint> {
+    use nisim_engine::SimStatus;
+    use nisim_net::{FaultConfig, ReliabilityConfig};
+
+    let run = |pct: u32| {
+        let mut cfg = MachineConfig::with_ni(ni).flow_buffers(BufferCount::Finite(8));
+        if pct > 0 {
+            cfg = cfg
+                .fault(FaultConfig {
+                    drop_p: pct as f64 / 100.0,
+                    ..FaultConfig::default()
+                })
+                .reliability(ReliabilityConfig::on());
+        }
+        run_app(app, &cfg, &app.default_params())
+    };
+    let baseline = run(0);
+    let base_ns = baseline.elapsed.as_ns();
+    let base_msgs = baseline.app_messages;
+    drops_pct
+        .iter()
+        .map(|&pct| {
+            let r = run(pct);
+            FaultPoint {
+                app,
+                ni,
+                drop_pct: pct,
+                elapsed_ns: r.elapsed.as_ns(),
+                normalized: r.elapsed.as_ns() as f64 / base_ns as f64,
+                offered: r.fault_stats.offered,
+                dropped: r.fault_stats.lost(),
+                retransmits: r.rel_stats.retransmits,
+                dup_discards: r.rel_stats.dup_discards,
+                app_messages: r.app_messages,
+                recovered_all: r.status == SimStatus::Drained
+                    && r.all_quiescent
+                    && r.app_messages == base_msgs,
+            }
+        })
+        .collect()
+}
+
+/// One row of the fault-tolerant Figure 4 sweep: buffer sensitivity of
+/// the single-cycle NI with and without 5% packet loss.
+#[derive(Clone, Debug)]
+pub struct FaultBufferPoint {
+    /// Flow-control buffers.
+    pub buffers: BufferCount,
+    /// Loss-free execution time (ns).
+    pub clean_ns: u64,
+    /// Execution time under drop (ns).
+    pub faulty_ns: u64,
+    /// `faulty / clean` slowdown.
+    pub slowdown: f64,
+    /// Retransmissions under drop.
+    pub retransmits: u64,
+    /// Flow-control retries under drop (returned-message retries).
+    pub retries: u64,
+    /// True iff the faulty run recovered every message.
+    pub recovered_all: bool,
+}
+
+/// Reruns the Figure 4 buffer sweep (single-cycle `NI_2w`) with
+/// `drop_pct`% packet loss: tight flow-control buffering and a lossy
+/// wire compound, because a dropped fragment pins its buffer until the
+/// retransmit is acked.
+pub fn run_fault_fig4(app: MacroApp, drop_pct: u32) -> Vec<FaultBufferPoint> {
+    use nisim_engine::SimStatus;
+    use nisim_net::{FaultConfig, ReliabilityConfig};
+
+    FIG4_BUFFERS
+        .iter()
+        .map(|&b| {
+            let clean_cfg = MachineConfig::with_ni(NiKind::Cm5SingleCycle).flow_buffers(b);
+            let clean = run_app(app, &clean_cfg, &app.default_params());
+            let faulty_cfg = clean_cfg
+                .clone()
+                .fault(FaultConfig {
+                    drop_p: drop_pct as f64 / 100.0,
+                    ..FaultConfig::default()
+                })
+                .reliability(ReliabilityConfig::on());
+            let faulty = run_app(app, &faulty_cfg, &app.default_params());
+            FaultBufferPoint {
+                buffers: b,
+                clean_ns: clean.elapsed.as_ns(),
+                faulty_ns: faulty.elapsed.as_ns(),
+                slowdown: faulty.elapsed.as_ns() as f64 / clean.elapsed.as_ns() as f64,
+                retransmits: faulty.rel_stats.retransmits,
+                retries: faulty.retries,
+                recovered_all: faulty.status == SimStatus::Drained
+                    && faulty.all_quiescent
+                    && faulty.app_messages == clean.app_messages,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod fault_study_tests {
+    use super::*;
+
+    #[test]
+    fn fault_study_recovers_every_message() {
+        let points = run_fault_study(MacroApp::Em3d, NiKind::Cm5, &[0, 5]);
+        let clean = &points[0];
+        let lossy = &points[1];
+        assert!(clean.recovered_all && lossy.recovered_all, "{points:?}");
+        assert_eq!(clean.app_messages, lossy.app_messages);
+        assert_eq!(clean.offered, 0, "0% must not build a fault plan");
+        assert!(
+            lossy.dropped > 0 && lossy.retransmits >= lossy.dropped,
+            "{lossy:?}"
+        );
+    }
+
+    #[test]
+    fn fault_study_is_deterministic() {
+        let a = run_fault_study(MacroApp::Appbt, NiKind::Ap3000, &[5]);
+        let b = run_fault_study(MacroApp::Appbt, NiKind::Ap3000, &[5]);
+        assert_eq!(a[0].elapsed_ns, b[0].elapsed_ns);
+        assert_eq!(a[0].dropped, b[0].dropped);
+        assert_eq!(a[0].retransmits, b[0].retransmits);
+    }
+}
+
 #[cfg(test)]
 mod fig1_differential_tests {
     use super::*;

@@ -1,0 +1,69 @@
+//! A minimal self-contained micro-benchmark harness.
+//!
+//! The container this repository builds in has no access to crates.io,
+//! so the `benches/` targets use this instead of Criterion: warm up,
+//! time a fixed batch of iterations repeatedly, and report the best
+//! (least-noisy) per-iteration time. Determinism and zero dependencies
+//! matter more here than statistical finery — the benches exist to
+//! catch order-of-magnitude simulator regressions.
+
+use std::time::Instant;
+
+/// Re-exported so benches keep the familiar `black_box(...)` idiom.
+pub use std::hint::black_box;
+
+/// Times `f` and prints `name: <t> per iter (<iters> iters x <batches>)`.
+///
+/// Runs one untimed warm-up batch, then `batches` timed batches of
+/// `iters` iterations each, reporting the fastest batch.
+pub fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) {
+    let batches = 5u32;
+    for _ in 0..iters.min(10) {
+        black_box(f());
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..batches {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let total = start.elapsed().as_secs_f64();
+        best = best.min(total / iters as f64);
+    }
+    println!(
+        "{name:<40} {} ({iters} iters x {batches} batches)",
+        human(best)
+    );
+}
+
+fn human(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:>10.3} s ")
+    } else if secs >= 1e-3 {
+        format!("{:>10.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:>10.3} us", secs * 1e6)
+    } else {
+        format!("{:>10.1} ns", secs * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_units() {
+        assert!(human(2.0).contains("s"));
+        assert!(human(2e-3).contains("ms"));
+        assert!(human(2e-6).contains("us"));
+        assert!(human(2e-9).contains("ns"));
+    }
+
+    #[test]
+    fn bench_runs_the_closure() {
+        let mut n = 0u64;
+        bench("noop", 3, || n += 1);
+        assert!(n > 0);
+    }
+}

@@ -4,7 +4,7 @@
 //! Mukherjee & Hill (HPCA 1998). Each `src/bin/*` binary prints one
 //! table/figure in the paper's row/series layout; this library holds the
 //! shared experiment runners so the binaries, integration tests and
-//! Criterion benches all exercise identical code paths.
+//! benches all exercise identical code paths.
 //!
 //! Run the full reproduction with:
 //!
@@ -23,5 +23,6 @@
 
 pub mod experiments;
 pub mod fmt;
+pub mod harness;
 
 pub use experiments::*;

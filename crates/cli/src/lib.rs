@@ -5,7 +5,8 @@ use std::collections::HashMap;
 use std::fmt;
 
 use nisim_core::{MachineConfig, NiKind, TimeCategory};
-use nisim_net::{BufferCount, Topology};
+use nisim_engine::{Dur, Time};
+use nisim_net::{BufferCount, DownWindow, NodeId, Topology};
 use nisim_workloads::apps::{run_app, MacroApp};
 use nisim_workloads::micro::bandwidth::measure_bandwidth;
 use nisim_workloads::micro::pingpong::measure_round_trip;
@@ -19,6 +20,18 @@ usage:
   nisim run   --app <app> --ni <ni> [--buffers <n|inf>] [--nodes <n>]
               [--topology ideal|ring|mesh] [--seed <n>]
   nisim sweep --app <app> [--buffers <n|inf>]
+
+fault injection (any command that builds a machine):
+  --fault-drop <p>     drop probability, 0..=1
+  --fault-dup <p>      duplication probability, 0..=1
+  --fault-corrupt <p>  corruption probability, 0..=1
+  --fault-jitter <ns>  max extra delivery latency, ns
+  --fault-down <a-b[@node][,..]>  outage window(s), ns since start
+  --fault-seed <n>     fault-stream seed
+  --reliable <on|off>  retransmission layer (default: on iff faults on)
+  --rel-timeout <ns>   initial ack timeout before retransmit
+  --rel-retries <n>    retransmissions before giving up
+  --watchdog-us <n>    no-progress watchdog window, microseconds
 
 NIs:  cm5, cm5-single-cycle, cm5-coalescing, udma, ap3000, startjr,
       memchannel, cni512q, cni32qm, cni32qm-throttle
@@ -102,6 +115,105 @@ pub fn parse_topology(value: &str) -> Result<Topology, CliError> {
     })
 }
 
+/// Parses a probability in `0..=1`.
+pub fn parse_prob(name: &str, value: &str) -> Result<f64, CliError> {
+    value
+        .parse::<f64>()
+        .ok()
+        .filter(|p| (0.0..=1.0).contains(p))
+        .ok_or_else(|| err(format!("bad --{name} {value:?} (want 0..=1)")))
+}
+
+/// Parses outage windows: comma-separated `start-end` pairs in
+/// nanoseconds, each optionally scoped to one node with `@node`
+/// (e.g. `10000-20000,50000-60000@3`).
+pub fn parse_down(value: &str) -> Result<Vec<DownWindow>, CliError> {
+    let bad = || err(format!("bad --fault-down {value:?} (want a-b[@node],..)"));
+    value
+        .split(',')
+        .map(|w| {
+            let (range, node) = match w.split_once('@') {
+                Some((r, n)) => (r, Some(NodeId(n.parse().map_err(|_| bad())?))),
+                None => (w, None),
+            };
+            let (a, b) = range.split_once('-').ok_or_else(bad)?;
+            let start: u64 = a.parse().map_err(|_| bad())?;
+            let end: u64 = b.parse().map_err(|_| bad())?;
+            if start >= end {
+                return Err(bad());
+            }
+            Ok(DownWindow {
+                start: Time::from_ns(start),
+                end: Time::from_ns(end),
+                node,
+            })
+        })
+        .collect()
+}
+
+fn fault_config_from(
+    flags: &HashMap<String, String>,
+    cfg: &mut MachineConfig,
+) -> Result<(), CliError> {
+    if let Some(v) = flags.get("fault-drop") {
+        cfg.fault.drop_p = parse_prob("fault-drop", v)?;
+    }
+    if let Some(v) = flags.get("fault-dup") {
+        cfg.fault.dup_p = parse_prob("fault-dup", v)?;
+    }
+    if let Some(v) = flags.get("fault-corrupt") {
+        cfg.fault.corrupt_p = parse_prob("fault-corrupt", v)?;
+    }
+    if let Some(v) = flags.get("fault-jitter") {
+        let ns: u64 = v
+            .parse()
+            .map_err(|_| err(format!("bad --fault-jitter {v:?} (want ns)")))?;
+        cfg.fault.jitter_max = Dur::ns(ns);
+    }
+    if let Some(v) = flags.get("fault-down") {
+        cfg.fault.down = parse_down(v)?;
+    }
+    if let Some(v) = flags.get("fault-seed") {
+        cfg.fault.seed = v
+            .parse()
+            .map_err(|_| err(format!("bad --fault-seed {v:?}")))?;
+    }
+    // Injecting faults without a recovery layer wedges the run, so the
+    // reliability layer follows the fault knobs unless overridden.
+    cfg.reliability.enabled = cfg.fault.is_active();
+    if let Some(v) = flags.get("rel-timeout") {
+        let ns: u64 = v
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| err(format!("bad --rel-timeout {v:?} (want ns)")))?;
+        cfg.reliability.enabled = true;
+        cfg.reliability.ack_timeout = Dur::ns(ns);
+    }
+    if let Some(v) = flags.get("rel-retries") {
+        cfg.reliability.enabled = true;
+        cfg.reliability.max_retries = v
+            .parse()
+            .map_err(|_| err(format!("bad --rel-retries {v:?}")))?;
+    }
+    if let Some(v) = flags.get("reliable") {
+        cfg.reliability.enabled = match v.as_str() {
+            "on" | "yes" | "true" | "1" => true,
+            "off" | "no" | "false" | "0" => false,
+            other => return Err(err(format!("bad --reliable {other:?} (want on|off)"))),
+        };
+    }
+    if let Some(v) = flags.get("watchdog-us") {
+        let us: u64 = v
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| err(format!("bad --watchdog-us {v:?}")))?;
+        cfg.watchdog_window = Dur::us(us);
+    }
+    Ok(())
+}
+
 fn config_from(flags: &HashMap<String, String>, ni: NiKind) -> Result<MachineConfig, CliError> {
     let mut cfg = MachineConfig::with_ni(ni);
     if let Some(b) = flags.get("buffers") {
@@ -121,6 +233,7 @@ fn config_from(flags: &HashMap<String, String>, ni: NiKind) -> Result<MachineCon
     if let Some(s) = flags.get("seed") {
         cfg.seed = s.parse().map_err(|_| err(format!("bad seed {s:?}")))?;
     }
+    fault_config_from(flags, &mut cfg)?;
     Ok(cfg)
 }
 
@@ -187,7 +300,7 @@ pub fn main_with_args(args: &[String]) -> Result<String, CliError> {
             let app = parse_app(required(&flags, "app")?)?;
             let cfg = config_from(&flags, ni)?;
             let r = run_app(app, &cfg, &app.default_params());
-            Ok(format!(
+            let mut out = format!(
                 "{app} on {} ({} nodes, buffers {}):\n\
                  \x20 elapsed        {} us\n\
                  \x20 compute        {:.1}%\n\
@@ -210,7 +323,24 @@ pub fn main_with_args(args: &[String]) -> Result<String, CliError> {
                 r.bus_transactions,
                 100.0 * r.block_transaction_share(),
                 100.0 * r.bus_utilization(),
-            ))
+            );
+            if cfg.fault.is_active() {
+                out.push_str(&format!("  faults         {}\n", r.fault_stats));
+            }
+            if cfg.reliability.enabled {
+                out.push_str(&format!("  reliability    {}\n", r.rel_stats));
+            }
+            if !r.violations.is_empty() {
+                out.push_str(&format!(
+                    "  violations     {} (first: {})\n",
+                    r.violations.len(),
+                    r.violations[0]
+                ));
+            }
+            if let Some(stall) = &r.stall {
+                out.push_str(&format!("{stall}"));
+            }
+            Ok(out)
         }
         "sweep" => {
             let app = parse_app(required(&flags, "app")?)?;
@@ -320,5 +450,87 @@ mod tests {
         assert!(run(&["run", "--app", "em3d", "--ni", "cm5", "--nodes", "1"]).is_err());
         assert!(run(&["rtt", "--ni", "cm5", "--payload", "many"]).is_err());
         assert!(run(&["run", "--app", "quake", "--ni", "cm5"]).is_err());
+    }
+
+    #[test]
+    fn parses_fault_probabilities_and_windows() {
+        assert_eq!(parse_prob("fault-drop", "0.05").unwrap(), 0.05);
+        assert!(parse_prob("fault-drop", "1.5").is_err());
+        assert!(parse_prob("fault-drop", "-0.1").is_err());
+        assert!(parse_prob("fault-drop", "lots").is_err());
+
+        let down = parse_down("10000-20000,50000-60000@3").unwrap();
+        assert_eq!(down.len(), 2);
+        assert_eq!(
+            down[0],
+            DownWindow::fabric(Time::from_ns(10_000), Time::from_ns(20_000))
+        );
+        assert_eq!(down[1].node, Some(NodeId(3)));
+        assert!(parse_down("20000-10000").is_err(), "inverted window");
+        assert!(parse_down("nonsense").is_err());
+    }
+
+    #[test]
+    fn fault_flags_configure_the_machine() {
+        let flags = |pairs: &[(&str, &str)]| {
+            pairs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect::<HashMap<_, _>>()
+        };
+        let cfg = config_from(
+            &flags(&[
+                ("fault-drop", "0.05"),
+                ("fault-jitter", "30"),
+                ("fault-seed", "9"),
+                ("rel-retries", "4"),
+                ("watchdog-us", "500"),
+            ]),
+            NiKind::Cm5,
+        )
+        .unwrap();
+        assert_eq!(cfg.fault.drop_p, 0.05);
+        assert_eq!(cfg.fault.jitter_max, Dur::ns(30));
+        assert_eq!(cfg.fault.seed, 9);
+        assert!(cfg.reliability.enabled, "faults imply reliability");
+        assert_eq!(cfg.reliability.max_retries, 4);
+        assert_eq!(cfg.watchdog_window, Dur::us(500));
+
+        // Faults with reliability explicitly off (to watch the stall).
+        let cfg = config_from(
+            &flags(&[("fault-drop", "0.05"), ("reliable", "off")]),
+            NiKind::Cm5,
+        )
+        .unwrap();
+        assert!(cfg.fault.is_active());
+        assert!(!cfg.reliability.enabled);
+
+        // Reliability alone, no faults.
+        let cfg = config_from(&flags(&[("rel-timeout", "8000")]), NiKind::Cm5).unwrap();
+        assert!(!cfg.fault.is_active());
+        assert!(cfg.reliability.enabled);
+        assert_eq!(cfg.reliability.ack_timeout, Dur::ns(8000));
+
+        assert!(config_from(&flags(&[("fault-dup", "2")]), NiKind::Cm5).is_err());
+        assert!(config_from(&flags(&[("reliable", "maybe")]), NiKind::Cm5).is_err());
+    }
+
+    #[test]
+    fn run_command_reports_fault_recovery() {
+        let out = run(&[
+            "run",
+            "--app",
+            "em3d",
+            "--ni",
+            "cm5",
+            "--nodes",
+            "4",
+            "--fault-drop",
+            "0.02",
+        ])
+        .unwrap();
+        assert!(out.contains("faults         offered"), "{out}");
+        assert!(out.contains("reliability    "), "{out}");
+        assert!(!out.contains("STALLED"), "{out}");
     }
 }

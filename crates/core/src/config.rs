@@ -6,7 +6,7 @@
 
 use nisim_engine::Dur;
 use nisim_mem::{BusConfig, CacheConfig};
-use nisim_net::{BufferCount, NetConfig};
+use nisim_net::{BufferCount, FaultConfig, NetConfig, ReliabilityConfig};
 
 use crate::costs::CostModel;
 use crate::ni::NiKind;
@@ -62,6 +62,21 @@ pub struct MachineConfig {
     /// [`TraceEvent`](crate::machine::TraceEvent)). Off by default: traces
     /// grow with traffic.
     pub trace: bool,
+    /// Fault injection on the data network (drops, duplication,
+    /// corruption, jitter, outages). Inert by default: a default-config
+    /// run executes the exact same event sequence as one without the
+    /// fault layer.
+    pub fault: FaultConfig,
+    /// End-to-end reliability (sequence numbers, ack-timeout
+    /// retransmission, receiver dedup). Disabled by default.
+    pub reliability: ReliabilityConfig,
+    /// No-progress watchdog window: if events keep firing for this much
+    /// simulated time without any forward progress (accepts, drains,
+    /// acks, program steps), the run is reported as
+    /// [`SimStatus::Stalled`](nisim_engine::SimStatus::Stalled) with a
+    /// diagnostic [`StallReport`](crate::error::StallReport). Event-free
+    /// gaps (long computes) never trip it.
+    pub watchdog_window: Dur,
 }
 
 impl Default for MachineConfig {
@@ -89,6 +104,9 @@ impl Default for MachineConfig {
             cni_dead_block_opt: true,
             seed: 0x5eed,
             trace: false,
+            fault: FaultConfig::default(),
+            reliability: ReliabilityConfig::default(),
+            watchdog_window: Dur::ms(1),
         }
     }
 }
@@ -118,6 +136,24 @@ impl MachineConfig {
     /// Sets the workload seed.
     pub fn seed(mut self, seed: u64) -> MachineConfig {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the fault-injection configuration.
+    pub fn fault(mut self, fault: FaultConfig) -> MachineConfig {
+        self.fault = fault;
+        self
+    }
+
+    /// Sets the reliability-layer configuration.
+    pub fn reliability(mut self, reliability: ReliabilityConfig) -> MachineConfig {
+        self.reliability = reliability;
+        self
+    }
+
+    /// Sets the no-progress watchdog window.
+    pub fn watchdog_window(mut self, window: Dur) -> MachineConfig {
+        self.watchdog_window = window;
         self
     }
 
@@ -169,5 +205,27 @@ mod tests {
     #[should_panic(expected = "at least two nodes")]
     fn single_node_rejected() {
         MachineConfig::default().nodes(1);
+    }
+
+    #[test]
+    fn fault_and_reliability_default_off() {
+        let cfg = MachineConfig::default();
+        assert!(!cfg.fault.is_active());
+        assert!(!cfg.reliability.enabled);
+        assert_eq!(cfg.watchdog_window, Dur::ms(1));
+    }
+
+    #[test]
+    fn fault_builders_chain() {
+        let cfg = MachineConfig::default()
+            .fault(FaultConfig {
+                drop_p: 0.05,
+                ..FaultConfig::default()
+            })
+            .reliability(ReliabilityConfig::on())
+            .watchdog_window(Dur::us(500));
+        assert!(cfg.fault.is_active());
+        assert!(cfg.reliability.enabled);
+        assert_eq!(cfg.watchdog_window, Dur::us(500));
     }
 }

@@ -20,7 +20,9 @@
 //! * [`accounting`] — the compute / data transfer / buffering / idle
 //!   execution-time decomposition of Figure 1,
 //! * [`config`] / [`costs`] — Table 3 parameters and the calibrated
-//!   messaging-software cost model.
+//!   messaging-software cost model,
+//! * [`error`] — the typed protocol-violation channel and the stall
+//!   diagnostics produced by the no-progress watchdog.
 //!
 //! # Quickstart
 //!
@@ -65,6 +67,7 @@
 pub mod accounting;
 pub mod config;
 pub mod costs;
+pub mod error;
 pub mod machine;
 pub mod ni;
 pub mod node;
@@ -75,6 +78,7 @@ pub mod taxonomy;
 pub use accounting::{TimeCategory, TimeLedger};
 pub use config::MachineConfig;
 pub use costs::CostModel;
+pub use error::{EndpointSnapshot, ProtocolViolation, StallReason, StallReport, Violation};
 pub use machine::{Machine, MachineReport, MachineSim, NodeSummary, TraceEvent, TraceKind};
 pub use ni::{NiKind, NiModel, NiUnit};
 pub use node::{Node, NodeHw};

@@ -19,10 +19,11 @@ use std::collections::HashMap;
 
 use nisim_engine::stats::{Histogram, Summary};
 use nisim_engine::{Dur, Sim, SimStatus, Time};
-use nisim_net::{fragment_payload, Fabric, MsgId, NodeId};
+use nisim_net::{fragment_payload, Fabric, FaultPlan, FaultStats, MsgId, NodeId, RelStats};
 
 use crate::accounting::{TimeCategory, TimeLedger};
 use crate::config::MachineConfig;
+use crate::error::{EndpointSnapshot, ProtocolViolation, StallReason, StallReport, Violation};
 use crate::ni::{NiUnit, OutstandingFrag, RxEntry, WireMsg};
 use crate::node::{Node, NodeHw};
 use crate::process::{Action, AppMessage, Process, SendSpec};
@@ -52,6 +53,15 @@ pub enum TraceKind {
     Return,
     /// The fragment was re-injected after a return.
     Retry,
+    /// The fragment was retransmitted after an ack timeout (reliability
+    /// layer).
+    Retransmit,
+    /// The fragment vanished on the wire (fault injection).
+    WireDrop,
+    /// The arrival was discarded as a duplicate (reliability layer).
+    DupDiscard,
+    /// The arrival was discarded as corrupted (fault injection).
+    CorruptDiscard,
 }
 
 /// One record of a message-lifecycle trace (enable with
@@ -92,6 +102,16 @@ pub struct Machine {
     /// The network fabric carrying data messages (ideal by default;
     /// ring/mesh fabrics add hop latency and link contention).
     fabric: Fabric,
+    /// The fault injector, present only when [`MachineConfig::fault`] is
+    /// active — so default runs never consult it.
+    fault: Option<FaultPlan>,
+    /// Protocol violations recorded instead of panicking.
+    violations: Vec<Violation>,
+    /// Forward-progress counter sampled by the no-progress watchdog.
+    /// Bumped on accepts, drains, known acks, program steps and fragment
+    /// injections — NOT on returns, retries or retransmissions, so a
+    /// retry storm that delivers nothing trips the watchdog.
+    progress: u64,
 }
 
 /// Per-node summary within a [`MachineReport`].
@@ -157,6 +177,16 @@ pub struct MachineReport {
     /// End-to-end application message latency (send start to handler
     /// dispatch), nanoseconds.
     pub msg_latency: Summary,
+    /// Protocol violations recorded during the run (empty in healthy
+    /// loss-free runs).
+    pub violations: Vec<Violation>,
+    /// Diagnostic snapshot, present when `status` is
+    /// [`SimStatus::Stalled`].
+    pub stall: Option<StallReport>,
+    /// What the fault injector did (all zeros when faults are off).
+    pub fault_stats: FaultStats,
+    /// Reliability-layer activity summed over all nodes.
+    pub rel_stats: RelStats,
 }
 
 impl MachineReport {
@@ -198,6 +228,10 @@ impl Machine {
     pub fn new(cfg: MachineConfig, mut factory: impl FnMut(NodeId) -> Box<dyn Process>) -> Machine {
         let trace_enabled = cfg.trace;
         let fabric = Fabric::new(cfg.net.topology, cfg.nodes, cfg.net.wire_latency);
+        let fault = cfg
+            .fault
+            .is_active()
+            .then(|| FaultPlan::new(cfg.fault.clone()));
         let nodes = (0..cfg.nodes)
             .map(|i| {
                 let id = NodeId(i);
@@ -230,6 +264,9 @@ impl Machine {
                 None
             },
             fabric,
+            fault,
+            violations: Vec::new(),
+            progress: 0,
         }
     }
 
@@ -277,7 +314,14 @@ impl Machine {
         let mut machine = Machine::new(cfg, factory);
         let mut sim = MachineSim::new();
         machine.start(&mut sim);
-        let status = sim.run_bounded(&mut machine, Time::from_ns(10_000_000_000), 500_000_000);
+        let window = machine.cfg.watchdog_window;
+        let status = sim.run_watched(
+            &mut machine,
+            Time::from_ns(10_000_000_000),
+            500_000_000,
+            window,
+            |m| m.progress,
+        );
         let report = machine.report(&sim, status);
         let trace = machine.take_trace().expect("trace was enabled");
         (report, trace)
@@ -293,7 +337,8 @@ impl Machine {
         let mut machine = Machine::new(cfg, factory);
         let mut sim = MachineSim::new();
         machine.start(&mut sim);
-        let status = sim.run_bounded(&mut machine, horizon, max_events);
+        let window = machine.cfg.watchdog_window;
+        let status = sim.run_watched(&mut machine, horizon, max_events, window, |m| m.progress);
         machine.report(&sim, status)
     }
 
@@ -311,6 +356,27 @@ impl Machine {
         let all_quiescent = self.nodes.iter().all(|n| {
             n.proc.is_locally_quiescent() && n.ni.rx_ready.is_empty() && n.ni.outstanding.is_empty()
         });
+        // Under faults, a drained queue with work still held means the
+        // machine is wedged (e.g. the retry cap ran out and the sender's
+        // buffer will never be released): report it as a stall, not as a
+        // clean drain. Loss-free runs are untouched.
+        let mut status = status;
+        let mut stall_reason = StallReason::NoProgress {
+            window: self.cfg.watchdog_window,
+        };
+        if status == SimStatus::Drained
+            && !all_quiescent
+            && (self.fault.is_some() || self.cfg.reliability.enabled)
+        {
+            status = SimStatus::Stalled;
+            stall_reason = StallReason::WedgedNotQuiescent;
+        }
+        let stall =
+            (status == SimStatus::Stalled).then(|| self.stall_report(sim.now(), stall_reason));
+        let mut rel_stats = RelStats::default();
+        for n in &self.nodes {
+            rel_stats.absorb(n.ni.rel_stats);
+        }
         let mut retries = 0;
         let mut recv_rejects = 0;
         let mut send_stalls = 0;
@@ -369,6 +435,53 @@ impl Machine {
             bus_data_bytes,
             msg_sizes: self.msg_size_hist.clone(),
             msg_latency: self.msg_latency.clone(),
+            violations: self.violations.clone(),
+            stall,
+            fault_stats: self.fault.as_ref().map(|p| p.stats()).unwrap_or_default(),
+            rel_stats,
+        }
+    }
+
+    /// Protocol violations recorded so far.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    fn violation(&mut self, at: Time, kind: ProtocolViolation) {
+        self.violations.push(Violation { at, kind });
+    }
+
+    /// Snapshots every endpoint's flow-control and retransmit state for
+    /// the stall diagnostic.
+    fn stall_report(&self, at: Time, reason: StallReason) -> StallReport {
+        use crate::processor::ProcPhase;
+        let endpoints = self
+            .nodes
+            .iter()
+            .map(|n| EndpointSnapshot {
+                node: n.id,
+                phase: match n.proc.phase {
+                    ProcPhase::Idle => "idle",
+                    ProcPhase::BlockedSend => "blocked-send",
+                    ProcPhase::Busy => "busy",
+                },
+                program_done: n.proc.program_done,
+                send_in_use: n.ni.fc.send_in_use(),
+                recv_in_use: n.ni.fc.recv_in_use(),
+                outstanding: n.ni.outstanding.len(),
+                gave_up: n.ni.outstanding.values().filter(|o| o.gave_up).count(),
+                rx_queued: n.ni.rx_ready.len(),
+                pending_resends: n.proc.pending_resends.len(),
+                queued_sends: n.proc.queued_sends.len(),
+                flow: n.ni.fc.stats(),
+                rel: n.ni.rel_stats,
+            })
+            .collect();
+        StallReport {
+            at,
+            reason,
+            endpoints,
+            violations: self.violations.clone(),
         }
     }
 
@@ -442,6 +555,7 @@ impl Machine {
             m.nodes[nid].proc.phase = ProcPhase::Idle;
             return;
         }
+        m.progress += 1;
         let action = m.nodes[nid].process.next_action(now);
         match action {
             Action::Compute(d) => {
@@ -502,14 +616,22 @@ impl Machine {
         let costs = m.cfg.costs;
         let header = m.cfg.net.header_bytes;
         let backoff0 = m.cfg.retry_backoff;
+        let rel_on = m.cfg.reliability.enabled;
 
+        if m.nodes[nid].proc.current_send.is_none() {
+            m.violation(
+                now,
+                ProtocolViolation::SendStepWithoutCurrentSend {
+                    node: NodeId(nid as u32),
+                },
+            );
+            return;
+        }
         let (wire, inject_ready, release) = {
             let node = &mut m.nodes[nid];
-            let send = node
-                .proc
-                .current_send
-                .as_mut()
-                .expect("do_send_step without a current send");
+            let Some(send) = node.proc.current_send.as_mut() else {
+                return;
+            };
             let frag = send.frags[send.next];
             let mut t = now;
             if !send.checked_space {
@@ -546,6 +668,7 @@ impl Machine {
             if send.is_complete() {
                 node.proc.current_send = None;
             }
+            let seq = rel_on.then(|| node.ni.rel_tx.next_seq(spec.dst));
             (
                 WireMsg {
                     id: MsgId(0), // assigned below
@@ -555,6 +678,7 @@ impl Machine {
                     frag,
                     tag: spec.tag,
                     total_payload: spec.payload_bytes,
+                    seq,
                 },
                 path.inject_ready,
                 release,
@@ -568,8 +692,14 @@ impl Machine {
             OutstandingFrag {
                 wire,
                 backoff: backoff0,
+                attempt: 0,
+                gave_up: false,
             },
         );
+        m.progress += 1;
+        if rel_on {
+            Machine::schedule_ack_timer(m, sim, NodeId(nid as u32), wire.id, 0);
+        }
         Machine::inject(m, sim, wire, inject_ready);
 
         let node = &mut m.nodes[nid];
@@ -581,7 +711,8 @@ impl Machine {
     }
 
     /// Puts a fragment on the wire from its source's egress port and
-    /// schedules the arrival.
+    /// schedules the arrival(s) — the fault layer may drop, duplicate,
+    /// corrupt or delay the message.
     fn inject(m: &mut Machine, sim: &mut MachineSim, wire: WireMsg, ready: Time) {
         let net = m.cfg.net;
         let bytes = wire.wire_bytes(net.header_bytes);
@@ -590,14 +721,78 @@ impl Machine {
             .egress
             .transmit(&net, ready, bytes);
         m.record(start, wire.src, wire.id, TraceKind::Inject);
-        let arrive = m.fabric.transit(&net, end, wire.src, wire.dst, bytes);
-        sim.schedule_at(arrive, move |m: &mut Machine, sim| {
-            Machine::arrival(m, sim, wire);
+        let Some(plan) = &mut m.fault else {
+            let arrive = m.fabric.transit(&net, end, wire.src, wire.dst, bytes);
+            sim.schedule_at(arrive, move |m: &mut Machine, sim| {
+                Machine::arrival(m, sim, wire, false);
+            });
+            return;
+        };
+        let deliveries = plan.deliveries(end, wire.src, wire.dst);
+        if deliveries.is_empty() {
+            m.record(end, wire.src, wire.id, TraceKind::WireDrop);
+            return;
+        }
+        for d in deliveries {
+            let arrive = m.fabric.transit(&net, end, wire.src, wire.dst, bytes) + d.extra_delay;
+            let corrupted = d.corrupted;
+            sim.schedule_at(arrive, move |m: &mut Machine, sim| {
+                Machine::arrival(m, sim, wire, corrupted);
+            });
+        }
+    }
+
+    /// Arms the ack timer for an outstanding fragment's retransmission
+    /// attempt (reliability layer).
+    fn schedule_ack_timer(
+        m: &mut Machine,
+        sim: &mut MachineSim,
+        src: NodeId,
+        id: MsgId,
+        attempt: u32,
+    ) {
+        let timeout = m.cfg.reliability.timeout_for(attempt);
+        sim.schedule_in(timeout, move |m: &mut Machine, sim| {
+            Machine::ack_timeout(m, sim, src, id, attempt);
         });
     }
 
+    /// An ack timer fired: if the fragment is still unacked and this
+    /// timer is current (not superseded by a later retransmission),
+    /// retransmit or give up.
+    fn ack_timeout(m: &mut Machine, sim: &mut MachineSim, src: NodeId, id: MsgId, attempt: u32) {
+        let rel = m.cfg.reliability;
+        let nid = src.index();
+        let Some(entry) = m.nodes[nid].ni.outstanding.get_mut(&id) else {
+            return; // acked in the meantime — stale timer
+        };
+        if entry.gave_up || entry.attempt != attempt {
+            return; // abandoned, or a newer timer generation owns it
+        }
+        if entry.attempt >= rel.max_retries {
+            entry.gave_up = true;
+            m.nodes[nid].ni.rel_stats.gave_up += 1;
+            m.violation(
+                sim.now(),
+                ProtocolViolation::RetryCapExhausted {
+                    node: src,
+                    msg: id,
+                    attempts: attempt,
+                },
+            );
+            return;
+        }
+        entry.attempt += 1;
+        let next_attempt = entry.attempt;
+        let wire = entry.wire;
+        m.nodes[nid].ni.rel_stats.retransmits += 1;
+        m.record(sim.now(), src, id, TraceKind::Retransmit);
+        Machine::inject(m, sim, wire, sim.now());
+        Machine::schedule_ack_timer(m, sim, src, id, next_attempt);
+    }
+
     /// A data fragment arrives at its destination NI.
-    fn arrival(m: &mut Machine, sim: &mut MachineSim, wire: WireMsg) {
+    fn arrival(m: &mut Machine, sim: &mut MachineSim, wire: WireMsg, corrupted: bool) {
         let now = sim.now();
         let net = m.cfg.net;
         let costs = m.cfg.costs;
@@ -607,6 +802,36 @@ impl Machine {
         let node = &mut m.nodes[dst];
         let (_, ejected) = node.hw.ingress.transmit(&net, now, bytes);
 
+        // A corrupted payload fails the checksum after ejection: it has
+        // consumed wire bandwidth but is neither deposited, acked nor
+        // returned — end-to-end it behaves like a late drop, and the
+        // sender's ack timeout recovers it.
+        if corrupted {
+            node.ni.rel_stats.corrupt_discards += 1;
+            m.record(ejected, wire.dst, wire.id, TraceKind::CorruptDiscard);
+            return;
+        }
+
+        // Duplicate suppression (reliability layer): a replayed sequence
+        // number is discarded but still acked — the duplicate usually
+        // means the original's ack was lost, and the sender needs one.
+        if let Some(seq) = wire.seq {
+            if node.ni.rel_rx.already_seen(wire.src, seq) {
+                node.ni.rel_stats.dup_discards += 1;
+                m.record(ejected, wire.dst, wire.id, TraceKind::DupDiscard);
+                let node = &mut m.nodes[dst];
+                let (_, ack_end) = node.hw.egress.transmit(&net, ejected, costs.ack_wire_bytes);
+                let ack_at = ack_end + net.wire_latency;
+                let src = wire.src;
+                let id = wire.id;
+                sim.schedule_at(ack_at, move |m: &mut Machine, sim| {
+                    Machine::ack_arrival(m, sim, src, id);
+                });
+                return;
+            }
+        }
+
+        let node = &mut m.nodes[dst];
         let accepted = node.ni.model.has_room(bytes) && node.ni.fc.try_alloc_recv();
         {
             let kind = if accepted {
@@ -616,8 +841,17 @@ impl Machine {
             };
             m.record(ejected, wire.dst, wire.id, kind);
         }
+        if accepted {
+            m.progress += 1;
+        }
         let node = &mut m.nodes[dst];
         if accepted {
+            // Commit the sequence number only now: a rejected fragment
+            // is returned and retried, and its retry must not be
+            // mistaken for a duplicate.
+            if let Some(seq) = wire.seq {
+                node.ni.rel_rx.accept(wire.src, seq);
+            }
             // Ack the sender on the (guaranteed) second network.
             let (_, ack_end) = node.hw.egress.transmit(&net, ejected, costs.ack_wire_bytes);
             let ack_at = ack_end + net.wire_latency;
@@ -664,13 +898,26 @@ impl Machine {
     }
 
     /// An ack arrives back at the sender: release the outgoing buffer.
+    ///
+    /// An ack for a fragment that is no longer outstanding is expected
+    /// with the reliability layer on (a duplicate's re-ack racing the
+    /// original ack) and is absorbed; in a loss-free run it is a
+    /// protocol violation, recorded instead of panicking.
     fn ack_arrival(m: &mut Machine, sim: &mut MachineSim, src: NodeId, id: MsgId) {
-        let node = &mut m.nodes[src.index()];
-        let removed = node.ni.outstanding.remove(&id);
-        assert!(removed.is_some(), "ack for unknown fragment {id:?}");
-        node.ni.fc.ack_received();
+        let nid = src.index();
+        if m.nodes[nid].ni.outstanding.remove(&id).is_none() {
+            if !m.cfg.reliability.enabled {
+                m.violation(
+                    sim.now(),
+                    ProtocolViolation::AckForUnknownFragment { node: src, msg: id },
+                );
+            }
+            return;
+        }
+        m.nodes[nid].ni.fc.ack_received();
+        m.progress += 1;
         m.record(sim.now(), src, id, TraceKind::Ack);
-        Machine::try_wake(m, sim, src.index());
+        Machine::try_wake(m, sim, nid);
     }
 
     /// A returned fragment arrives back at the sender: absorb it and
@@ -683,12 +930,27 @@ impl Machine {
     fn return_arrival(m: &mut Machine, sim: &mut MachineSim, wire: WireMsg) {
         let max_backoff = m.cfg.retry_backoff_max;
         m.record(sim.now(), wire.src, wire.id, TraceKind::Return);
-        let node = &mut m.nodes[wire.src.index()];
-        let entry = node
-            .ni
-            .outstanding
-            .get_mut(&wire.id)
-            .expect("return for unknown fragment");
+        let nid = wire.src.index();
+        // Under duplication one copy can be accepted (and acked) while
+        // the other is rejected and returned; the late return then finds
+        // no outstanding entry and its buffer already released. Absorb
+        // it; without the reliability layer it is a recorded violation.
+        if !m.nodes[nid].ni.outstanding.contains_key(&wire.id) {
+            if !m.cfg.reliability.enabled {
+                m.violation(
+                    sim.now(),
+                    ProtocolViolation::ReturnForUnknownFragment {
+                        node: wire.src,
+                        msg: wire.id,
+                    },
+                );
+            }
+            return;
+        }
+        let node = &mut m.nodes[nid];
+        let Some(entry) = node.ni.outstanding.get_mut(&wire.id) else {
+            return;
+        };
         node.ni.fc.return_absorbed();
         let backoff = entry.backoff;
         entry.backoff = (backoff * 2).min(max_backoff);
@@ -702,14 +964,25 @@ impl Machine {
     /// Retries a previously returned fragment once its backoff elapses.
     fn retry(m: &mut Machine, sim: &mut MachineSim, src: NodeId, id: MsgId) {
         let nid = src.index();
+        match m.nodes[nid].ni.outstanding.get(&id) {
+            None => {
+                // Acked while the backoff ran (duplicate races).
+                if !m.cfg.reliability.enabled {
+                    m.violation(
+                        sim.now(),
+                        ProtocolViolation::RetryForUnknownFragment { node: src, msg: id },
+                    );
+                }
+                return;
+            }
+            Some(entry) if entry.gave_up => return,
+            Some(_) => {}
+        }
         m.record(sim.now(), src, id, TraceKind::Retry);
         let node = &mut m.nodes[nid];
-        let wire = node
-            .ni
-            .outstanding
-            .get(&id)
-            .expect("retry for unknown fragment")
-            .wire;
+        let Some(wire) = node.ni.outstanding.get(&id).map(|e| e.wire) else {
+            return;
+        };
         node.ni.fc.retried();
         if node.ni.model.frees_buffer_at_deposit() {
             // NI-managed buffering: the NI re-injects on its own.
@@ -731,13 +1004,20 @@ impl Machine {
         let now = sim.now();
         let costs = m.cfg.costs;
         let header = m.cfg.net.header_bytes;
+        if m.nodes[nid].proc.pending_resends.is_empty() {
+            m.violation(
+                now,
+                ProtocolViolation::ResendWithoutPending {
+                    node: NodeId(nid as u32),
+                },
+            );
+            return;
+        }
         let (wire, inject_ready, release) = {
             let node = &mut m.nodes[nid];
-            let wire = node
-                .proc
-                .pending_resends
-                .pop_front()
-                .expect("do_resend without pending resend");
+            let Some(wire) = node.proc.pending_resends.pop_front() else {
+                return;
+            };
             let wire_bytes = wire.wire_bytes(header);
             let consumed = node.ni.model.drain_fragment(
                 &mut node.hw,
@@ -774,12 +1054,21 @@ impl Machine {
         let costs = m.cfg.costs;
         let header = m.cfg.net.header_bytes;
 
+        if m.nodes[nid].ni.peek_ready(now).is_none() {
+            m.violation(
+                now,
+                ProtocolViolation::DrainWithoutReady {
+                    node: NodeId(nid as u32),
+                },
+            );
+            return;
+        }
+        m.progress += 1;
         let (entry, drained_at) = {
             let node = &mut m.nodes[nid];
-            let entry = node
-                .ni
-                .pop_ready(now)
-                .expect("do_drain without ready entry");
+            let Some(entry) = node.ni.pop_ready(now) else {
+                return;
+            };
             let wire_bytes = entry.frag.payload_bytes + header;
             let t = node.ni.model.detection(&mut node.hw, &costs, now);
             let t = node.ni.model.drain_fragment(
@@ -1096,6 +1385,166 @@ pub(crate) mod tests {
         let returns = trace.iter().filter(|e| e.kind == TraceKind::Return).count() as u64;
         assert_eq!(rejects, report.recv_rejects);
         assert_eq!(returns, report.recv_rejects);
+    }
+
+    #[test]
+    fn default_run_has_clean_error_channel() {
+        let r = run_kind(NiKind::Cm5, BufferCount::Finite(8), 4, 64);
+        assert!(r.violations.is_empty());
+        assert!(r.stall.is_none());
+        assert_eq!(r.fault_stats, nisim_net::FaultStats::default());
+        assert_eq!(r.rel_stats, nisim_net::RelStats::default());
+    }
+
+    #[test]
+    fn drops_are_recovered_by_retransmission() {
+        use nisim_net::{FaultConfig, ReliabilityConfig};
+        let cfg = MachineConfig::with_ni(NiKind::Cm5)
+            .nodes(2)
+            .flow_buffers(BufferCount::Finite(8))
+            .fault(FaultConfig {
+                drop_p: 0.3,
+                ..FaultConfig::default()
+            })
+            .reliability(ReliabilityConfig::on());
+        let r = Machine::run(cfg, echo_factory(16, 64));
+        assert_eq!(r.status, SimStatus::Drained);
+        assert!(r.all_quiescent, "retransmits must recover every drop");
+        assert_eq!(r.app_messages, 32, "16 pings + 16 echoes, exactly once");
+        assert!(r.fault_stats.dropped > 0, "{:?}", r.fault_stats);
+        assert!(r.rel_stats.retransmits > 0, "{:?}", r.rel_stats);
+        assert!(r.violations.is_empty());
+    }
+
+    #[test]
+    fn duplication_delivers_exactly_once() {
+        use nisim_net::{FaultConfig, ReliabilityConfig};
+        let cfg = MachineConfig::with_ni(NiKind::Cm5)
+            .nodes(2)
+            .flow_buffers(BufferCount::Finite(8))
+            .fault(FaultConfig {
+                dup_p: 0.5,
+                ..FaultConfig::default()
+            })
+            .reliability(ReliabilityConfig::on());
+        let r = Machine::run(cfg, echo_factory(12, 64));
+        assert!(r.all_quiescent);
+        assert_eq!(r.app_messages, 24, "duplicates must be suppressed");
+        assert!(r.fault_stats.duplicated > 0);
+        assert!(r.rel_stats.dup_discards > 0, "{:?}", r.rel_stats);
+    }
+
+    #[test]
+    fn corruption_is_detected_and_recovered() {
+        use nisim_net::{FaultConfig, ReliabilityConfig};
+        let cfg = MachineConfig::with_ni(NiKind::Ap3000)
+            .nodes(2)
+            .fault(FaultConfig {
+                corrupt_p: 0.4,
+                ..FaultConfig::default()
+            })
+            .reliability(ReliabilityConfig::on());
+        let r = Machine::run(cfg, echo_factory(12, 64));
+        assert!(r.all_quiescent);
+        assert_eq!(r.app_messages, 24);
+        assert!(r.rel_stats.corrupt_discards > 0, "{:?}", r.rel_stats);
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic_for_a_fixed_seed() {
+        use nisim_net::{FaultConfig, ReliabilityConfig};
+        let run = || {
+            let cfg = MachineConfig::with_ni(NiKind::Cm5)
+                .nodes(2)
+                .fault(FaultConfig {
+                    drop_p: 0.2,
+                    dup_p: 0.1,
+                    jitter_max: Dur::ns(30),
+                    seed: 99,
+                    ..FaultConfig::default()
+                })
+                .reliability(ReliabilityConfig::on());
+            Machine::run(cfg, echo_factory(10, 64))
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.fault_stats, b.fault_stats);
+        assert_eq!(a.rel_stats, b.rel_stats);
+        assert_eq!(a.app_messages, b.app_messages);
+    }
+
+    #[test]
+    fn total_loss_exhausts_retry_cap_and_reports_stall() {
+        use crate::error::{ProtocolViolation, StallReason};
+        use nisim_net::{FaultConfig, ReliabilityConfig};
+        let cfg = MachineConfig::with_ni(NiKind::Cm5)
+            .nodes(2)
+            .fault(FaultConfig {
+                drop_p: 1.0,
+                ..FaultConfig::default()
+            })
+            .reliability(ReliabilityConfig {
+                enabled: true,
+                max_retries: 3,
+                ..ReliabilityConfig::default()
+            });
+        let r = Machine::run(cfg, echo_factory(1, 64));
+        assert_eq!(
+            r.status,
+            SimStatus::Stalled,
+            "must not report a clean drain"
+        );
+        assert!(!r.all_quiescent);
+        assert_eq!(r.app_messages, 0);
+        assert_eq!(r.rel_stats.gave_up, 1);
+        assert!(r.violations.iter().any(|v| matches!(
+            v.kind,
+            ProtocolViolation::RetryCapExhausted { attempts: 3, .. }
+        )));
+        let stall = r.stall.expect("stall report must be attached");
+        assert_eq!(stall.reason, StallReason::WedgedNotQuiescent);
+        let wedged: Vec<_> = stall.wedged_endpoints().collect();
+        assert!(
+            wedged
+                .iter()
+                .any(|e| e.node == NodeId(0) && e.outstanding == 1 && e.gave_up == 1),
+            "sender must show its abandoned fragment: {stall}"
+        );
+    }
+
+    #[test]
+    fn retransmit_churn_trips_the_no_progress_watchdog() {
+        use crate::error::StallReason;
+        use nisim_net::{FaultConfig, ReliabilityConfig};
+        // An effectively unbounded retry cap: the sender retransmits
+        // forever into a black hole. The watchdog must cut the run off
+        // after one progress-free window instead of spinning to the
+        // event budget.
+        let cfg = MachineConfig::with_ni(NiKind::Cm5)
+            .nodes(2)
+            .fault(FaultConfig {
+                drop_p: 1.0,
+                ..FaultConfig::default()
+            })
+            .reliability(ReliabilityConfig {
+                enabled: true,
+                max_retries: 1_000_000,
+                ..ReliabilityConfig::default()
+            })
+            .watchdog_window(Dur::us(200));
+        let r = Machine::run(cfg, echo_factory(1, 64));
+        assert_eq!(r.status, SimStatus::Stalled);
+        let stall = r.stall.expect("stall report must be attached");
+        assert_eq!(
+            stall.reason,
+            StallReason::NoProgress {
+                window: Dur::us(200)
+            }
+        );
+        assert!(r.rel_stats.retransmits > 0);
+        // Cut off promptly: a handful of backoff doublings, not seconds.
+        assert!(r.elapsed < Dur::ms(2), "elapsed {:?}", r.elapsed);
     }
 
     #[test]

@@ -153,7 +153,7 @@ mod tests {
         let cfg = MachineConfig::default();
         (
             NodeHw::new(&cfg, NiKind::Ap3000),
-            cfg.costs.clone(),
+            cfg.costs,
             Ap3000Ni::new(),
         )
     }

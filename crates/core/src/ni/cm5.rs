@@ -173,7 +173,7 @@ mod tests {
         let cfg = MachineConfig::default();
         (
             NodeHw::new(&cfg, NiKind::Cm5),
-            cfg.costs.clone(),
+            cfg.costs,
             Cm5Ni::new(single),
         )
     }

@@ -292,7 +292,7 @@ mod tests {
         let cfg = MachineConfig::default();
         (
             NodeHw::new(&cfg, NiKind::Cni32Qm),
-            cfg.costs.clone(),
+            cfg.costs,
             Cni32QmNi::new(&cfg, None),
         )
     }
@@ -341,10 +341,12 @@ mod tests {
 
     #[test]
     fn bypass_off_displaces_live_blocks() {
-        let mut cfg = MachineConfig::default();
-        cfg.cni_bypass = false;
+        let cfg = MachineConfig {
+            cni_bypass: false,
+            ..MachineConfig::default()
+        };
         let mut hw = NodeHw::new(&cfg, NiKind::Cni32Qm);
-        let cost = cfg.costs.clone();
+        let cost = cfg.costs;
         let mut ni = Cni32QmNi::new(&cfg, None);
         for _ in 0..8 {
             ni.deposit_fragment(&mut hw, &cost, Time::ZERO, 248, 256);
@@ -358,10 +360,12 @@ mod tests {
 
     #[test]
     fn dead_block_opt_off_causes_writebacks() {
-        let mut cfg = MachineConfig::default();
-        cfg.cni_dead_block_opt = false;
+        let cfg = MachineConfig {
+            cni_dead_block_opt: false,
+            ..MachineConfig::default()
+        };
         let mut hw = NodeHw::new(&cfg, NiKind::Cni32Qm);
-        let cost = cfg.costs.clone();
+        let cost = cfg.costs;
         let mut ni = Cni32QmNi::new(&cfg, None);
         let d = ni.deposit_fragment(&mut hw, &cost, Time::ZERO, 248, 256);
         ni.drain_fragment(&mut hw, &cost, d.done, 248, 256, &d.loc);

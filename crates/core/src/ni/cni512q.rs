@@ -261,7 +261,7 @@ mod tests {
         let cfg = MachineConfig::default();
         (
             NodeHw::new(&cfg, NiKind::Cni512Q),
-            cfg.costs.clone(),
+            cfg.costs,
             Cni512QNi::new(&cfg),
         )
     }

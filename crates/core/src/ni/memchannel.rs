@@ -125,7 +125,7 @@ mod tests {
         let cfg = MachineConfig::default();
         (
             NodeHw::new(&cfg, NiKind::MemoryChannel),
-            cfg.costs.clone(),
+            cfg.costs,
             MemoryChannelNi::new(&cfg),
         )
     }

@@ -30,7 +30,10 @@ use std::collections::{HashMap, VecDeque};
 use nisim_engine::stats::Counter;
 use nisim_engine::{Dur, Time};
 use nisim_mem::BlockAddr;
-use nisim_net::{BufferCount, FlowControlEndpoint, Fragment, MsgId, NodeId};
+use nisim_net::{
+    BufferCount, FlowControlEndpoint, Fragment, MsgId, NodeId, ReceiverDedup, RelStats,
+    SenderReliability, SeqNo,
+};
 
 use crate::config::MachineConfig;
 use crate::costs::CostModel;
@@ -281,6 +284,9 @@ pub struct WireMsg {
     pub tag: u32,
     /// Total payload of the whole transfer.
     pub total_payload: u64,
+    /// End-to-end sequence number, assigned per `(src, dst)` pair when
+    /// the reliability layer is enabled; `None` otherwise.
+    pub seq: Option<SeqNo>,
 }
 
 impl WireMsg {
@@ -297,6 +303,14 @@ pub struct OutstandingFrag {
     pub wire: WireMsg,
     /// Current retry backoff (doubles per return, capped).
     pub backoff: Dur,
+    /// Retransmission generation: incremented on every ack-timeout
+    /// retransmit so stale timers (scheduled before the entry moved on)
+    /// recognise themselves and fizzle.
+    pub attempt: u32,
+    /// True once the reliability layer has exhausted the retry cap. The
+    /// entry stays outstanding — the machine can then never report
+    /// quiescence, which is what surfaces the loss as a stall.
+    pub gave_up: bool,
 }
 
 /// NI-level statistics.
@@ -325,6 +339,12 @@ pub struct NiUnit {
     pub outstanding: HashMap<MsgId, OutstandingFrag>,
     /// Statistics.
     pub stats: NiStats,
+    /// Sender-side sequence allocation (reliability layer).
+    pub rel_tx: SenderReliability,
+    /// Receiver-side duplicate suppression (reliability layer).
+    pub rel_rx: ReceiverDedup,
+    /// Reliability-layer counters for this node.
+    pub rel_stats: RelStats,
 }
 
 impl NiUnit {
@@ -356,6 +376,9 @@ impl NiUnit {
             rx_ready: VecDeque::new(),
             outstanding: HashMap::new(),
             stats: NiStats::default(),
+            rel_tx: SenderReliability::default(),
+            rel_rx: ReceiverDedup::default(),
+            rel_stats: RelStats::default(),
         }
     }
 

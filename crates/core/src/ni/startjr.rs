@@ -240,7 +240,7 @@ mod tests {
         let cfg = MachineConfig::default();
         (
             NodeHw::new(&cfg, NiKind::StartJr),
-            cfg.costs.clone(),
+            cfg.costs,
             StartJrNi::new(&cfg),
         )
     }

@@ -199,11 +199,7 @@ mod tests {
 
     fn setup() -> (NodeHw, CostModel, UdmaNi) {
         let cfg = MachineConfig::default();
-        (
-            NodeHw::new(&cfg, NiKind::Udma),
-            cfg.costs.clone(),
-            UdmaNi::new(),
-        )
+        (NodeHw::new(&cfg, NiKind::Udma), cfg.costs, UdmaNi::new())
     }
 
     #[test]

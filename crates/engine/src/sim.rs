@@ -47,6 +47,10 @@ pub enum SimStatus {
     HorizonReached,
     /// The event budget was exhausted with events still pending.
     EventBudgetExhausted,
+    /// The no-progress watchdog fired: events kept firing, but the
+    /// model's progress counter did not advance for the configured
+    /// window of simulated time (see [`Sim::run_watched`]).
+    Stalled,
 }
 
 /// A deterministic discrete-event scheduler over a model `M`.
@@ -164,6 +168,59 @@ impl<M> Sim<M> {
             self.now = entry.at;
             self.fired += 1;
             (entry.event)(model, self);
+        }
+    }
+
+    /// [`Sim::run_bounded`] with a no-progress watchdog.
+    ///
+    /// `progress` extracts a monotone progress counter from the model
+    /// (delivered messages, completed work items — anything that only
+    /// moves when the system does useful work). After every event the
+    /// counter is sampled; if events keep firing but the counter stays
+    /// flat while simulated time advances by at least `window`, the run
+    /// aborts with [`SimStatus::Stalled`] — turning an event-churning
+    /// live-lock (e.g. an endless reject/return/retry storm) into a
+    /// reportable outcome instead of a hang.
+    ///
+    /// Healthy runs are unaffected: the watchdog never fires on a drained
+    /// queue, and a gap with *no* events (a long compute) only trips it
+    /// if the event ending the gap also fails to advance the counter.
+    pub fn run_watched(
+        &mut self,
+        model: &mut M,
+        horizon: Time,
+        max_events: u64,
+        window: Dur,
+        mut progress: impl FnMut(&M) -> u64,
+    ) -> SimStatus {
+        let mut budget = max_events;
+        let mut last_value = progress(model);
+        let mut last_change = self.now;
+        loop {
+            match self.queue.peek() {
+                None => return SimStatus::Drained,
+                Some(head) if head.at > horizon => {
+                    self.now = horizon;
+                    return SimStatus::HorizonReached;
+                }
+                Some(_) => {}
+            }
+            if budget == 0 {
+                return SimStatus::EventBudgetExhausted;
+            }
+            budget -= 1;
+            let entry = self.queue.pop().expect("peeked entry vanished");
+            debug_assert!(entry.at >= self.now, "event queue returned stale event");
+            self.now = entry.at;
+            self.fired += 1;
+            (entry.event)(model, self);
+            let value = progress(model);
+            if value != last_value {
+                last_value = value;
+                last_change = self.now;
+            } else if self.now.saturating_since(last_change) >= window {
+                return SimStatus::Stalled;
+            }
         }
     }
 
@@ -292,5 +349,63 @@ mod tests {
     fn debug_is_nonempty() {
         let sim: Sim<()> = Sim::new();
         assert!(format!("{sim:?}").contains("Sim"));
+    }
+
+    /// An event chain that reschedules itself forever without advancing
+    /// the progress counter: the watchdog must fire once `window` of
+    /// simulated time passes without progress.
+    #[test]
+    fn watchdog_fires_on_progressless_churn() {
+        fn churn(m: &mut u64, sim: &mut Sim<u64>) {
+            let _ = m; // no progress
+            sim.schedule_in(Dur::ns(10), churn);
+        }
+        let mut model = 0u64;
+        let mut sim: Sim<u64> = Sim::new();
+        sim.schedule_at(Time::ZERO, churn);
+        let status = sim.run_watched(&mut model, Time::MAX, u64::MAX, Dur::ns(500), |m| *m);
+        assert_eq!(status, SimStatus::Stalled);
+        assert!(sim.now() >= Time::from_ns(500));
+        assert!(sim.now() <= Time::from_ns(600), "fired promptly: {sim:?}");
+    }
+
+    #[test]
+    fn watchdog_tolerates_progressing_churn() {
+        fn work(m: &mut u64, sim: &mut Sim<u64>) {
+            *m += 1;
+            if *m < 200 {
+                sim.schedule_in(Dur::ns(10), work);
+            }
+        }
+        let mut model = 0u64;
+        let mut sim: Sim<u64> = Sim::new();
+        sim.schedule_at(Time::ZERO, work);
+        let status = sim.run_watched(&mut model, Time::MAX, u64::MAX, Dur::ns(15), |m| *m);
+        assert_eq!(status, SimStatus::Drained);
+        assert_eq!(model, 200);
+    }
+
+    #[test]
+    fn watchdog_tolerates_idle_gap_ending_in_progress() {
+        // A long progress-free gap (one compute) ends with an event that
+        // does advance the counter: no stall.
+        let mut model = 0u64;
+        let mut sim: Sim<u64> = Sim::new();
+        sim.schedule_at(Time::from_ns(10_000), |m: &mut u64, _| *m += 1);
+        let status = sim.run_watched(&mut model, Time::MAX, u64::MAX, Dur::ns(100), |m| *m);
+        assert_eq!(status, SimStatus::Drained);
+    }
+
+    #[test]
+    fn watchdog_respects_horizon_and_budget() {
+        let mut model = 0u64;
+        let mut sim: Sim<u64> = Sim::new();
+        for i in 0..10 {
+            sim.schedule_at(Time::from_ns(i), |m: &mut u64, _| *m += 1);
+        }
+        let status = sim.run_watched(&mut model, Time::from_ns(4), u64::MAX, Dur::ns(100), |m| *m);
+        assert_eq!(status, SimStatus::HorizonReached);
+        let status = sim.run_watched(&mut model, Time::MAX, 2, Dur::ns(100), |m| *m);
+        assert_eq!(status, SimStatus::EventBudgetExhausted);
     }
 }

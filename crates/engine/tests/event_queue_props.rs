@@ -1,16 +1,22 @@
-//! Property tests of the event engine: global time ordering, FIFO
-//! stability at equal timestamps, and horizon semantics under arbitrary
-//! schedules.
+//! Randomised property tests of the event engine: global time ordering,
+//! FIFO stability at equal timestamps, and horizon semantics under
+//! arbitrary schedules.
+//!
+//! The cases are generated with the crate's own seedable [`SplitMix64`]
+//! so every run is exactly reproducible without external dependencies.
 
-use proptest::prelude::*;
+use nisim_engine::{Sim, SimStatus, SplitMix64, Time};
 
-use nisim_engine::{Sim, SimStatus, Time};
+const CASES: u64 = 48;
 
-proptest! {
-    /// Events fire in non-decreasing time order, and events with equal
-    /// timestamps fire in scheduling order.
-    #[test]
-    fn ordering_and_fifo_stability(times in proptest::collection::vec(0u64..500, 1..200)) {
+/// Events fire in non-decreasing time order, and events with equal
+/// timestamps fire in scheduling order.
+#[test]
+fn ordering_and_fifo_stability() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xE0E0 + case);
+        let n = 1 + rng.gen_range(200) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.gen_range(500)).collect();
         let mut log: Vec<(u64, usize)> = Vec::new();
         let mut sim: Sim<Vec<(u64, usize)>> = Sim::new();
         for (i, &t) in times.iter().enumerate() {
@@ -18,48 +24,59 @@ proptest! {
                 m.push((t, i));
             });
         }
-        prop_assert_eq!(sim.run(&mut log), SimStatus::Drained);
-        prop_assert_eq!(log.len(), times.len());
+        assert_eq!(sim.run(&mut log), SimStatus::Drained);
+        assert_eq!(log.len(), times.len());
         for w in log.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            assert!(w[0].0 <= w[1].0, "time order violated (case {case})");
             if w[0].0 == w[1].0 {
-                prop_assert!(w[0].1 < w[1].1, "FIFO stability violated");
+                assert!(w[0].1 < w[1].1, "FIFO stability violated (case {case})");
             }
         }
     }
+}
 
-    /// Cascading events (each scheduling the next) preserve exact time
-    /// arithmetic no matter the delays.
-    #[test]
-    fn cascades_accumulate_delays(delays in proptest::collection::vec(1u64..50, 1..40)) {
-        #[derive(Default)]
-        struct ModelState {
-            fired_at: Vec<u64>,
-        }
-        let mut model = ModelState::default();
-        let mut sim: Sim<ModelState> = Sim::new();
-        fn chain(delays: Vec<u64>, i: usize) -> impl FnOnce(&mut ModelState, &mut Sim<ModelState>) {
-            move |m, sim| {
-                m.fired_at.push(sim.now().as_ns());
-                if i + 1 < delays.len() {
-                    let d = delays[i + 1];
-                    sim.schedule_in(nisim_engine::Dur::ns(d), chain(delays, i + 1));
-                }
+/// Cascading events (each scheduling the next) preserve exact time
+/// arithmetic no matter the delays.
+#[test]
+fn cascades_accumulate_delays() {
+    #[derive(Default)]
+    struct ModelState {
+        fired_at: Vec<u64>,
+    }
+    fn chain(delays: Vec<u64>, i: usize) -> impl FnOnce(&mut ModelState, &mut Sim<ModelState>) {
+        move |m, sim| {
+            m.fired_at.push(sim.now().as_ns());
+            if i + 1 < delays.len() {
+                let d = delays[i + 1];
+                sim.schedule_in(nisim_engine::Dur::ns(d), chain(delays, i + 1));
             }
         }
+    }
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xCA5C + case);
+        let n = 1 + rng.gen_range(40) as usize;
+        let delays: Vec<u64> = (0..n).map(|_| 1 + rng.gen_range(49)).collect();
+        let mut model = ModelState::default();
+        let mut sim: Sim<ModelState> = Sim::new();
         sim.schedule_at(Time::from_ns(delays[0]), chain(delays.clone(), 0));
         sim.run(&mut model);
         let mut expect = 0u64;
         for (i, &d) in delays.iter().enumerate() {
-            expect += if i == 0 { d } else { d };
-            prop_assert_eq!(model.fired_at[i], expect);
+            expect += d;
+            assert_eq!(model.fired_at[i], expect, "case {case} step {i}");
         }
     }
+}
 
-    /// run_until never fires events past the horizon, and what remains
-    /// pending is exactly the later-than-horizon portion.
-    #[test]
-    fn horizon_splits_schedule(times in proptest::collection::vec(0u64..1000, 0..100), horizon in 0u64..1000) {
+/// run_until never fires events past the horizon, and what remains
+/// pending is exactly the later-than-horizon portion.
+#[test]
+fn horizon_splits_schedule() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x4041 + case);
+        let n = rng.gen_range(100) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.gen_range(1000)).collect();
+        let horizon = rng.gen_range(1000);
         let mut count = 0u64;
         let mut sim: Sim<u64> = Sim::new();
         for &t in &times {
@@ -67,8 +84,8 @@ proptest! {
         }
         sim.run_until(&mut count, Time::from_ns(horizon));
         let before = times.iter().filter(|&&t| t <= horizon).count() as u64;
-        prop_assert_eq!(count, before);
-        prop_assert_eq!(sim.pending(), times.len() - before as usize);
-        prop_assert!(sim.now() <= Time::from_ns(horizon));
+        assert_eq!(count, before, "case {case}");
+        assert_eq!(sim.pending(), times.len() - before as usize, "case {case}");
+        assert!(sim.now() <= Time::from_ns(horizon));
     }
 }

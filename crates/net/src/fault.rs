@@ -1,0 +1,395 @@
+//! Deterministic fault injection for the network substrate.
+//!
+//! The paper's network abstraction (§5.1.2) is loss-free: every injected
+//! message arrives after a constant latency. A [`FaultPlan`] perturbs
+//! that ideal wire — dropping, duplicating, corrupting, or delaying
+//! messages, and blacking out links over scheduled windows — so the
+//! reliability layer ([`crate::reliability`]) and the machine's
+//! retransmit machinery can be exercised and measured.
+//!
+//! Everything is driven by one seedable [`SplitMix64`] stream. Because
+//! the simulator itself is deterministic, the sequence of calls into the
+//! plan is deterministic too, so a given seed reproduces the exact same
+//! fault schedule run after run.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use nisim_engine::{Dur, SplitMix64, Time};
+
+use crate::msg::NodeId;
+
+/// A scheduled window during which a link (or the whole fabric) is down.
+///
+/// Messages injected while a window is active are silently dropped —
+/// they never reach the destination, exactly like a cable pull.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DownWindow {
+    /// First instant of the outage (inclusive).
+    pub start: Time,
+    /// End of the outage (exclusive).
+    pub end: Time,
+    /// Restrict the outage to traffic touching this node; `None` takes
+    /// the whole fabric down.
+    pub node: Option<NodeId>,
+}
+
+impl DownWindow {
+    /// A whole-fabric outage over `[start, end)`.
+    pub fn fabric(start: Time, end: Time) -> Self {
+        DownWindow {
+            start,
+            end,
+            node: None,
+        }
+    }
+
+    /// True if a message from `src` to `dst` injected at `now` is lost
+    /// to this outage.
+    pub fn swallows(&self, now: Time, src: NodeId, dst: NodeId) -> bool {
+        if now < self.start || now >= self.end {
+            return false;
+        }
+        match self.node {
+            None => true,
+            Some(n) => n == src || n == dst,
+        }
+    }
+}
+
+/// Knobs of the fault model. All default to "off": the default config
+/// injects no faults and perturbs nothing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultConfig {
+    /// Probability that a message vanishes in flight.
+    pub drop_p: f64,
+    /// Probability that a message is delivered twice.
+    pub dup_p: f64,
+    /// Probability that a message arrives with a corrupted payload. A
+    /// corrupted message still consumes wire and ejection bandwidth; the
+    /// receiver detects it (checksum) and discards it, so end-to-end it
+    /// behaves like a late drop.
+    pub corrupt_p: f64,
+    /// Maximum extra latency added to a delivery, drawn uniformly from
+    /// `[0, jitter_max]`.
+    pub jitter_max: Dur,
+    /// Scheduled outages.
+    pub down: Vec<DownWindow>,
+    /// Per-link drop probability overrides, keyed by `(src, dst)`. Links
+    /// without an entry use [`drop_p`](FaultConfig::drop_p).
+    pub link_drop: BTreeMap<(NodeId, NodeId), f64>,
+    /// Seed of the fault stream.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            drop_p: 0.0,
+            dup_p: 0.0,
+            corrupt_p: 0.0,
+            jitter_max: Dur::ZERO,
+            down: Vec::new(),
+            link_drop: BTreeMap::new(),
+            seed: 0xFA_17,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// True if any knob can actually perturb traffic. When inactive the
+    /// machine skips the fault layer entirely, so default-configured
+    /// runs execute the exact same event sequence as a build without
+    /// fault injection.
+    pub fn is_active(&self) -> bool {
+        self.drop_p > 0.0
+            || self.dup_p > 0.0
+            || self.corrupt_p > 0.0
+            || self.jitter_max > Dur::ZERO
+            || !self.down.is_empty()
+            || self.link_drop.values().any(|&p| p > 0.0)
+    }
+
+    /// Effective drop probability on the `src -> dst` link.
+    pub fn drop_p_for(&self, src: NodeId, dst: NodeId) -> f64 {
+        self.link_drop
+            .get(&(src, dst))
+            .copied()
+            .unwrap_or(self.drop_p)
+    }
+}
+
+/// One physical delivery of an injected message (a duplicated message
+/// yields two of these).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Delivery {
+    /// Extra latency beyond the configured wire latency.
+    pub extra_delay: Dur,
+    /// True if the payload was corrupted in flight; the receiver must
+    /// discard it after ejection.
+    pub corrupted: bool,
+}
+
+/// Counters of what the fault layer did to traffic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages offered to the fault layer.
+    pub offered: u64,
+    /// Messages dropped by the random drop draw.
+    pub dropped: u64,
+    /// Messages swallowed by a scheduled outage.
+    pub blackholed: u64,
+    /// Extra copies created by duplication.
+    pub duplicated: u64,
+    /// Deliveries whose payload was corrupted.
+    pub corrupted: u64,
+    /// Deliveries that received nonzero jitter.
+    pub jittered: u64,
+}
+
+impl FaultStats {
+    /// Messages that never produced a clean delivery (dropped,
+    /// blackholed — corruption is counted at the receiver).
+    pub fn lost(&self) -> u64 {
+        self.dropped + self.blackholed
+    }
+}
+
+impl fmt::Display for FaultStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "offered {} dropped {} blackholed {} duplicated {} corrupted {} jittered {}",
+            self.offered,
+            self.dropped,
+            self.blackholed,
+            self.duplicated,
+            self.corrupted,
+            self.jittered
+        )
+    }
+}
+
+/// The stateful fault injector: a [`FaultConfig`] plus the PRNG stream
+/// and counters. One plan serves the whole machine.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+    rng: SplitMix64,
+    stats: FaultStats,
+}
+
+impl FaultPlan {
+    /// Builds a plan; the PRNG is seeded from `cfg.seed`.
+    pub fn new(cfg: FaultConfig) -> Self {
+        let rng = SplitMix64::new(cfg.seed);
+        FaultPlan {
+            cfg,
+            rng,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The plan's configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// True if the plan can perturb traffic at all.
+    pub fn is_active(&self) -> bool {
+        self.cfg.is_active()
+    }
+
+    /// Decides the fate of a message injected at `now` on `src -> dst`.
+    ///
+    /// Returns the physical deliveries the wire should perform: an empty
+    /// vector means the message was lost, two entries mean it was
+    /// duplicated. Each delivery carries its own jitter and corruption
+    /// verdict.
+    pub fn deliveries(&mut self, now: Time, src: NodeId, dst: NodeId) -> Vec<Delivery> {
+        self.stats.offered += 1;
+        if !self.cfg.is_active() {
+            return vec![Delivery::default()];
+        }
+        if self.cfg.down.iter().any(|w| w.swallows(now, src, dst)) {
+            self.stats.blackholed += 1;
+            return Vec::new();
+        }
+        let drop_p = self.cfg.drop_p_for(src, dst);
+        if drop_p > 0.0 && self.rng.gen_bool(drop_p) {
+            self.stats.dropped += 1;
+            return Vec::new();
+        }
+        let mut out = vec![self.one_delivery()];
+        if self.cfg.dup_p > 0.0 && self.rng.gen_bool(self.cfg.dup_p) {
+            self.stats.duplicated += 1;
+            out.push(self.one_delivery());
+        }
+        out
+    }
+
+    fn one_delivery(&mut self) -> Delivery {
+        let corrupted = self.cfg.corrupt_p > 0.0 && self.rng.gen_bool(self.cfg.corrupt_p);
+        if corrupted {
+            self.stats.corrupted += 1;
+        }
+        let extra_delay = if self.cfg.jitter_max > Dur::ZERO {
+            let span = self.cfg.jitter_max.as_ns() + 1;
+            let j = Dur::ns(self.rng.gen_range(span));
+            if j > Dur::ZERO {
+                self.stats.jittered += 1;
+            }
+            j
+        } else {
+            Dur::ZERO
+        };
+        Delivery {
+            extra_delay,
+            corrupted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: NodeId = NodeId(0);
+    const B: NodeId = NodeId(1);
+
+    #[test]
+    fn default_config_is_inert() {
+        let cfg = FaultConfig::default();
+        assert!(!cfg.is_active());
+        let mut plan = FaultPlan::new(cfg);
+        for i in 0..100 {
+            let d = plan.deliveries(Time::from_ns(i), A, B);
+            assert_eq!(d, vec![Delivery::default()]);
+        }
+        assert_eq!(plan.stats().lost(), 0);
+        assert_eq!(plan.stats().offered, 100);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let cfg = FaultConfig {
+            drop_p: 0.3,
+            dup_p: 0.2,
+            corrupt_p: 0.1,
+            jitter_max: Dur::ns(50),
+            ..FaultConfig::default()
+        };
+        let mut p1 = FaultPlan::new(cfg.clone());
+        let mut p2 = FaultPlan::new(cfg);
+        for i in 0..500 {
+            let now = Time::from_ns(i * 13);
+            assert_eq!(p1.deliveries(now, A, B), p2.deliveries(now, A, B));
+        }
+        assert_eq!(p1.stats(), p2.stats());
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_honoured() {
+        let cfg = FaultConfig {
+            drop_p: 0.25,
+            ..FaultConfig::default()
+        };
+        let mut plan = FaultPlan::new(cfg);
+        let mut lost = 0u64;
+        for i in 0..4000 {
+            if plan.deliveries(Time::from_ns(i), A, B).is_empty() {
+                lost += 1;
+            }
+        }
+        assert!((800..1200).contains(&lost), "lost {lost} of 4000");
+        assert_eq!(plan.stats().dropped, lost);
+    }
+
+    #[test]
+    fn down_window_swallows_everything_in_span() {
+        let cfg = FaultConfig {
+            down: vec![DownWindow::fabric(Time::from_ns(100), Time::from_ns(200))],
+            ..FaultConfig::default()
+        };
+        assert!(cfg.is_active());
+        let mut plan = FaultPlan::new(cfg);
+        assert!(!plan.deliveries(Time::from_ns(99), A, B).is_empty());
+        assert!(plan.deliveries(Time::from_ns(100), A, B).is_empty());
+        assert!(plan.deliveries(Time::from_ns(199), A, B).is_empty());
+        assert!(!plan.deliveries(Time::from_ns(200), A, B).is_empty());
+        assert_eq!(plan.stats().blackholed, 2);
+    }
+
+    #[test]
+    fn node_scoped_window_spares_other_links() {
+        let w = DownWindow {
+            start: Time::ZERO,
+            end: Time::from_ns(1000),
+            node: Some(B),
+        };
+        assert!(w.swallows(Time::from_ns(5), A, B));
+        assert!(w.swallows(Time::from_ns(5), B, A));
+        assert!(!w.swallows(Time::from_ns(5), A, NodeId(2)));
+    }
+
+    #[test]
+    fn per_link_override_beats_global() {
+        let mut link_drop = BTreeMap::new();
+        link_drop.insert((A, B), 1.0);
+        let cfg = FaultConfig {
+            drop_p: 0.0,
+            link_drop,
+            ..FaultConfig::default()
+        };
+        assert!(cfg.is_active());
+        assert_eq!(cfg.drop_p_for(A, B), 1.0);
+        assert_eq!(cfg.drop_p_for(B, A), 0.0);
+        let mut plan = FaultPlan::new(cfg);
+        assert!(plan.deliveries(Time::ZERO, A, B).is_empty());
+        assert!(!plan.deliveries(Time::ZERO, B, A).is_empty());
+    }
+
+    #[test]
+    fn duplication_yields_two_deliveries() {
+        let cfg = FaultConfig {
+            dup_p: 1.0,
+            ..FaultConfig::default()
+        };
+        let mut plan = FaultPlan::new(cfg);
+        let d = plan.deliveries(Time::ZERO, A, B);
+        assert_eq!(d.len(), 2);
+        assert_eq!(plan.stats().duplicated, 1);
+    }
+
+    #[test]
+    fn jitter_stays_in_bounds() {
+        let cfg = FaultConfig {
+            jitter_max: Dur::ns(64),
+            ..FaultConfig::default()
+        };
+        let mut plan = FaultPlan::new(cfg);
+        for i in 0..1000 {
+            for d in plan.deliveries(Time::from_ns(i), A, B) {
+                assert!(d.extra_delay <= Dur::ns(64));
+            }
+        }
+        assert!(plan.stats().jittered > 0);
+    }
+
+    #[test]
+    fn corruption_marks_but_delivers() {
+        let cfg = FaultConfig {
+            corrupt_p: 1.0,
+            ..FaultConfig::default()
+        };
+        let mut plan = FaultPlan::new(cfg);
+        let d = plan.deliveries(Time::ZERO, A, B);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].corrupted);
+    }
+}

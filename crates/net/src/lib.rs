@@ -18,14 +18,27 @@
 //! * [`FlowControlEndpoint`] — per-NI send/receive buffer accounting for
 //!   the return-to-sender protocol,
 //! * [`switch_survey`] — the commercial-switch buffering data of Table 1.
+//!
+//! Two robustness modules extend the abstraction beyond the paper:
+//!
+//! * [`fault`] — a deterministic, seedable fault injector (drops,
+//!   duplication, corruption, latency jitter, scheduled link outages),
+//! * [`reliability`] — per-sender sequence numbers, ack-timeout
+//!   retransmission with exponential backoff, and receiver-side
+//!   duplicate suppression, composing with (not replacing) the
+//!   return-to-sender flow control.
 
+pub mod fault;
 pub mod flow;
 pub mod link;
 pub mod msg;
+pub mod reliability;
 pub mod switch_survey;
 pub mod topology;
 
+pub use fault::{Delivery, DownWindow, FaultConfig, FaultPlan, FaultStats};
 pub use flow::{BufferCount, FlowControlEndpoint, FlowStats};
 pub use link::Link;
 pub use msg::{fragment_payload, Fragment, MsgId, NetConfig, NodeId};
+pub use reliability::{ReceiverDedup, RelStats, ReliabilityConfig, SenderReliability, SeqNo};
 pub use topology::{Fabric, Topology};

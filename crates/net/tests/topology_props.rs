@@ -1,62 +1,76 @@
-//! Property tests of the topology extension: route validity and metric
-//! sanity for arbitrary machine sizes and endpoints.
+//! Randomised property tests of the topology extension: route validity
+//! and metric sanity for arbitrary machine sizes and endpoints, generated
+//! with the engine's seedable PRNG for exact reproducibility.
 
-use proptest::prelude::*;
-
+use nisim_engine::SplitMix64;
 use nisim_net::topology::Topology;
 use nisim_net::NodeId;
 
-proptest! {
-    /// Every route is a connected chain from src to dst with no repeated
-    /// links, and its endpoints stay in range.
-    #[test]
-    fn routes_are_valid_chains(nodes in 2u32..40, src in 0u32..40, dst in 0u32..40) {
-        let src = NodeId(src % nodes);
-        let dst = NodeId(dst % nodes);
+/// Every route is a connected chain from src to dst with no repeated
+/// links, and its endpoints stay in range.
+#[test]
+fn routes_are_valid_chains() {
+    let mut rng = SplitMix64::new(0x707);
+    for _ in 0..256 {
+        let nodes = 2 + rng.gen_range(38) as u32;
+        let src = NodeId(rng.gen_range(nodes as u64) as u32);
+        let dst = NodeId(rng.gen_range(nodes as u64) as u32);
         for topo in [Topology::Ring, Topology::Mesh2D] {
             let route = topo.route(src, dst, nodes);
             if src == dst {
-                prop_assert!(route.is_empty());
+                assert!(route.is_empty());
                 continue;
             }
-            prop_assert!(!route.is_empty());
-            prop_assert_eq!(route[0].0, src.0);
-            prop_assert_eq!(route.last().unwrap().1, dst.0);
+            assert!(!route.is_empty());
+            assert_eq!(route[0].0, src.0);
+            assert_eq!(route.last().unwrap().1, dst.0);
             for w in route.windows(2) {
-                prop_assert_eq!(w[0].1, w[1].0, "disconnected chain");
+                assert_eq!(w[0].1, w[1].0, "disconnected chain");
             }
             let mut links = route.clone();
             let len = links.len();
             links.sort_unstable();
             links.dedup();
-            prop_assert_eq!(links.len(), len, "repeated link in route");
+            assert_eq!(links.len(), len, "repeated link in route");
             for &(a, b) in &route {
-                prop_assert!(a < nodes && b < nodes);
+                assert!(a < nodes && b < nodes);
             }
         }
     }
+}
 
-    /// Ring routes never exceed half the ring; mesh routes never exceed
-    /// (cols-1) + (rows-1).
-    #[test]
-    fn route_lengths_respect_diameters(nodes in 2u32..40, src in 0u32..40, dst in 0u32..40) {
-        let src = NodeId(src % nodes);
-        let dst = NodeId(dst % nodes);
-        let ring = Topology::Ring.hops(src, dst, nodes);
-        prop_assert!(ring <= nodes / 2, "ring {} hops of {}", ring, nodes);
-        let (cols, rows) = Topology::mesh_dims(nodes);
-        let mesh = Topology::Mesh2D.hops(src, dst, nodes);
-        prop_assert!(mesh <= (cols - 1) + (rows - 1), "mesh {} hops", mesh);
+/// Ring routes never exceed half the ring; mesh routes never exceed
+/// (cols-1) + (rows-1). Exhaustive over all sizes up to 40 nodes.
+#[test]
+fn route_lengths_respect_diameters() {
+    for nodes in 2u32..40 {
+        for s in 0..nodes {
+            for d in 0..nodes {
+                let src = NodeId(s);
+                let dst = NodeId(d);
+                let ring = Topology::Ring.hops(src, dst, nodes);
+                assert!(ring <= nodes / 2, "ring {} hops of {}", ring, nodes);
+                let (cols, rows) = Topology::mesh_dims(nodes);
+                let mesh = Topology::Mesh2D.hops(src, dst, nodes);
+                assert!(mesh <= (cols - 1) + (rows - 1), "mesh {} hops", mesh);
+            }
+        }
     }
+}
 
-    /// Hop counts are symmetric (XY and YX mesh paths have equal length
-    /// even though the links differ).
-    #[test]
-    fn hop_counts_are_symmetric(nodes in 2u32..40, a in 0u32..40, b in 0u32..40) {
-        let a = NodeId(a % nodes);
-        let b = NodeId(b % nodes);
-        for topo in [Topology::Ring, Topology::Mesh2D] {
-            prop_assert_eq!(topo.hops(a, b, nodes), topo.hops(b, a, nodes));
+/// Hop counts are symmetric (XY and YX mesh paths have equal length even
+/// though the links differ).
+#[test]
+fn hop_counts_are_symmetric() {
+    for nodes in 2u32..40 {
+        for a in 0..nodes {
+            for b in 0..nodes {
+                let a = NodeId(a);
+                let b = NodeId(b);
+                for topo in [Topology::Ring, Topology::Mesh2D] {
+                    assert_eq!(topo.hops(a, b, nodes), topo.hops(b, a, nodes));
+                }
+            }
         }
     }
 }

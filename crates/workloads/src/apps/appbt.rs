@@ -162,7 +162,7 @@ pub fn factory(nodes: u32, seed: u64, params: AppParams) -> impl FnMut(NodeId) -
 mod tests {
     use super::*;
     use crate::apps::MacroApp;
-    use nisim_core::{Machine, MachineConfig, NiKind};
+    use nisim_core::{MachineConfig, NiKind};
 
     #[test]
     fn grid_dims_are_balanced() {

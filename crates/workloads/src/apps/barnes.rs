@@ -137,7 +137,7 @@ pub fn factory(nodes: u32, seed: u64, params: AppParams) -> impl FnMut(NodeId) -
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+
     use crate::apps::MacroApp;
     use nisim_core::{MachineConfig, NiKind};
 

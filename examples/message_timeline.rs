@@ -63,6 +63,10 @@ fn show(kind: NiKind, buffers: BufferCount) {
             TraceKind::Ack => "ack at sender",
             TraceKind::Return => "RETURN at sender",
             TraceKind::Retry => "retry",
+            TraceKind::Retransmit => "RETRANSMIT",
+            TraceKind::WireDrop => "DROPPED on wire",
+            TraceKind::DupDiscard => "duplicate discarded",
+            TraceKind::CorruptDiscard => "corrupt discarded",
         };
         println!(
             "  t={:>6} ns  msg {}  {:<16} @ {}",
