@@ -2,20 +2,42 @@
 //! CNI send-side prefetch, CNI_32Qm receive-cache bypass, the dead-block
 //! head-update optimisation, send throttling, and NI cache size.
 use nisim_bench::{
-    ablation_bypass, ablation_dead_block, ablation_ni_cache, ablation_prefetch, ablation_throttle,
+    ablation_bypass_from_records, ablation_bypass_sweep, ablation_dead_block_from_records,
+    ablation_dead_block_sweep, ablation_ni_cache_from_records, ablation_ni_cache_sweep,
+    ablation_prefetch_from_records, ablation_prefetch_sweep, ablation_throttle_from_records,
+    ablation_throttle_sweep, emit_document, BenchArgs,
 };
 
+const THROTTLE_DELAYS: [u64; 6] = [0, 50, 100, 150, 200, 400];
+const CACHE_BLOCKS: [u32; 4] = [8, 32, 128, 512];
+
 fn main() {
+    let args = BenchArgs::parse();
+    let sweeps = [
+        ablation_prefetch_sweep(),
+        ablation_bypass_sweep(),
+        ablation_dead_block_sweep(),
+        ablation_throttle_sweep(&THROTTLE_DELAYS),
+        ablation_ni_cache_sweep(&CACHE_BLOCKS),
+    ];
+    let results: Vec<_> = sweeps.iter().map(|s| s.run(args.jobs)).collect();
+    let sections: Vec<_> = sweeps
+        .iter()
+        .zip(&results)
+        .map(|(s, r)| (s.name.as_str(), r.as_slice()))
+        .collect();
+    emit_document(&args, &sections);
+
     println!("Ablations of the paper's design choices\n");
 
-    let (on, off) = ablation_prefetch();
+    let (on, off) = ablation_prefetch_from_records(&results[0]);
     println!("1. CNI send-side prefetch (lazy pointer), CNI_512Q rtt at 256 B:");
     println!(
         "   on  {on:.2} us\n   off {off:.2} us   ({:+.0}% without prefetch)\n",
         100.0 * (off / on - 1.0)
     );
 
-    let (on, off) = ablation_bypass();
+    let (on, off) = ablation_bypass_from_records(&results[1]);
     println!("2. CNI_32Qm receive-cache bypass, receive-side processor time");
     println!("   under bursty overload:");
     println!(
@@ -23,19 +45,19 @@ fn main() {
         100.0 * (off / on - 1.0)
     );
 
-    let ((bw_on, wb_on), (bw_off, wb_off)) = ablation_dead_block();
+    let ((bw_on, wb_on), (bw_off, wb_off)) = ablation_dead_block_from_records(&results[2]);
     println!("3. Dead-block head update, 4 KB stream:");
     println!("   on  {bw_on:.0} MB/s, {wb_on} memory writebacks");
     println!("   off {bw_off:.0} MB/s, {wb_off} memory writebacks\n");
 
     println!("4. Send-throttle sweep, CNI_32Qm 4 KB stream (paper footnote):");
-    for (d, bw) in ablation_throttle(&[0, 50, 100, 150, 200, 400]) {
+    for (d, bw) in ablation_throttle_from_records(&results[3], &THROTTLE_DELAYS) {
         println!("   throttle {d:>4} ns -> {bw:.0} MB/s");
     }
     println!();
 
     println!("5. NI cache size sweep (bridging CNI_32Qm -> CNI_512Q capacity):");
-    for (b, rtt, bw) in ablation_ni_cache(&[8, 32, 128, 512]) {
+    for (b, rtt, bw) in ablation_ni_cache_from_records(&results[4], &CACHE_BLOCKS) {
         println!("   {b:>4} blocks -> rtt64 {rtt:.2} us, bw4096 {bw:.0} MB/s");
     }
 }

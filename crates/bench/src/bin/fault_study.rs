@@ -7,10 +7,31 @@
 //! sensitivity hold up when the wire drops fragments and the messaging
 //! layer must recover them with ack-timeout retransmission.
 use nisim_bench::fmt::{norm, TableWriter};
-use nisim_bench::{run_fault_fig4, run_fault_study, FAULT_DROPS_PCT, FIFO_NIS};
+use nisim_bench::{
+    emit_document, fault_fig4_from_records, fault_fig4_sweep, fault_study_from_records,
+    fault_study_sweep, BenchArgs, FAULT_DROPS_PCT, FIFO_NIS,
+};
 use nisim_workloads::apps::MacroApp;
 
 fn main() {
+    let args = BenchArgs::parse();
+    let mut sweeps = Vec::new();
+    for app in [MacroApp::Appbt, MacroApp::Em3d] {
+        for ni in FIFO_NIS {
+            sweeps.push(fault_study_sweep(app, ni, &FAULT_DROPS_PCT));
+        }
+    }
+    let fig4_sweep = fault_fig4_sweep(MacroApp::Em3d, 5);
+    let results: Vec<_> = sweeps.iter().map(|s| s.run(args.jobs)).collect();
+    let fig4_records = fig4_sweep.run(args.jobs);
+    let mut sections: Vec<_> = sweeps
+        .iter()
+        .zip(&results)
+        .map(|(s, r)| (s.name.as_str(), r.as_slice()))
+        .collect();
+    sections.push((fig4_sweep.name.as_str(), fig4_records.as_slice()));
+    emit_document(&args, &sections);
+
     println!(
         "Fault study: FIFO NIs under packet loss (normalised to each\n\
          app/NI pair's loss-free run; reliability layer on)\n"
@@ -27,9 +48,11 @@ fn main() {
         "lost@5%".into(),
     ]);
     let mut unrecovered = 0u32;
+    let mut results_it = results.iter();
     for app in [MacroApp::Appbt, MacroApp::Em3d] {
         for ni in FIFO_NIS {
-            let points = run_fault_study(app, ni, &FAULT_DROPS_PCT);
+            let records = results_it.next().expect("one result per sweep");
+            let points = fault_study_from_records(records, app, ni, &FAULT_DROPS_PCT);
             unrecovered += points.iter().filter(|p| !p.recovered_all).count() as u32;
             let at5 = points.iter().find(|p| p.drop_pct == 5).expect("5% point");
             let mut row = vec![
@@ -59,7 +82,7 @@ fn main() {
         "retransmits".into(),
         "fc retries".into(),
     ]);
-    for p in run_fault_fig4(MacroApp::Em3d, 5) {
+    for p in fault_fig4_from_records(&fig4_records, MacroApp::Em3d, 5) {
         if !p.recovered_all {
             unrecovered += 1;
         }

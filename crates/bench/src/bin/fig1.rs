@@ -2,9 +2,25 @@
 //! data transfer / buffering / idle) of the seven macrobenchmarks on the
 //! CM-5-like NI with one flow-control buffer.
 use nisim_bench::fmt::{pct, TableWriter};
-use nisim_bench::{run_fig1, run_fig1_differential};
+use nisim_bench::{
+    emit_document, fig1_differential_from_records, fig1_differential_sweep, fig1_from_records,
+    fig1_sweep, BenchArgs,
+};
 
 fn main() {
+    let args = BenchArgs::parse();
+    let sweep = fig1_sweep();
+    let diff_sweep = fig1_differential_sweep();
+    let records = sweep.run(args.jobs);
+    let diff_records = diff_sweep.run(args.jobs);
+    emit_document(
+        &args,
+        &[
+            (sweep.name.as_str(), records.as_slice()),
+            (diff_sweep.name.as_str(), diff_records.as_slice()),
+        ],
+    );
+
     println!("Figure 1: execution-time decomposition, CM-5-like NI, flow control buffers = 1\n");
     let mut t = TableWriter::new(vec![
         "Benchmark".into(),
@@ -13,7 +29,7 @@ fn main() {
         "Buffering".into(),
         "Idle".into(),
     ]);
-    for row in run_fig1() {
+    for row in fig1_from_records(&records) {
         t.row(vec![
             row.app.name().into(),
             pct(row.compute),
@@ -36,7 +52,7 @@ fn main() {
         "Data transfer".into(),
         "Compute+sync".into(),
     ]);
-    for row in run_fig1_differential() {
+    for row in fig1_differential_from_records(&diff_records) {
         d.row(vec![
             row.app.name().into(),
             (row.total_ns / 1_000).to_string(),

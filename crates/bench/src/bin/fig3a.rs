@@ -2,11 +2,15 @@
 //! (CM-5-like, UDMA-based, AP3000-like) across flow-control buffer
 //! levels, normalised to the AP3000-like NI with 8 buffers.
 use nisim_bench::fmt::{norm, TableWriter};
-use nisim_bench::run_fig3a;
+use nisim_bench::{emit_json, fig3a_from_records, fig3a_sweep, BenchArgs};
 use nisim_workloads::apps::MacroApp;
 
 fn main() {
+    let args = BenchArgs::parse();
     println!("Figure 3a: FIFO NIs vs flow-control buffers (normalised to AP3000@8)\n");
+    let sweep = fig3a_sweep(&MacroApp::ALL);
+    let records = sweep.run(args.jobs);
+    emit_json(&args, &sweep.name, &records);
     let mut t = TableWriter::new(vec![
         "Benchmark".into(),
         "NI".into(),
@@ -16,7 +20,7 @@ fn main() {
         "B=1".into(),
     ]);
     for app in MacroApp::ALL {
-        let points = run_fig3a(app);
+        let points = fig3a_from_records(&records, app);
         for chunk in points.chunks(4) {
             t.row(vec![
                 if chunk[0].ni == nisim_core::NiKind::Cm5 {

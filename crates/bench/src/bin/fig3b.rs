@@ -2,12 +2,16 @@
 //! one flow-control buffer, normalised to the AP3000-like NI with 8
 //! buffers, plus the §6.2.2 memory-to-cache transaction comparison.
 use nisim_bench::fmt::{norm, TableWriter};
-use nisim_bench::run_fig3b;
+use nisim_bench::{emit_json, fig3b_from_records, fig3b_sweep, BenchArgs};
 use nisim_core::NiKind;
 use nisim_workloads::apps::MacroApp;
 
 fn main() {
+    let args = BenchArgs::parse();
     println!("Figure 3b: coherent NIs at 1 flow-control buffer (normalised to AP3000@8)\n");
+    let sweep = fig3b_sweep(&MacroApp::ALL);
+    let records = sweep.run(args.jobs);
+    emit_json(&args, &sweep.name, &records);
     let mut t = TableWriter::new(vec![
         "Benchmark".into(),
         "MC-like".into(),
@@ -21,7 +25,7 @@ fn main() {
     let mut total_sj = 0u64;
     let mut total_c32 = 0u64;
     for app in MacroApp::ALL {
-        let rows = run_fig3b(app);
+        let rows = fig3b_from_records(&records, app);
         let by = |k: NiKind| rows.iter().find(|r| r.point.ni == k).expect("row");
         let sj = by(NiKind::StartJr);
         let c32 = by(NiKind::Cni32Qm);

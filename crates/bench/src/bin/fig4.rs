@@ -2,11 +2,15 @@
 //! mapped NI approximation) across flow-control buffer levels,
 //! normalised to CNI_32Qm.
 use nisim_bench::fmt::{norm, TableWriter};
-use nisim_bench::run_fig4;
+use nisim_bench::{emit_json, fig4_from_records, fig4_sweep, BenchArgs};
 use nisim_workloads::apps::MacroApp;
 
 fn main() {
+    let args = BenchArgs::parse();
     println!("Figure 4: single-cycle NI_2w vs flow-control buffers (normalised to CNI_32Qm)\n");
+    let sweep = fig4_sweep(&MacroApp::ALL);
+    let records = sweep.run(args.jobs);
+    emit_json(&args, &sweep.name, &records);
     let mut t = TableWriter::new(vec![
         "Benchmark".into(),
         "B=1".into(),
@@ -15,7 +19,7 @@ fn main() {
         "B=32".into(),
     ]);
     for app in MacroApp::ALL {
-        let points = run_fig4(app);
+        let points = fig4_from_records(&records, app);
         t.row(vec![
             app.name().into(),
             norm(points[0].normalized),

@@ -2,10 +2,16 @@
 //! the "degree of processor involvement" parameter redistributes time
 //! between processor occupancy (o) and latency (L).
 use nisim_bench::fmt::TableWriter;
+use nisim_bench::record::lookup;
+use nisim_bench::{emit_json, logp_sweep, BenchArgs};
 use nisim_core::NiKind;
-use nisim_workloads::micro::logp::measure_logp;
 
 fn main() {
+    let args = BenchArgs::parse();
+    let sweep = logp_sweep(64);
+    let records = sweep.run(args.jobs);
+    emit_json(&args, &sweep.name, &records);
+
     println!("LogP-style characterisation at 64-byte payloads\n");
     let mut t = TableWriter::new(vec![
         "NI".into(),
@@ -16,14 +22,15 @@ fn main() {
         "involvement".into(),
     ]);
     for kind in NiKind::TABLE2 {
-        let r = measure_logp(kind, 64);
+        let r = lookup(&records, "logp:64", kind.key(), "8", "").expect("logp record");
+        let m = |name: &str| r.metric(name).expect("logp metric");
         t.row(vec![
             kind.name().into(),
-            format!("{:.2}", r.o_send_us),
-            format!("{:.2}", r.o_recv_us),
-            format!("{:.2}", r.l_us),
-            format!("{:.2}", r.g_us),
-            format!("{:.0}%", 100.0 * r.involvement()),
+            format!("{:.2}", m("o_send_us")),
+            format!("{:.2}", m("o_recv_us")),
+            format!("{:.2}", m("l_us")),
+            format!("{:.2}", m("g_us")),
+            format!("{:.0}%", 100.0 * m("involvement")),
         ]);
     }
     print!("{}", t.render());

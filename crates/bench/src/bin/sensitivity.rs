@@ -1,12 +1,35 @@
 //! Sensitivity studies beyond the paper's fixed Table 3 parameters:
 //! the UDMA crossover point, the processor/memory-gap prediction of
 //! §6.2.2, and network-latency scaling.
-use nisim_bench::{memory_gap_sensitivity, network_latency_sensitivity, udma_crossover};
+use nisim_bench::{
+    emit_document, memory_gap_from_records, memory_gap_sweep, network_latency_from_records,
+    network_latency_sweep, udma_crossover_from_records, udma_crossover_sweep, BenchArgs,
+};
+
+const CROSSOVER_PAYLOADS: [u64; 7] = [8, 32, 64, 96, 128, 192, 256];
+const MEM_LATENCIES: [u64; 4] = [60, 120, 240, 360];
+const WIRE_LATENCIES: [u64; 3] = [40, 400, 4000];
 
 fn main() {
+    let args = BenchArgs::parse();
+    let crossover_sweep = udma_crossover_sweep(&CROSSOVER_PAYLOADS);
+    let gap_sweep = memory_gap_sweep(&MEM_LATENCIES);
+    let wire_sweep = network_latency_sweep(&WIRE_LATENCIES);
+    let crossover = crossover_sweep.run(args.jobs);
+    let gap = gap_sweep.run(args.jobs);
+    let wire = wire_sweep.run(args.jobs);
+    emit_document(
+        &args,
+        &[
+            (crossover_sweep.name.as_str(), crossover.as_slice()),
+            (gap_sweep.name.as_str(), gap.as_slice()),
+            (wire_sweep.name.as_str(), wire.as_slice()),
+        ],
+    );
+
     println!("1. UDMA mechanism vs uncached fallback (round trip, us):");
     println!("   payload   pure-UDMA   uncached   winner");
-    for (p, pure, fb) in udma_crossover(&[8, 32, 64, 96, 128, 192, 256]) {
+    for (p, pure, fb) in udma_crossover_from_records(&crossover, &CROSSOVER_PAYLOADS) {
         println!(
             "   {p:>7}   {pure:>9.2}   {fb:>8.2}   {}",
             if pure < fb { "UDMA" } else { "uncached" }
@@ -15,14 +38,14 @@ fn main() {
     println!("   (paper: the macrobenchmarks switch to UDMA above 96 B)\n");
 
     println!("2. Memory-gap sensitivity (em3d, StarT-JR time / CNI_32Qm time):");
-    for (lat, ratio) in memory_gap_sensitivity(&[60, 120, 240, 360]) {
+    for (lat, ratio) in memory_gap_from_records(&gap, &MEM_LATENCIES) {
         println!("   memory {lat:>4} ns -> {ratio:.3}x");
     }
     println!("   (paper 6.2.2: the CNI edge should grow with the gap)\n");
 
     println!("3. Network-latency sensitivity (64 B round trip, us):");
     println!("   wire       CM-5   CNI_32Qm");
-    for (lat, cm5, cni) in network_latency_sensitivity(&[40, 400, 4000]) {
+    for (lat, cm5, cni) in network_latency_from_records(&wire, &WIRE_LATENCIES) {
         println!("   {lat:>5} ns  {cm5:>6.2}   {cni:>7.2}");
     }
     println!("   (NI design matters less as the wire starts to dominate)");

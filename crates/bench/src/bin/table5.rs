@@ -1,11 +1,17 @@
 //! Regenerates Table 5: process-to-process round-trip latency (µs) and
 //! bandwidth (MB/s) for the seven NIs plus CNI_32Qm+Throttle.
 use nisim_bench::fmt::TableWriter;
-use nisim_bench::{run_table5, BW_PAYLOADS, RTT_PAYLOADS};
+use nisim_bench::{
+    emit_json, table5_from_records, table5_sweep, BenchArgs, BW_PAYLOADS, RTT_PAYLOADS,
+};
 
 fn main() {
+    let args = BenchArgs::parse();
     println!("Table 5: round-trip latency (us) and bandwidth (MB/s), flow control buffers = 8\n");
-    let (rows, throttled) = run_table5();
+    let sweep = table5_sweep();
+    let records = sweep.run(args.jobs);
+    emit_json(&args, &sweep.name, &records);
+    let (rows, throttled) = table5_from_records(&records);
     let mut header = vec!["NI".to_string()];
     header.extend(RTT_PAYLOADS.iter().map(|p| format!("rtt{p}")));
     header.extend(BW_PAYLOADS.iter().map(|p| format!("bw{p}")));

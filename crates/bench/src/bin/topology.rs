@@ -2,11 +2,16 @@
 //! network is no longer free (the Dai & Panda caveat the paper cites).
 //! Runs em3d on the ideal, ring and 2-D mesh fabrics.
 use nisim_bench::fmt::TableWriter;
-use nisim_core::{MachineConfig, NiKind};
-use nisim_net::Topology;
-use nisim_workloads::apps::{run_app, MacroApp};
+use nisim_bench::record::lookup;
+use nisim_bench::{emit_json, topology_sweep, BenchArgs};
+use nisim_core::NiKind;
 
 fn main() {
+    let args = BenchArgs::parse();
+    let sweep = topology_sweep();
+    let records = sweep.run(args.jobs);
+    emit_json(&args, &sweep.name, &records);
+
     println!("Topology study: em3d execution time (us) under real fabrics\n");
     let mut t = TableWriter::new(vec![
         "NI".into(),
@@ -16,24 +21,20 @@ fn main() {
         "mesh/ideal".into(),
     ]);
     for ni in [NiKind::Cm5, NiKind::Ap3000, NiKind::Cni32Qm] {
-        let mut cells = vec![ni.name().to_string()];
-        let mut base = 0u64;
-        let mut mesh = 0u64;
-        for topo in [Topology::Ideal, Topology::Ring, Topology::Mesh2D] {
-            let mut cfg = MachineConfig::with_ni(ni);
-            cfg.net.topology = topo;
-            let r = run_app(MacroApp::Em3d, &cfg, &MacroApp::Em3d.default_params());
-            let us = r.elapsed.as_ns() / 1_000;
-            if topo == Topology::Ideal {
-                base = us;
-            }
-            if topo == Topology::Mesh2D {
-                mesh = us;
-            }
-            cells.push(us.to_string());
-        }
-        cells.push(format!("{:.2}", mesh as f64 / base as f64));
-        t.row(cells);
+        let us = |patch: &str| {
+            lookup(&records, "em3d", ni.key(), "8", patch)
+                .expect("topology record")
+                .elapsed_ns
+                / 1_000
+        };
+        let (base, ring, mesh) = (us(""), us("ring"), us("mesh2d"));
+        t.row(vec![
+            ni.name().to_string(),
+            base.to_string(),
+            ring.to_string(),
+            mesh.to_string(),
+            format!("{:.2}", mesh as f64 / base as f64),
+        ]);
     }
     print!("{}", t.render());
     println!(

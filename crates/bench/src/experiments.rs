@@ -1,21 +1,52 @@
 //! Experiment runners for every table and figure of the paper.
 //!
-//! Each runner returns structured results; the `src/bin/*` harness
-//! binaries print them in the paper's layout and `EXPERIMENTS.md` records
-//! the paper-vs-measured comparison.
+//! Each experiment is described as a [`Sweep`] (the cartesian grid of
+//! workloads × NI designs × buffer levels × config patches) and executed
+//! through the parallel harness in [`crate::harness`]; the fold
+//! functions (`*_from_records`) reduce the resulting [`RunRecord`]s back
+//! to the paper's row/series structures. The `src/bin/*` binaries print
+//! them in the paper's layout (and emit the raw records as JSON with
+//! `--json`); `EXPERIMENTS.md` records the paper-vs-measured comparison
+//! and `tests/goldens/` pins the full machine-readable output.
 
 use nisim_core::{Machine, MachineConfig, MachineReport, NiKind, TimeCategory};
 use nisim_engine::stats::Histogram;
 use nisim_engine::Dur;
-use nisim_net::BufferCount;
+use nisim_net::{BufferCount, Topology};
 use nisim_workloads::apps::{run_app, MacroApp};
-use nisim_workloads::micro::bandwidth::{bandwidth_for, measure_bandwidth};
-use nisim_workloads::micro::pingpong::{measure_round_trip, round_trip_for};
+
+use crate::harness::{default_jobs, Patch, Sweep, Work};
+use crate::record::{lookup, RunRecord};
 
 /// The round-trip payload sizes of Table 5 (bytes).
 pub const RTT_PAYLOADS: [u64; 3] = [8, 64, 256];
 /// The bandwidth payload sizes of Table 5 (bytes).
 pub const BW_PAYLOADS: [u64; 4] = [8, 64, 256, 4096];
+
+const B1: BufferCount = BufferCount::Finite(1);
+const B8: BufferCount = BufferCount::Finite(8);
+
+/// Finds a record in a sweep's results, panicking with the full grid key
+/// if it is missing (a missing point is a harness bug, not data).
+fn rec<'a>(
+    records: &'a [RunRecord],
+    work: &str,
+    ni: NiKind,
+    buffers: BufferCount,
+    patch: &str,
+) -> &'a RunRecord {
+    lookup(records, work, ni.key(), &buffers.to_string(), patch).unwrap_or_else(|| {
+        panic!(
+            "missing record work={work:?} ni={:?} buffers={buffers} patch={patch:?}",
+            ni.key()
+        )
+    })
+}
+
+fn metric(r: &RunRecord, name: &str) -> f64 {
+    r.metric(name)
+        .unwrap_or_else(|| panic!("record {}/{} lacks metric {name:?}", r.work, r.ni))
+}
 
 /// One row of Table 5.
 #[derive(Clone, Debug)]
@@ -28,19 +59,37 @@ pub struct Table5Row {
     pub bw_mb_s: [f64; 4],
 }
 
-/// Runs the two §6.1 microbenchmarks for all seven NIs plus the
-/// throttled-bandwidth row (Table 5).
-pub fn run_table5() -> (Vec<Table5Row>, f64) {
+/// The Table 5 grid: both §6.1 microbenchmarks across all seven NIs,
+/// plus the throttled-bandwidth extra point.
+pub fn table5_sweep() -> Sweep {
+    let mut works: Vec<Work> = RTT_PAYLOADS.iter().map(|&p| Work::RoundTrip(p)).collect();
+    works.extend(BW_PAYLOADS.iter().map(|&p| Work::Bandwidth(p)));
+    Sweep::new("table5")
+        .works(works)
+        .nis(&NiKind::TABLE2)
+        .point(
+            Work::Bandwidth(4096),
+            NiKind::Cni32QmThrottle,
+            B8,
+            Patch::default(),
+        )
+}
+
+/// Folds Table 5 records into rows plus the throttled 4 KB bandwidth.
+pub fn table5_from_records(records: &[RunRecord]) -> (Vec<Table5Row>, f64) {
     let rows = NiKind::TABLE2
         .iter()
         .map(|&kind| {
             let mut rtt = [0.0; 3];
             for (i, &p) in RTT_PAYLOADS.iter().enumerate() {
-                rtt[i] = round_trip_for(kind, p).mean_us;
+                rtt[i] = metric(
+                    rec(records, &format!("rtt:{p}"), kind, B8, ""),
+                    "rtt_mean_us",
+                );
             }
             let mut bw = [0.0; 4];
             for (i, &p) in BW_PAYLOADS.iter().enumerate() {
-                bw[i] = bandwidth_for(kind, p).mb_per_s;
+                bw[i] = metric(rec(records, &format!("bw:{p}"), kind, B8, ""), "bw_mb_s");
             }
             Table5Row {
                 kind,
@@ -49,8 +98,17 @@ pub fn run_table5() -> (Vec<Table5Row>, f64) {
             }
         })
         .collect();
-    let throttled = bandwidth_for(NiKind::Cni32QmThrottle, 4096).mb_per_s;
+    let throttled = metric(
+        rec(records, "bw:4096", NiKind::Cni32QmThrottle, B8, ""),
+        "bw_mb_s",
+    );
     (rows, throttled)
+}
+
+/// Runs the two §6.1 microbenchmarks for all seven NIs plus the
+/// throttled-bandwidth row (Table 5).
+pub fn run_table5() -> (Vec<Table5Row>, f64) {
+    table5_from_records(&table5_sweep().run(default_jobs()))
 }
 
 /// One bar of Figure 1: the execution-time decomposition of one
@@ -69,14 +127,21 @@ pub struct Fig1Row {
     pub idle: f64,
 }
 
-/// Runs Figure 1: all seven macrobenchmarks on the CM-5-like NI with
-/// flow-control buffers = 1.
-pub fn run_fig1() -> Vec<Fig1Row> {
+/// The Figure 1 grid: all seven macrobenchmarks, CM-5-like NI, one
+/// flow-control buffer.
+pub fn fig1_sweep() -> Sweep {
+    Sweep::new("fig1")
+        .apps(&MacroApp::ALL)
+        .nis(&[NiKind::Cm5])
+        .buffers(&[B1])
+}
+
+/// Folds Figure 1 records into per-app decompositions.
+pub fn fig1_from_records(records: &[RunRecord]) -> Vec<Fig1Row> {
     MacroApp::ALL
         .iter()
         .map(|&app| {
-            let cfg = MachineConfig::with_ni(NiKind::Cm5).flow_buffers(BufferCount::Finite(1));
-            let r = run_app(app, &cfg, &app.default_params());
+            let r = rec(records, app.name(), NiKind::Cm5, B1, "");
             Fig1Row {
                 app,
                 compute: r.fraction(TimeCategory::Compute),
@@ -86,6 +151,12 @@ pub fn run_fig1() -> Vec<Fig1Row> {
             }
         })
         .collect()
+}
+
+/// Runs Figure 1: all seven macrobenchmarks on the CM-5-like NI with
+/// flow-control buffers = 1.
+pub fn run_fig1() -> Vec<Fig1Row> {
+    fig1_from_records(&fig1_sweep().run(default_jobs()))
 }
 
 /// One macrobenchmark measurement point for the Figure 3/4 sweeps.
@@ -106,20 +177,8 @@ pub struct MacroPoint {
 /// Per-app normalisation baseline: the AP3000-like NI at 8 flow-control
 /// buffers, as in Figures 3a/3b.
 pub fn ap3000_baseline(app: MacroApp) -> u64 {
-    let cfg = MachineConfig::with_ni(NiKind::Ap3000).flow_buffers(BufferCount::Finite(8));
+    let cfg = MachineConfig::with_ni(NiKind::Ap3000).flow_buffers(B8);
     run_app(app, &cfg, &app.default_params()).elapsed.as_ns()
-}
-
-fn macro_point(app: MacroApp, ni: NiKind, buffers: BufferCount, baseline: u64) -> MacroPoint {
-    let cfg = MachineConfig::with_ni(ni).flow_buffers(buffers);
-    let r = run_app(app, &cfg, &app.default_params());
-    MacroPoint {
-        app,
-        ni,
-        buffers,
-        elapsed_ns: r.elapsed.as_ns(),
-        normalized: r.elapsed.as_ns() as f64 / baseline as f64,
-    }
 }
 
 /// The buffer levels of Figure 3a, most to least generous.
@@ -141,17 +200,38 @@ pub const COHERENT_NIS: [NiKind; 4] = [
     NiKind::Cni32Qm,
 ];
 
-/// Runs Figure 3a: the FIFO NIs across buffer levels, per app, normalised
-/// to AP3000@8.
-pub fn run_fig3a(app: MacroApp) -> Vec<MacroPoint> {
-    let baseline = ap3000_baseline(app);
+/// The Figure 3a grid for `apps`: FIFO NIs × buffer levels. The
+/// AP3000@8 normalisation baseline is itself a grid point.
+pub fn fig3a_sweep(apps: &[MacroApp]) -> Sweep {
+    Sweep::new("fig3a")
+        .apps(apps)
+        .nis(&FIFO_NIS)
+        .buffers(&FIG3A_BUFFERS)
+}
+
+/// Folds one app's Figure 3a points out of the sweep records.
+pub fn fig3a_from_records(records: &[RunRecord], app: MacroApp) -> Vec<MacroPoint> {
+    let baseline = rec(records, app.name(), NiKind::Ap3000, B8, "").elapsed_ns;
     let mut out = Vec::new();
     for ni in FIFO_NIS {
         for b in FIG3A_BUFFERS {
-            out.push(macro_point(app, ni, b, baseline));
+            let r = rec(records, app.name(), ni, b, "");
+            out.push(MacroPoint {
+                app,
+                ni,
+                buffers: b,
+                elapsed_ns: r.elapsed_ns,
+                normalized: r.elapsed_ns as f64 / baseline as f64,
+            });
         }
     }
     out
+}
+
+/// Runs Figure 3a: the FIFO NIs across buffer levels, per app, normalised
+/// to AP3000@8.
+pub fn run_fig3a(app: MacroApp) -> Vec<MacroPoint> {
+    fig3a_from_records(&fig3a_sweep(&[app]).run(default_jobs()), app)
 }
 
 /// One Figure 3b row: a coherent NI at one buffer, plus the §6.2.2
@@ -165,28 +245,45 @@ pub struct Fig3bRow {
     pub mem_reads: u64,
 }
 
-/// Runs Figure 3b: the four coherent NIs with one flow-control buffer
-/// (the paper's configuration — they are insensitive to it), normalised
-/// to AP3000@8.
-pub fn run_fig3b(app: MacroApp) -> Vec<Fig3bRow> {
-    let baseline = ap3000_baseline(app);
+/// The Figure 3b grid for `apps`: coherent NIs at one buffer, plus each
+/// app's AP3000@8 baseline as an extra point.
+pub fn fig3b_sweep(apps: &[MacroApp]) -> Sweep {
+    let mut sweep = Sweep::new("fig3b")
+        .apps(apps)
+        .nis(&COHERENT_NIS)
+        .buffers(&[B1]);
+    for &app in apps {
+        sweep = sweep.point(Work::Macro(app), NiKind::Ap3000, B8, Patch::default());
+    }
+    sweep
+}
+
+/// Folds one app's Figure 3b rows out of the sweep records.
+pub fn fig3b_from_records(records: &[RunRecord], app: MacroApp) -> Vec<Fig3bRow> {
+    let baseline = rec(records, app.name(), NiKind::Ap3000, B8, "").elapsed_ns;
     COHERENT_NIS
         .iter()
         .map(|&ni| {
-            let cfg = MachineConfig::with_ni(ni).flow_buffers(BufferCount::Finite(1));
-            let r = run_app(app, &cfg, &app.default_params());
+            let r = rec(records, app.name(), ni, B1, "");
             Fig3bRow {
                 point: MacroPoint {
                     app,
                     ni,
-                    buffers: BufferCount::Finite(1),
-                    elapsed_ns: r.elapsed.as_ns(),
-                    normalized: r.elapsed.as_ns() as f64 / baseline as f64,
+                    buffers: B1,
+                    elapsed_ns: r.elapsed_ns,
+                    normalized: r.elapsed_ns as f64 / baseline as f64,
                 },
-                mem_reads: r.mem_reads,
+                mem_reads: r.counter("mem_reads"),
             }
         })
         .collect()
+}
+
+/// Runs Figure 3b: the four coherent NIs with one flow-control buffer
+/// (the paper's configuration — they are insensitive to it), normalised
+/// to AP3000@8.
+pub fn run_fig3b(app: MacroApp) -> Vec<Fig3bRow> {
+    fig3b_from_records(&fig3b_sweep(&[app]).run(default_jobs()), app)
 }
 
 /// The buffer levels of Figure 4.
@@ -197,17 +294,41 @@ pub const FIG4_BUFFERS: [BufferCount; 4] = [
     BufferCount::Finite(32),
 ];
 
+/// The Figure 4 grid for `apps`: the single-cycle `NI_2w` across buffer
+/// levels, plus each app's `CNI_32Q_m` baseline as an extra point.
+pub fn fig4_sweep(apps: &[MacroApp]) -> Sweep {
+    let mut sweep = Sweep::new("fig4")
+        .apps(apps)
+        .nis(&[NiKind::Cm5SingleCycle])
+        .buffers(&FIG4_BUFFERS);
+    for &app in apps {
+        sweep = sweep.point(Work::Macro(app), NiKind::Cni32Qm, B1, Patch::default());
+    }
+    sweep
+}
+
+/// Folds one app's Figure 4 points out of the sweep records.
+pub fn fig4_from_records(records: &[RunRecord], app: MacroApp) -> Vec<MacroPoint> {
+    let baseline = rec(records, app.name(), NiKind::Cni32Qm, B1, "").elapsed_ns;
+    FIG4_BUFFERS
+        .iter()
+        .map(|&b| {
+            let r = rec(records, app.name(), NiKind::Cm5SingleCycle, b, "");
+            MacroPoint {
+                app,
+                ni: NiKind::Cm5SingleCycle,
+                buffers: b,
+                elapsed_ns: r.elapsed_ns,
+                normalized: r.elapsed_ns as f64 / baseline as f64,
+            }
+        })
+        .collect()
+}
+
 /// Runs Figure 4: the single-cycle `NI_2w` across buffer levels,
 /// normalised to `CNI_32Q_m` (which is buffer-insensitive).
 pub fn run_fig4(app: MacroApp) -> Vec<MacroPoint> {
-    let cni = {
-        let cfg = MachineConfig::with_ni(NiKind::Cni32Qm).flow_buffers(BufferCount::Finite(1));
-        run_app(app, &cfg, &app.default_params()).elapsed.as_ns()
-    };
-    FIG4_BUFFERS
-        .iter()
-        .map(|&b| macro_point(app, NiKind::Cm5SingleCycle, b, cni))
-        .collect()
+    fig4_from_records(&fig4_sweep(&[app]).run(default_jobs()), app)
 }
 
 /// Runs one macrobenchmark and returns its message-size histogram
@@ -222,13 +343,75 @@ pub fn run_macro(app: MacroApp, cfg: &MachineConfig) -> MachineReport {
     run_app(app, cfg, &app.default_params())
 }
 
+/// The CNI send-side prefetch ablation grid.
+pub fn ablation_prefetch_sweep() -> Sweep {
+    Sweep::new("ablation-prefetch")
+        .works(vec![Work::RoundTrip(256)])
+        .nis(&[NiKind::Cni512Q])
+        .patches(vec![
+            Patch::default(),
+            Patch {
+                label: "prefetch-off".into(),
+                cni_prefetch: Some(false),
+                ..Patch::default()
+            },
+        ])
+}
+
+/// Folds the prefetch ablation to `(on, off)` round-trip times (µs).
+pub fn ablation_prefetch_from_records(records: &[RunRecord]) -> (f64, f64) {
+    let on = metric(
+        rec(records, "rtt:256", NiKind::Cni512Q, B8, ""),
+        "rtt_mean_us",
+    );
+    let off = metric(
+        rec(records, "rtt:256", NiKind::Cni512Q, B8, "prefetch-off"),
+        "rtt_mean_us",
+    );
+    (on, off)
+}
+
 /// Ablation: CNI send-side prefetch on/off — 256 B round-trip latency of
 /// `CNI_512Q` (the design choice behind its §6.1.1 win over StarT-JR).
 pub fn ablation_prefetch() -> (f64, f64) {
-    let on = round_trip_for(NiKind::Cni512Q, 256).mean_us;
-    let mut cfg = MachineConfig::with_ni(NiKind::Cni512Q);
-    cfg.cni_prefetch = false;
-    let off = measure_round_trip(&cfg, 256).mean_us;
+    ablation_prefetch_from_records(&ablation_prefetch_sweep().run(default_jobs()))
+}
+
+/// The bursty workload the bypass ablation measures: 40 bursts of 48
+/// 248-byte messages separated by 60 µs of computation.
+pub const BYPASS_BURSTY: Work = Work::Bursty {
+    bursts: 40,
+    burst_len: 48,
+    gap_ns: 60_000,
+};
+
+/// The `CNI_32Q_m` receive-cache bypass ablation grid.
+pub fn ablation_bypass_sweep() -> Sweep {
+    Sweep::new("ablation-bypass")
+        .works(vec![BYPASS_BURSTY])
+        .nis(&[NiKind::Cni32Qm])
+        .patches(vec![
+            Patch::default(),
+            Patch {
+                label: "bypass-off".into(),
+                cni_bypass: Some(false),
+                ..Patch::default()
+            },
+        ])
+}
+
+/// Folds the bypass ablation to `(on, off)` receive-side data-transfer
+/// times (µs).
+pub fn ablation_bypass_from_records(records: &[RunRecord]) -> (f64, f64) {
+    let key = BYPASS_BURSTY.key();
+    let on = metric(
+        rec(records, &key, NiKind::Cni32Qm, B8, ""),
+        "recv_data_transfer_us",
+    );
+    let off = metric(
+        rec(records, &key, NiKind::Cni32Qm, B8, "bypass-off"),
+        "recv_data_transfer_us",
+    );
     (on, off)
 }
 
@@ -241,13 +424,7 @@ pub fn ablation_prefetch() -> (f64, f64) {
 /// memory speed. Measures the receiving processor's data-transfer time
 /// (µs, lower is better); returns `(bypass_on, bypass_off)`.
 pub fn ablation_bypass() -> (f64, f64) {
-    let measure = |bypass: bool| {
-        let mut cfg = MachineConfig::with_ni(NiKind::Cni32Qm);
-        cfg.cni_bypass = bypass;
-        let r = bursty_report(&cfg, 40, 48, Dur::us(60));
-        r.ledgers[1].get(TimeCategory::DataTransfer).as_ns() as f64 / 1_000.0
-    };
-    (measure(true), measure(false))
+    ablation_bypass_from_records(&ablation_bypass_sweep().run(default_jobs()))
 }
 
 /// Helper: a 2-node bursty exchange — `bursts` bursts of `burst_len`
@@ -313,28 +490,115 @@ pub fn bursty_report(cfg: &MachineConfig, bursts: u32, burst_len: u32, gap: Dur)
     })
 }
 
+/// The dead-block head-update ablation grid: 4 KB bandwidth plus a
+/// fixed 60-message stream for writeback counting.
+pub fn ablation_dead_block_sweep() -> Sweep {
+    Sweep::new("ablation-dead-block")
+        .works(vec![Work::Bandwidth(4096), Work::Stream(60)])
+        .nis(&[NiKind::Cni32Qm])
+        .patches(vec![
+            Patch::default(),
+            Patch {
+                label: "dead-block-off".into(),
+                cni_dead_block_opt: Some(false),
+                ..Patch::default()
+            },
+        ])
+}
+
+/// Folds the dead-block ablation to `((bw_on, writebacks_on),
+/// (bw_off, writebacks_off))`.
+pub fn ablation_dead_block_from_records(records: &[RunRecord]) -> ((f64, u64), (f64, u64)) {
+    let fold = |patch: &str| {
+        let bw = metric(
+            rec(records, "bw:4096", NiKind::Cni32Qm, B8, patch),
+            "bw_mb_s",
+        );
+        let wb = rec(records, "stream:60", NiKind::Cni32Qm, B8, patch).counter("mem_writes");
+        (bw, wb)
+    };
+    (fold(""), fold("dead-block-off"))
+}
+
 /// Ablation: `CNI_32Q_m` dead-block head-update optimisation on/off —
 /// 4096 B bandwidth and memory writebacks (§4 improvement 2).
 pub fn ablation_dead_block() -> ((f64, u64), (f64, u64)) {
-    let measure = |dead_block: bool| {
-        let mut cfg = MachineConfig::with_ni(NiKind::Cni32Qm);
-        cfg.cni_dead_block_opt = dead_block;
-        let bw = measure_bandwidth(&cfg, 4096).mb_per_s;
-        // Count the writeback traffic on a fixed stream.
-        let r = crate::experiments::stream_report(&cfg, 60);
-        (bw, r.mem_writes)
-    };
-    (measure(true), measure(false))
+    ablation_dead_block_from_records(&ablation_dead_block_sweep().run(default_jobs()))
+}
+
+/// The send-throttle sweep grid for `CNI_32Q_m` (Table 5 footnote).
+pub fn ablation_throttle_sweep(delays_ns: &[u64]) -> Sweep {
+    Sweep::new("ablation-throttle")
+        .works(vec![Work::Bandwidth(4096)])
+        .nis(&[NiKind::Cni32QmThrottle])
+        .patches(
+            delays_ns
+                .iter()
+                .map(|&d| Patch {
+                    label: format!("throttle={d}ns"),
+                    throttle_delay_ns: Some(d),
+                    ..Patch::default()
+                })
+                .collect(),
+        )
+}
+
+/// Folds the throttle sweep to `(delay, bandwidth)` pairs.
+pub fn ablation_throttle_from_records(records: &[RunRecord], delays_ns: &[u64]) -> Vec<(u64, f64)> {
+    delays_ns
+        .iter()
+        .map(|&d| {
+            let label = format!("throttle={d}ns");
+            let r = rec(records, "bw:4096", NiKind::Cni32QmThrottle, B8, &label);
+            (d, metric(r, "bw_mb_s"))
+        })
+        .collect()
 }
 
 /// Ablation: send-throttle sweep for `CNI_32Q_m` (Table 5 footnote).
 pub fn ablation_throttle(delays_ns: &[u64]) -> Vec<(u64, f64)> {
-    delays_ns
+    ablation_throttle_from_records(
+        &ablation_throttle_sweep(delays_ns).run(default_jobs()),
+        delays_ns,
+    )
+}
+
+/// The NI cache-size sweep grid bridging `CNI_32Q_m` towards
+/// `CNI_512Q`-class capacity.
+pub fn ablation_ni_cache_sweep(blocks: &[u32]) -> Sweep {
+    Sweep::new("ablation-ni-cache")
+        .works(vec![Work::RoundTrip(64), Work::Bandwidth(4096)])
+        .nis(&[NiKind::Cni32Qm])
+        .patches(
+            blocks
+                .iter()
+                .map(|&b| Patch {
+                    label: format!("cache={b}"),
+                    cni_cache_blocks: Some(b),
+                    ..Patch::default()
+                })
+                .collect(),
+        )
+}
+
+/// Folds the cache-size sweep to `(blocks, rtt64_us, bw4096_mb_s)`.
+pub fn ablation_ni_cache_from_records(
+    records: &[RunRecord],
+    blocks: &[u32],
+) -> Vec<(u32, f64, f64)> {
+    blocks
         .iter()
-        .map(|&d| {
-            let mut cfg = MachineConfig::with_ni(NiKind::Cni32QmThrottle);
-            cfg.costs.throttle_delay = Dur::ns(d);
-            (d, measure_bandwidth(&cfg, 4096).mb_per_s)
+        .map(|&b| {
+            let label = format!("cache={b}");
+            let rtt = metric(
+                rec(records, "rtt:64", NiKind::Cni32Qm, B8, &label),
+                "rtt_mean_us",
+            );
+            let bw = metric(
+                rec(records, "bw:4096", NiKind::Cni32Qm, B8, &label),
+                "bw_mb_s",
+            );
+            (b, rtt, bw)
         })
         .collect()
 }
@@ -342,16 +606,7 @@ pub fn ablation_throttle(delays_ns: &[u64]) -> Vec<(u64, f64)> {
 /// Ablation: NI cache size sweep bridging `CNI_32Q_m` towards
 /// `CNI_512Q`-class capacity.
 pub fn ablation_ni_cache(blocks: &[u32]) -> Vec<(u32, f64, f64)> {
-    blocks
-        .iter()
-        .map(|&b| {
-            let mut cfg = MachineConfig::with_ni(NiKind::Cni32Qm);
-            cfg.cni_cache_blocks = b;
-            let rtt = measure_round_trip(&cfg, 64).mean_us;
-            let bw = measure_bandwidth(&cfg, 4096).mb_per_s;
-            (b, rtt, bw)
-        })
-        .collect()
+    ablation_ni_cache_from_records(&ablation_ni_cache_sweep(blocks).run(default_jobs()), blocks)
 }
 
 /// Helper: a fixed 2-node stream of `n` 4096-byte messages, reported.
@@ -497,24 +752,80 @@ mod tests {
     }
 }
 
+/// The UDMA-vs-uncached crossover grid: round trips per payload, pure
+/// UDMA (the baseline patch) against the always-uncached fallback.
+pub fn udma_crossover_sweep(payloads: &[u64]) -> Sweep {
+    Sweep::new("udma-crossover")
+        .works(payloads.iter().map(|&p| Work::RoundTrip(p)).collect())
+        .nis(&[NiKind::Udma])
+        .patches(vec![
+            Patch::default(),
+            Patch {
+                label: "uncached".into(),
+                udma_uncached_fallback: true,
+                ..Patch::default()
+            },
+        ])
+}
+
+/// Folds the crossover sweep to `(payload, pure_rtt, fallback_rtt)`.
+pub fn udma_crossover_from_records(
+    records: &[RunRecord],
+    payloads: &[u64],
+) -> Vec<(u64, f64, f64)> {
+    payloads
+        .iter()
+        .map(|&p| {
+            let work = format!("rtt:{p}");
+            let pure = metric(rec(records, &work, NiKind::Udma, B8, ""), "rtt_mean_us");
+            let fb = metric(
+                rec(records, &work, NiKind::Udma, B8, "uncached"),
+                "rtt_mean_us",
+            );
+            (p, pure, fb)
+        })
+        .collect()
+}
+
 /// Finds the UDMA/uncached crossover empirically: the paper's
 /// macrobenchmarks switch to the UDMA mechanism above a 96-byte payload
 /// because below that its initiation overhead loses to uncached
 /// transfers (§6.1.1). Returns `(payload, pure_udma_rtt, fallback_rtt)`
 /// per probed size.
 pub fn udma_crossover(payloads: &[u64]) -> Vec<(u64, f64, f64)> {
-    payloads
+    udma_crossover_from_records(
+        &udma_crossover_sweep(payloads).run(default_jobs()),
+        payloads,
+    )
+}
+
+/// The §6.2.2 memory-gap grid: em3d on StarT-JR and `CNI_32Q_m` across
+/// main-memory latencies.
+pub fn memory_gap_sweep(mem_latencies_ns: &[u64]) -> Sweep {
+    Sweep::new("memory-gap")
+        .apps(&[MacroApp::Em3d])
+        .nis(&[NiKind::StartJr, NiKind::Cni32Qm])
+        .patches(
+            mem_latencies_ns
+                .iter()
+                .map(|&lat| Patch {
+                    label: format!("mem={lat}ns"),
+                    main_memory_latency_ns: Some(lat),
+                    ..Patch::default()
+                })
+                .collect(),
+        )
+}
+
+/// Folds the memory-gap sweep to `(latency, sj_time / cni_time)`.
+pub fn memory_gap_from_records(records: &[RunRecord], mem_latencies_ns: &[u64]) -> Vec<(u64, f64)> {
+    mem_latencies_ns
         .iter()
-        .map(|&p| {
-            let mut pure = MachineConfig::with_ni(NiKind::Udma);
-            pure.costs = pure.costs.pure_udma();
-            let mut fallback = MachineConfig::with_ni(NiKind::Udma);
-            fallback.costs.udma_threshold_payload = u64::MAX; // always uncached
-            (
-                p,
-                measure_round_trip(&pure, p).mean_us,
-                measure_round_trip(&fallback, p).mean_us,
-            )
+        .map(|&lat| {
+            let label = format!("mem={lat}ns");
+            let sj = rec(records, "em3d", NiKind::StartJr, B8, &label).elapsed_ns;
+            let cni = rec(records, "em3d", NiKind::Cni32Qm, B8, &label).elapsed_ns;
+            (lat, sj as f64 / cni as f64)
         })
         .collect()
 }
@@ -524,17 +835,48 @@ pub fn udma_crossover(payloads: &[u64]) -> Vec<(u64, f64, f64)> {
 /// of the StarT-JR-like NI. Returns, per memory latency, the ratio
 /// `StarT-JR time / CNI_32Qm time` on em3d (higher = bigger CNI edge).
 pub fn memory_gap_sensitivity(mem_latencies_ns: &[u64]) -> Vec<(u64, f64)> {
-    mem_latencies_ns
+    memory_gap_from_records(
+        &memory_gap_sweep(mem_latencies_ns).run(default_jobs()),
+        mem_latencies_ns,
+    )
+}
+
+/// The network-latency grid: 64 B round trips on the CM-5-like NI and
+/// `CNI_32Q_m` across wire latencies.
+pub fn network_latency_sweep(latencies_ns: &[u64]) -> Sweep {
+    Sweep::new("network-latency")
+        .works(vec![Work::RoundTrip(64)])
+        .nis(&[NiKind::Cm5, NiKind::Cni32Qm])
+        .patches(
+            latencies_ns
+                .iter()
+                .map(|&lat| Patch {
+                    label: format!("wire={lat}ns"),
+                    wire_latency_ns: Some(lat),
+                    ..Patch::default()
+                })
+                .collect(),
+        )
+}
+
+/// Folds the network-latency sweep to `(latency, cm5_rtt, cni_rtt)`.
+pub fn network_latency_from_records(
+    records: &[RunRecord],
+    latencies_ns: &[u64],
+) -> Vec<(u64, f64, f64)> {
+    latencies_ns
         .iter()
         .map(|&lat| {
-            let run = |ni: NiKind| {
-                let mut cfg = MachineConfig::with_ni(ni);
-                cfg.main_memory_latency = Dur::ns(lat);
-                run_app(MacroApp::Em3d, &cfg, &MacroApp::Em3d.default_params())
-                    .elapsed
-                    .as_ns() as f64
-            };
-            (lat, run(NiKind::StartJr) / run(NiKind::Cni32Qm))
+            let label = format!("wire={lat}ns");
+            let cm5 = metric(
+                rec(records, "rtt:64", NiKind::Cm5, B8, &label),
+                "rtt_mean_us",
+            );
+            let cni = metric(
+                rec(records, "rtt:64", NiKind::Cni32Qm, B8, &label),
+                "rtt_mean_us",
+            );
+            (lat, cm5, cni)
         })
         .collect()
 }
@@ -543,17 +885,38 @@ pub fn memory_gap_sensitivity(mem_latencies_ns: &[u64]) -> Vec<(u64, f64)> {
 /// free; this sweep shows how the NI rankings react when the wire
 /// dominates. Returns `(latency, cm5_rtt, cni32qm_rtt)` per point.
 pub fn network_latency_sensitivity(latencies_ns: &[u64]) -> Vec<(u64, f64, f64)> {
-    latencies_ns
-        .iter()
-        .map(|&lat| {
-            let run = |ni: NiKind| {
-                let mut cfg = MachineConfig::with_ni(ni);
-                cfg.net.wire_latency = Dur::ns(lat);
-                measure_round_trip(&cfg, 64).mean_us
-            };
-            (lat, run(NiKind::Cm5), run(NiKind::Cni32Qm))
-        })
-        .collect()
+    network_latency_from_records(
+        &network_latency_sweep(latencies_ns).run(default_jobs()),
+        latencies_ns,
+    )
+}
+
+/// The LogP characterisation grid: all seven NIs at one payload.
+pub fn logp_sweep(payload: u64) -> Sweep {
+    Sweep::new("logp")
+        .works(vec![Work::LogP(payload)])
+        .nis(&NiKind::TABLE2)
+}
+
+/// The topology-extension grid: em3d across fabrics for three NI
+/// classes.
+pub fn topology_sweep() -> Sweep {
+    Sweep::new("topology")
+        .apps(&[MacroApp::Em3d])
+        .nis(&[NiKind::Cm5, NiKind::Ap3000, NiKind::Cni32Qm])
+        .patches(vec![
+            Patch::default(),
+            Patch {
+                label: "ring".into(),
+                topology: Some(Topology::Ring),
+                ..Patch::default()
+            },
+            Patch {
+                label: "mesh2d".into(),
+                topology: Some(Topology::Mesh2D),
+                ..Patch::default()
+            },
+        ])
 }
 
 #[cfg(test)]
@@ -600,18 +963,39 @@ pub struct Fig1Differential {
     pub base: f64,
 }
 
-/// Runs the differential Figure 1 decomposition for every macrobenchmark.
-pub fn run_fig1_differential() -> Vec<Fig1Differential> {
+/// The differential Figure 1 grid: CM-5 at 1/∞ buffers plus the
+/// single-cycle NI at ∞ buffers, for every macrobenchmark.
+pub fn fig1_differential_sweep() -> Sweep {
+    let mut sweep = Sweep::new("fig1-differential")
+        .apps(&MacroApp::ALL)
+        .nis(&[NiKind::Cm5])
+        .buffers(&[B1, BufferCount::Infinite]);
+    for app in MacroApp::ALL {
+        sweep = sweep.point(
+            Work::Macro(app),
+            NiKind::Cm5SingleCycle,
+            BufferCount::Infinite,
+            Patch::default(),
+        );
+    }
+    sweep
+}
+
+/// Folds the differential decomposition out of the sweep records.
+pub fn fig1_differential_from_records(records: &[RunRecord]) -> Vec<Fig1Differential> {
     MacroApp::ALL
         .iter()
         .map(|&app| {
-            let elapsed = |ni: NiKind, b: BufferCount| {
-                let cfg = MachineConfig::with_ni(ni).flow_buffers(b);
-                run_app(app, &cfg, &app.default_params()).elapsed.as_ns()
-            };
-            let t_b1 = elapsed(NiKind::Cm5, BufferCount::Finite(1));
-            let t_inf = elapsed(NiKind::Cm5, BufferCount::Infinite);
-            let t_ideal = elapsed(NiKind::Cm5SingleCycle, BufferCount::Infinite);
+            let t_b1 = rec(records, app.name(), NiKind::Cm5, B1, "").elapsed_ns;
+            let t_inf = rec(records, app.name(), NiKind::Cm5, BufferCount::Infinite, "").elapsed_ns;
+            let t_ideal = rec(
+                records,
+                app.name(),
+                NiKind::Cm5SingleCycle,
+                BufferCount::Infinite,
+                "",
+            )
+            .elapsed_ns;
             let total = t_b1 as f64;
             let buffering = (t_b1.saturating_sub(t_inf)) as f64 / total;
             let data_transfer = (t_inf.saturating_sub(t_ideal)) as f64 / total;
@@ -624,6 +1008,11 @@ pub fn run_fig1_differential() -> Vec<Fig1Differential> {
             }
         })
         .collect()
+}
+
+/// Runs the differential Figure 1 decomposition for every macrobenchmark.
+pub fn run_fig1_differential() -> Vec<Fig1Differential> {
+    fig1_differential_from_records(&fig1_differential_sweep().run(default_jobs()))
 }
 
 /// The packet-loss levels of the fault study (percent).
@@ -659,49 +1048,78 @@ pub struct FaultPoint {
     pub recovered_all: bool,
 }
 
-/// Runs one app/NI pair of the fault study: a sweep over `drops_pct`
-/// with a fixed fault seed and the reliability layer on (at 0% the
-/// fault layer and reliability are fully off — the pristine baseline).
-pub fn run_fault_study(app: MacroApp, ni: NiKind, drops_pct: &[u32]) -> Vec<FaultPoint> {
-    use nisim_engine::SimStatus;
-    use nisim_net::{FaultConfig, ReliabilityConfig};
+/// The record label for a drop level (the baseline patch for 0%).
+pub fn drop_label(pct: u32) -> String {
+    if pct == 0 {
+        String::new()
+    } else {
+        format!("drop={pct}%")
+    }
+}
 
-    let run = |pct: u32| {
-        let mut cfg = MachineConfig::with_ni(ni).flow_buffers(BufferCount::Finite(8));
+/// The fault-study grid for one app/NI pair: the pristine baseline plus
+/// one patched run per non-zero drop level (fault seed fixed, reliability
+/// layer on wherever faults are).
+pub fn fault_study_sweep(app: MacroApp, ni: NiKind, drops_pct: &[u32]) -> Sweep {
+    let mut patches = vec![Patch::default()];
+    for &pct in drops_pct {
         if pct > 0 {
-            cfg = cfg
-                .fault(FaultConfig {
-                    drop_p: pct as f64 / 100.0,
-                    ..FaultConfig::default()
-                })
-                .reliability(ReliabilityConfig::on());
+            patches.push(Patch {
+                label: drop_label(pct),
+                drop_pct: Some(pct),
+                ..Patch::default()
+            });
         }
-        run_app(app, &cfg, &app.default_params())
-    };
-    let baseline = run(0);
-    let base_ns = baseline.elapsed.as_ns();
-    let base_msgs = baseline.app_messages;
+    }
+    Sweep::new(format!("fault:{}:{}", app.name(), ni.key()))
+        .apps(&[app])
+        .nis(&[ni])
+        .patches(patches)
+}
+
+/// Folds one app/NI fault sweep into per-drop-level points.
+pub fn fault_study_from_records(
+    records: &[RunRecord],
+    app: MacroApp,
+    ni: NiKind,
+    drops_pct: &[u32],
+) -> Vec<FaultPoint> {
+    let baseline = rec(records, app.name(), ni, B8, "");
+    let base_ns = baseline.elapsed_ns;
+    let base_msgs = baseline.counter("app_messages");
     drops_pct
         .iter()
         .map(|&pct| {
-            let r = run(pct);
+            let r = rec(records, app.name(), ni, B8, &drop_label(pct));
             FaultPoint {
                 app,
                 ni,
                 drop_pct: pct,
-                elapsed_ns: r.elapsed.as_ns(),
-                normalized: r.elapsed.as_ns() as f64 / base_ns as f64,
-                offered: r.fault_stats.offered,
-                dropped: r.fault_stats.lost(),
-                retransmits: r.rel_stats.retransmits,
-                dup_discards: r.rel_stats.dup_discards,
-                app_messages: r.app_messages,
-                recovered_all: r.status == SimStatus::Drained
-                    && r.all_quiescent
-                    && r.app_messages == base_msgs,
+                elapsed_ns: r.elapsed_ns,
+                normalized: r.elapsed_ns as f64 / base_ns as f64,
+                offered: r.counter("fault_offered"),
+                dropped: r.counter("fault_dropped") + r.counter("fault_blackholed"),
+                retransmits: r.counter("rel_retransmits"),
+                dup_discards: r.counter("rel_dup_discards"),
+                app_messages: r.counter("app_messages"),
+                recovered_all: r.status == "drained"
+                    && r.quiescent
+                    && r.counter("app_messages") == base_msgs,
             }
         })
         .collect()
+}
+
+/// Runs one app/NI pair of the fault study: a sweep over `drops_pct`
+/// with a fixed fault seed and the reliability layer on (at 0% the
+/// fault layer and reliability are fully off — the pristine baseline).
+pub fn run_fault_study(app: MacroApp, ni: NiKind, drops_pct: &[u32]) -> Vec<FaultPoint> {
+    fault_study_from_records(
+        &fault_study_sweep(app, ni, drops_pct).run(default_jobs()),
+        app,
+        ni,
+        drops_pct,
+    )
 }
 
 /// One row of the fault-tolerant Figure 4 sweep: buffer sensitivity of
@@ -724,40 +1142,120 @@ pub struct FaultBufferPoint {
     pub recovered_all: bool,
 }
 
+/// The fault-tolerant Figure 4 grid: clean and lossy runs of the
+/// single-cycle `NI_2w` across buffer levels.
+pub fn fault_fig4_sweep(app: MacroApp, drop_pct: u32) -> Sweep {
+    Sweep::new(format!("fault-fig4:{}", app.name()))
+        .apps(&[app])
+        .nis(&[NiKind::Cm5SingleCycle])
+        .buffers(&FIG4_BUFFERS)
+        .patches(vec![
+            Patch::default(),
+            Patch {
+                label: drop_label(drop_pct),
+                drop_pct: Some(drop_pct),
+                ..Patch::default()
+            },
+        ])
+}
+
+/// Folds the fault-tolerant Figure 4 sweep into per-buffer points.
+pub fn fault_fig4_from_records(
+    records: &[RunRecord],
+    app: MacroApp,
+    drop_pct: u32,
+) -> Vec<FaultBufferPoint> {
+    FIG4_BUFFERS
+        .iter()
+        .map(|&b| {
+            let clean = rec(records, app.name(), NiKind::Cm5SingleCycle, b, "");
+            let faulty = rec(
+                records,
+                app.name(),
+                NiKind::Cm5SingleCycle,
+                b,
+                &drop_label(drop_pct),
+            );
+            FaultBufferPoint {
+                buffers: b,
+                clean_ns: clean.elapsed_ns,
+                faulty_ns: faulty.elapsed_ns,
+                slowdown: faulty.elapsed_ns as f64 / clean.elapsed_ns as f64,
+                retransmits: faulty.counter("rel_retransmits"),
+                retries: faulty.counter("retries"),
+                recovered_all: faulty.status == "drained"
+                    && faulty.quiescent
+                    && faulty.counter("app_messages") == clean.counter("app_messages"),
+            }
+        })
+        .collect()
+}
+
 /// Reruns the Figure 4 buffer sweep (single-cycle `NI_2w`) with
 /// `drop_pct`% packet loss: tight flow-control buffering and a lossy
 /// wire compound, because a dropped fragment pins its buffer until the
 /// retransmit is acked.
 pub fn run_fault_fig4(app: MacroApp, drop_pct: u32) -> Vec<FaultBufferPoint> {
-    use nisim_engine::SimStatus;
-    use nisim_net::{FaultConfig, ReliabilityConfig};
+    fault_fig4_from_records(
+        &fault_fig4_sweep(app, drop_pct).run(default_jobs()),
+        app,
+        drop_pct,
+    )
+}
 
-    FIG4_BUFFERS
+/// The golden shape-regression grid: every sweep whose qualitative
+/// claims `EXPERIMENTS.md` records, at the default (paper-shaped)
+/// parameters. `tests/goldens/golden_grid.json` pins the full output;
+/// the `goldens` binary regenerates it and `tests/tests/golden_shapes.rs`
+/// re-asserts every claim from the committed records.
+pub fn golden_suite() -> Vec<Sweep> {
+    // The two extra fig3b points back the coherent buffer-insensitivity
+    // claim (em3d at 8 buffers vs the grid's 1).
+    let fig3b = fig3b_sweep(&MacroApp::ALL)
+        .point(
+            Work::Macro(MacroApp::Em3d),
+            NiKind::StartJr,
+            B8,
+            Patch::default(),
+        )
+        .point(
+            Work::Macro(MacroApp::Em3d),
+            NiKind::Cni32Qm,
+            B8,
+            Patch::default(),
+        );
+    vec![
+        table5_sweep(),
+        fig1_sweep(),
+        fig1_differential_sweep(),
+        fig3a_sweep(&MacroApp::ALL),
+        fig3b,
+        fig4_sweep(&MacroApp::ALL),
+        fault_study_sweep(MacroApp::Em3d, NiKind::Cm5, &[0, 5]),
+    ]
+}
+
+/// Path of the committed golden file (resolved from this crate's
+/// manifest directory, so it works from any working directory).
+pub fn golden_path() -> std::path::PathBuf {
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/goldens/golden_grid.json")
+}
+
+/// Runs the golden suite on `jobs` workers and builds the one JSON
+/// document `tests/goldens/golden_grid.json` pins.
+pub fn golden_document(jobs: usize) -> nisim_engine::Json {
+    let sweeps = golden_suite();
+    let sections: Vec<_> = sweeps
         .iter()
-        .map(|&b| {
-            let clean_cfg = MachineConfig::with_ni(NiKind::Cm5SingleCycle).flow_buffers(b);
-            let clean = run_app(app, &clean_cfg, &app.default_params());
-            let faulty_cfg = clean_cfg
-                .clone()
-                .fault(FaultConfig {
-                    drop_p: drop_pct as f64 / 100.0,
-                    ..FaultConfig::default()
-                })
-                .reliability(ReliabilityConfig::on());
-            let faulty = run_app(app, &faulty_cfg, &app.default_params());
-            FaultBufferPoint {
-                buffers: b,
-                clean_ns: clean.elapsed.as_ns(),
-                faulty_ns: faulty.elapsed.as_ns(),
-                slowdown: faulty.elapsed.as_ns() as f64 / clean.elapsed.as_ns() as f64,
-                retransmits: faulty.rel_stats.retransmits,
-                retries: faulty.retries,
-                recovered_all: faulty.status == SimStatus::Drained
-                    && faulty.all_quiescent
-                    && faulty.app_messages == clean.app_messages,
-            }
-        })
-        .collect()
+        .map(|s| (s.name.clone(), s.run(jobs)))
+        .collect();
+    crate::record::document(
+        sections
+            .iter()
+            .map(|(name, records)| crate::record::sweep_to_json(name, records))
+            .collect(),
+    )
 }
 
 #[cfg(test)]

@@ -24,5 +24,10 @@
 pub mod experiments;
 pub mod fmt;
 pub mod harness;
+pub mod record;
 
 pub use experiments::*;
+pub use harness::{
+    default_jobs, emit_document, emit_json, parallel_map, BenchArgs, Patch, Sweep, SweepPoint, Work,
+};
+pub use record::RunRecord;

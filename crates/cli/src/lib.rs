@@ -11,6 +11,35 @@ use nisim_workloads::apps::{run_app, MacroApp};
 use nisim_workloads::micro::bandwidth::measure_bandwidth;
 use nisim_workloads::micro::pingpong::measure_round_trip;
 
+use nisim_bench::record::{self, RunRecord};
+use nisim_bench::{default_jobs, parallel_map};
+
+/// Builds the machine-readable record the `--json` flag emits for a
+/// macrobenchmark run.
+fn record_for(
+    app: MacroApp,
+    ni: NiKind,
+    cfg: &MachineConfig,
+    report: &nisim_core::MachineReport,
+) -> RunRecord {
+    RunRecord::from_report(
+        app.name().to_string(),
+        ni.key().to_string(),
+        cfg.flow_buffers.to_string(),
+        String::new(),
+        record::fingerprint(cfg),
+        report,
+        Vec::new(),
+    )
+}
+
+/// Writes a one-section record document, reporting failures as CLI
+/// errors rather than panics.
+fn write_records(path: &str, section: &str, records: &[RunRecord]) -> Result<(), CliError> {
+    let doc = record::document(vec![record::sweep_to_json(section, records)]);
+    std::fs::write(path, doc.to_pretty()).map_err(|e| err(format!("writing {path:?}: {e}")))
+}
+
 /// Usage text shown on parse errors.
 pub const USAGE: &str = "\
 usage:
@@ -18,8 +47,8 @@ usage:
   nisim rtt   --ni <ni> [--payload <bytes>] [--buffers <n|inf>]
   nisim bw    --ni <ni> [--payload <bytes>] [--buffers <n|inf>]
   nisim run   --app <app> --ni <ni> [--buffers <n|inf>] [--nodes <n>]
-              [--topology ideal|ring|mesh] [--seed <n>]
-  nisim sweep --app <app> [--buffers <n|inf>]
+              [--topology ideal|ring|mesh] [--seed <n>] [--json <path>]
+  nisim sweep --app <app> [--buffers <n|inf>] [--jobs <n>] [--json <path>]
 
 fault injection (any command that builds a machine):
   --fault-drop <p>     drop probability, 0..=1
@@ -340,12 +369,22 @@ pub fn main_with_args(args: &[String]) -> Result<String, CliError> {
             if let Some(stall) = &r.stall {
                 out.push_str(&format!("{stall}"));
             }
+            if let Some(path) = flags.get("json") {
+                write_records(path, "run", &[record_for(app, ni, &cfg, &r)])?;
+                out.push_str(&format!("  wrote record to {path}\n"));
+            }
             Ok(out)
         }
         "sweep" => {
             let app = parse_app(required(&flags, "app")?)?;
-            let mut out = format!("{app} across the design space:\n");
-            for ni in [
+            let jobs =
+                match flags.get("jobs") {
+                    None => default_jobs(),
+                    Some(v) => v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        err(format!("bad --jobs {v:?} (want a positive integer)"))
+                    })?,
+                };
+            let nis = [
                 NiKind::Cm5,
                 NiKind::Cm5Coalescing,
                 NiKind::Udma,
@@ -354,15 +393,31 @@ pub fn main_with_args(args: &[String]) -> Result<String, CliError> {
                 NiKind::MemoryChannel,
                 NiKind::Cni512Q,
                 NiKind::Cni32Qm,
-            ] {
-                let cfg = config_from(&flags, ni)?;
-                let r = run_app(app, &cfg, &app.default_params());
+            ];
+            let configs = nis
+                .iter()
+                .map(|&ni| Ok((ni, config_from(&flags, ni)?)))
+                .collect::<Result<Vec<_>, CliError>>()?;
+            let reports = parallel_map(&configs, jobs, |(_, cfg)| {
+                run_app(app, cfg, &app.default_params())
+            });
+            let mut out = format!("{app} across the design space:\n");
+            for ((ni, _), r) in configs.iter().zip(&reports) {
                 out.push_str(&format!(
                     "  {:<24} {:>8} us  buffering {:>5.1}%\n",
                     ni.name(),
                     r.elapsed.as_ns() / 1_000,
                     100.0 * r.fraction(TimeCategory::Buffering)
                 ));
+            }
+            if let Some(path) = flags.get("json") {
+                let records: Vec<RunRecord> = configs
+                    .iter()
+                    .zip(&reports)
+                    .map(|((ni, cfg), r)| record_for(app, *ni, cfg, r))
+                    .collect();
+                write_records(path, "sweep", &records)?;
+                out.push_str(&format!("  wrote records to {path}\n"));
             }
             Ok(out)
         }
@@ -513,6 +568,53 @@ mod tests {
 
         assert!(config_from(&flags(&[("fault-dup", "2")]), NiKind::Cm5).is_err());
         assert!(config_from(&flags(&[("reliable", "maybe")]), NiKind::Cm5).is_err());
+    }
+
+    #[test]
+    fn run_and_sweep_emit_json_records() {
+        let dir = std::env::temp_dir().join("nisim-cli-json-test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let path = dir.join("run.json");
+        let path_str = path.to_str().unwrap();
+        let out = run(&[
+            "run", "--app", "em3d", "--ni", "cm5", "--nodes", "4", "--json", path_str,
+        ])
+        .unwrap();
+        assert!(out.contains("wrote record"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let sections = nisim_bench::record::parse_document(&text).unwrap();
+        assert_eq!(sections[0].0, "run");
+        assert_eq!(sections[0].1.len(), 1);
+        assert_eq!(sections[0].1[0].work, "em3d");
+        assert_eq!(sections[0].1[0].ni, "cm5");
+        assert_eq!(sections[0].1[0].status, "drained");
+
+        // The sweep's JSON is byte-identical no matter the worker count.
+        let (p1, p8) = (dir.join("sweep1.json"), dir.join("sweep8.json"));
+        for (p, jobs) in [(&p1, "1"), (&p8, "8")] {
+            run(&[
+                "sweep",
+                "--app",
+                "em3d",
+                "--nodes",
+                "4",
+                "--jobs",
+                jobs,
+                "--json",
+                p.to_str().unwrap(),
+            ])
+            .unwrap();
+        }
+        let (a, b) = (
+            std::fs::read_to_string(&p1).unwrap(),
+            std::fs::read_to_string(&p8).unwrap(),
+        );
+        assert!(
+            !a.is_empty() && a == b,
+            "sweep JSON must not depend on --jobs"
+        );
+        assert!(run(&["sweep", "--app", "em3d", "--jobs", "0"]).is_err());
     }
 
     #[test]

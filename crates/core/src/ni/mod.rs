@@ -98,6 +98,41 @@ impl NiKind {
         }
     }
 
+    /// A short machine-readable key (the CLI's spelling), stable across
+    /// releases — sweep records and goldens are keyed on it.
+    pub fn key(self) -> &'static str {
+        match self {
+            NiKind::Cm5 => "cm5",
+            NiKind::Cm5SingleCycle => "cm5-single-cycle",
+            NiKind::Cm5Coalescing => "cm5-coalescing",
+            NiKind::Udma => "udma",
+            NiKind::Ap3000 => "ap3000",
+            NiKind::StartJr => "startjr",
+            NiKind::MemoryChannel => "memchannel",
+            NiKind::Cni512Q => "cni512q",
+            NiKind::Cni32Qm => "cni32qm",
+            NiKind::Cni32QmThrottle => "cni32qm-throttle",
+        }
+    }
+
+    /// Parses a [`key`](NiKind::key) back into a kind.
+    pub fn from_key(key: &str) -> Option<NiKind> {
+        [
+            NiKind::Cm5,
+            NiKind::Cm5SingleCycle,
+            NiKind::Cm5Coalescing,
+            NiKind::Udma,
+            NiKind::Ap3000,
+            NiKind::StartJr,
+            NiKind::MemoryChannel,
+            NiKind::Cni512Q,
+            NiKind::Cni32Qm,
+            NiKind::Cni32QmThrottle,
+        ]
+        .into_iter()
+        .find(|k| k.key() == key)
+    }
+
     /// True for the NIs that buffer incoming messages in plentiful memory
     /// without processor involvement (the Figure 3b group).
     pub fn is_coherent(self) -> bool {

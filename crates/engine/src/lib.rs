@@ -13,7 +13,9 @@
 //!   tie-breaking (FIFO among events scheduled for the same instant),
 //! * [`SplitMix64`] — a tiny seedable PRNG for deterministic workloads,
 //! * [`stats`] — counters, histograms and online summary statistics used
-//!   for experiment reporting.
+//!   for experiment reporting,
+//! * [`json`] — a dependency-free JSON value type with a deterministic
+//!   serializer, used for machine-readable sweep results.
 //!
 //! # Example
 //!
@@ -33,12 +35,14 @@
 //! assert_eq!(sim.now(), Time::from_ns(15));
 //! ```
 
+pub mod json;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 mod sim;
 
+pub use json::Json;
 pub use rng::SplitMix64;
 pub use sim::{Sim, SimStatus};
 pub use time::{Dur, Time};

@@ -52,6 +52,20 @@ impl fmt::Display for BufferCount {
     }
 }
 
+impl BufferCount {
+    /// Parses the [`Display`](fmt::Display) form back (`"inf"` or a
+    /// positive integer) — used by the CLI and by sweep records.
+    pub fn from_key(key: &str) -> Option<BufferCount> {
+        if key == "inf" {
+            return Some(BufferCount::Infinite);
+        }
+        key.parse::<u32>()
+            .ok()
+            .filter(|&n| n > 0)
+            .map(BufferCount::Finite)
+    }
+}
+
 /// Flow-control statistics for one endpoint.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct FlowStats {

@@ -52,6 +52,12 @@ impl MacroApp {
         MacroApp::Unstructured,
     ];
 
+    /// Parses a [`name`](MacroApp::name) back into an app (sweep records
+    /// and CLI flags are keyed on the paper's names).
+    pub fn from_name(name: &str) -> Option<MacroApp> {
+        MacroApp::ALL.into_iter().find(|a| a.name() == name)
+    }
+
     /// The benchmark's name as the paper prints it.
     pub fn name(self) -> &'static str {
         match self {

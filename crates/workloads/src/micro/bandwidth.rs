@@ -85,6 +85,19 @@ impl Process for Sink {
 ///
 /// Panics if the stream fails to complete.
 pub fn measure_bandwidth(cfg: &MachineConfig, payload_bytes: u64) -> BandwidthResult {
+    measure_bandwidth_with_report(cfg, payload_bytes).0
+}
+
+/// Like [`measure_bandwidth`], additionally returning the full
+/// [`MachineReport`](nisim_core::MachineReport) of the measurement run.
+///
+/// # Panics
+///
+/// Panics if the stream fails to complete.
+pub fn measure_bandwidth_with_report(
+    cfg: &MachineConfig,
+    payload_bytes: u64,
+) -> (BandwidthResult, nisim_core::MachineReport) {
     // Enough messages that the warm-up window covers the first lap of
     // the coherent NIs' queue regions (cold BusRdX fills).
     let count: u32 = 170;
@@ -113,11 +126,12 @@ pub fn measure_bandwidth(cfg: &MachineConfig, payload_bytes: u64) -> BandwidthRe
     let elapsed = *window.last().expect("window non-empty") - window[0];
     let messages = (window.len() - 1) as u64;
     let bytes = messages * payload_bytes;
-    BandwidthResult {
+    let result = BandwidthResult {
         payload_bytes,
         mb_per_s: bytes as f64 / elapsed.as_ns() as f64 * 1_000.0,
         messages,
-    }
+    };
+    (result, report)
 }
 
 /// Convenience: bandwidth for one NI kind at Table 5 defaults (8 flow

@@ -14,7 +14,7 @@
 use nisim_core::{MachineConfig, NiKind};
 use nisim_net::BufferCount;
 
-use super::bandwidth::measure_bandwidth;
+use super::bandwidth::measure_bandwidth_with_report;
 use super::pingpong::measure_round_trip;
 use crate::skeleton_support::stream_occupancy;
 
@@ -50,6 +50,16 @@ impl LogPResult {
 /// Measures the LogP-style parameters of `kind` for `payload_bytes`
 /// messages at the Table 5 configuration.
 pub fn measure_logp(kind: NiKind, payload_bytes: u64) -> LogPResult {
+    measure_logp_with_report(kind, payload_bytes).0
+}
+
+/// Like [`measure_logp`], additionally returning the
+/// [`MachineReport`](nisim_core::MachineReport) of the bandwidth leg
+/// (the run whose ledger carries the steady-state transfer accounting).
+pub fn measure_logp_with_report(
+    kind: NiKind,
+    payload_bytes: u64,
+) -> (LogPResult, nisim_core::MachineReport) {
     let mut cfg = MachineConfig::with_ni(kind).flow_buffers(BufferCount::Finite(8));
     if kind == NiKind::Udma {
         cfg.costs = cfg.costs.pure_udma();
@@ -60,19 +70,20 @@ pub fn measure_logp(kind: NiKind, payload_bytes: u64) -> LogPResult {
     let (o_send, o_recv, msgs) = stream_occupancy(&cfg, payload_bytes);
     let o_send_us = o_send.as_ns() as f64 / msgs as f64 / 1_000.0;
     let o_recv_us = o_recv.as_ns() as f64 / msgs as f64 / 1_000.0;
-    let bw = measure_bandwidth(&cfg, payload_bytes);
+    let (bw, report) = measure_bandwidth_with_report(&cfg, payload_bytes);
     // MB/s is bytes per microsecond, so the inter-message gap in µs is
     // simply payload / bandwidth.
     let g_us = payload_bytes as f64 / bw.mb_per_s;
     let l_us = (rtt / 2.0 - (o_send_us + o_recv_us) / 2.0).max(0.0);
-    LogPResult {
+    let result = LogPResult {
         kind,
         payload_bytes,
         o_send_us,
         o_recv_us,
         l_us,
         g_us,
-    }
+    };
+    (result, report)
 }
 
 #[cfg(test)]

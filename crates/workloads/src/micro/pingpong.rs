@@ -107,6 +107,20 @@ impl Process for Ponger {
 ///
 /// Panics if the simulation fails to complete (a protocol bug).
 pub fn measure_round_trip(cfg: &MachineConfig, payload_bytes: u64) -> RoundTripResult {
+    measure_round_trip_with_report(cfg, payload_bytes).0
+}
+
+/// Like [`measure_round_trip`], additionally returning the full
+/// [`MachineReport`](nisim_core::MachineReport) of the measurement run —
+/// sweep records keep the per-component accounting and counters.
+///
+/// # Panics
+///
+/// Panics if the simulation fails to complete (a protocol bug).
+pub fn measure_round_trip_with_report(
+    cfg: &MachineConfig,
+    payload_bytes: u64,
+) -> (RoundTripResult, nisim_core::MachineReport) {
     let rtts = Rc::new(RefCell::new(Summary::new()));
     let rtts_factory = rtts.clone();
     let cfg = cfg.clone().nodes(2);
@@ -133,13 +147,16 @@ pub fn measure_round_trip(cfg: &MachineConfig, payload_bytes: u64) -> RoundTripR
         "ping-pong did not complete: {report:?}"
     );
     let s = rtts.borrow();
-    RoundTripResult {
-        payload_bytes,
-        mean_us: s.mean() / 1_000.0,
-        min_us: s.min() / 1_000.0,
-        max_us: s.max() / 1_000.0,
-        samples: s.count(),
-    }
+    (
+        RoundTripResult {
+            payload_bytes,
+            mean_us: s.mean() / 1_000.0,
+            min_us: s.min() / 1_000.0,
+            max_us: s.max() / 1_000.0,
+            samples: s.count(),
+        },
+        report,
+    )
 }
 
 /// Convenience: round-trip latency for one NI kind at Table 5 defaults.

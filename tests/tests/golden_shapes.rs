@@ -1,0 +1,413 @@
+//! Golden shape-regression suite: every qualitative claim EXPERIMENTS.md
+//! records, re-asserted from the **committed** machine-readable results
+//! in `tests/goldens/golden_grid.json` — plus a byte-for-byte comparison
+//! against a fresh in-process rerun, so any behavioural drift in the
+//! simulator shows up as a golden mismatch even if it happens to keep
+//! every shape claim true.
+//!
+//! Regenerate the golden file after an intended behaviour change with
+//!
+//! ```text
+//! cargo run --release -p nisim-bench --bin goldens -- --update-goldens
+//! ```
+
+use nisim_bench::record::{lookup, parse_document, RunRecord};
+use nisim_bench::{
+    default_jobs, fault_study_from_records, fig1_differential_from_records, fig1_from_records,
+    fig3a_sweep, fig3b_from_records, fig4_from_records, golden_document, golden_path,
+    table5_from_records,
+};
+use nisim_core::{NiKind, TimeCategory};
+use nisim_workloads::apps::MacroApp;
+
+fn committed() -> Vec<(String, Vec<RunRecord>)> {
+    let path = golden_path();
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read the committed golden grid at {} ({e}); regenerate it with\n\
+             `cargo run --release -p nisim-bench --bin goldens -- --update-goldens`",
+            path.display()
+        )
+    });
+    parse_document(&text).expect("committed golden grid parses")
+}
+
+fn section<'a>(doc: &'a [(String, Vec<RunRecord>)], name: &str) -> &'a [RunRecord] {
+    &doc.iter()
+        .find(|(n, _)| n == name)
+        .unwrap_or_else(|| panic!("golden grid lacks sweep {name:?}"))
+        .1
+}
+
+fn elapsed(records: &[RunRecord], work: &str, ni: NiKind, buffers: &str) -> f64 {
+    lookup(records, work, ni.key(), buffers, "")
+        .unwrap_or_else(|| panic!("missing golden record {work}/{}/{buffers}", ni.key()))
+        .elapsed_ns as f64
+}
+
+/// Satellite guarantee: no golden run may have stalled, run out of
+/// budget, or left an endpoint non-quiescent — a surprise stall in any
+/// sweep is a regression even if the shapes still hold.
+#[test]
+fn golden_runs_all_drained_without_stalls() {
+    let doc = committed();
+    assert!(!doc.is_empty());
+    for (name, records) in &doc {
+        assert!(!records.is_empty(), "sweep {name} is empty");
+        for r in records {
+            assert_eq!(
+                r.status, "drained",
+                "{name}: {}/{} did not drain",
+                r.work, r.ni
+            );
+            assert!(r.quiescent, "{name}: {}/{} not quiescent", r.work, r.ni);
+            assert!(
+                r.stall.is_none(),
+                "{name}: {}/{} reports an unexpected stall: {:?}",
+                r.work,
+                r.ni,
+                r.stall
+            );
+            let sum: f64 = TimeCategory::ALL.iter().map(|&c| r.fraction(c)).sum();
+            assert!(
+                r.accounted_ns() == 0 || (sum - 1.0).abs() < 1e-9,
+                "{name}: {}/{} accounting incomplete ({sum})",
+                r.work,
+                r.ni
+            );
+        }
+    }
+}
+
+/// Table 5 orderings and crossovers (EXPERIMENTS.md "Table 5"), from the
+/// committed records.
+#[test]
+fn golden_table5_orderings() {
+    let doc = committed();
+    let (rows, throttled) = table5_from_records(section(&doc, "table5"));
+    let get = |k: NiKind| rows.iter().find(|r| r.kind == k).expect("row");
+    let cm5 = get(NiKind::Cm5);
+    let udma = get(NiKind::Udma);
+    let ap = get(NiKind::Ap3000);
+    let sj = get(NiKind::StartJr);
+    let mc = get(NiKind::MemoryChannel);
+    let c512 = get(NiKind::Cni512Q);
+    let c32 = get(NiKind::Cni32Qm);
+
+    // CM-5 <-> UDMA latency crossover between 64 B and 256 B payloads.
+    assert!(udma.rtt_us[0] > cm5.rtt_us[0], "udma worse at 8 B");
+    assert!(udma.rtt_us[2] < cm5.rtt_us[2], "udma better at 256 B");
+    // UDMA is otherwise the slowest; AP3000 >> UDMA.
+    for i in 0..3 {
+        assert!(udma.rtt_us[i] > ap.rtt_us[i], "udma vs ap at {i}");
+    }
+    assert!(ap.rtt_us[2] < 0.8 * udma.rtt_us[2]);
+    // StarT-JR beats AP3000 below 64 B, loses at 256 B; MC tracks SJ.
+    assert!(sj.rtt_us[0] < ap.rtt_us[0]);
+    assert!(sj.rtt_us[2] > ap.rtt_us[2]);
+    for i in 0..3 {
+        let ratio = mc.rtt_us[i] / sj.rtt_us[i];
+        assert!((0.85..=1.15).contains(&ratio), "MC vs SJ at {i}: {ratio}");
+    }
+    // CNI_512Q beats StarT-JR at the larger payloads.
+    assert!(c512.rtt_us[2] < sj.rtt_us[2]);
+    // CNI_32Qm has the best latency everywhere.
+    for other in [cm5, udma, ap, sj, mc, c512] {
+        for i in 0..3 {
+            assert!(
+                c32.rtt_us[i] <= other.rtt_us[i] * 1.001,
+                "CNI_32Qm not best vs {:?} at {i}",
+                other.kind
+            );
+        }
+    }
+    // Bandwidth: CM-5 plateaus lowest; UDMA worst at 8 B; AP3000 best
+    // unthrottled; throttled CNI_32Qm fastest of all.
+    for r in &rows {
+        if r.kind != NiKind::Cm5 {
+            assert!(r.bw_mb_s[3] > cm5.bw_mb_s[3], "{:?} vs cm5", r.kind);
+        }
+        assert!(udma.bw_mb_s[0] <= r.bw_mb_s[0], "udma worst at 8 B");
+        if r.kind != NiKind::Ap3000 {
+            assert!(ap.bw_mb_s[3] > r.bw_mb_s[3], "AP3000 top unthrottled");
+        }
+    }
+    assert!(throttled > ap.bw_mb_s[3], "throttled CNI_32Qm is fastest");
+    let ratio = c32.bw_mb_s[3] / sj.bw_mb_s[3];
+    assert!((0.8..=1.25).contains(&ratio), "c32 vs sj bw: {ratio}");
+}
+
+/// Figure 1 decompositions (EXPERIMENTS.md "Figure 1"): complete
+/// fractions, messaging-dominated bursty apps, compute-heavy solvers,
+/// and the differential methodology's em3d-most-buffering-bound shape.
+#[test]
+fn golden_fig1_decompositions() {
+    let doc = committed();
+    let rows = fig1_from_records(section(&doc, "fig1"));
+    assert_eq!(rows.len(), MacroApp::ALL.len());
+    for r in &rows {
+        let sum = r.compute + r.data_transfer + r.buffering + r.idle;
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "{}: fractions sum to {sum}",
+            r.app
+        );
+    }
+    let by = |app: MacroApp| rows.iter().find(|r| r.app == app).expect("row");
+    let em3d = by(MacroApp::Em3d);
+    assert!(em3d.data_transfer + em3d.buffering > 0.6, "em3d messaging");
+    assert!(em3d.buffering > 0.15, "em3d buffering at B=1");
+    assert!(by(MacroApp::Appbt).compute > 0.25, "appbt compute share");
+
+    let diff = fig1_differential_from_records(section(&doc, "fig1-differential"));
+    let em3d = diff.iter().find(|r| r.app == MacroApp::Em3d).expect("em3d");
+    for r in &diff {
+        assert!(r.buffering >= 0.0 && r.data_transfer > 0.03, "{:?}", r.app);
+        assert!(r.base > 0.0 && r.base <= 1.0, "{:?}", r.app);
+        if r.app != MacroApp::Em3d {
+            assert!(
+                em3d.buffering >= r.buffering * 0.9,
+                "em3d must be the most buffering-bound (vs {:?})",
+                r.app
+            );
+        }
+    }
+}
+
+/// Figure 3a claims (EXPERIMENTS.md "Figure 3a"): the FIFO ordering at
+/// infinite buffering, the 1→2 buffer win, em3d's deep-buffering appetite
+/// and buffering monotonicity.
+#[test]
+fn golden_fig3a_fifo_buffer_shapes() {
+    let doc = committed();
+    let recs = section(&doc, "fig3a");
+    // §6.2.1 ordering with infinite buffering.
+    for app in ["appbt", "em3d", "unstructured"] {
+        let cm5 = elapsed(recs, app, NiKind::Cm5, "inf");
+        let udma = elapsed(recs, app, NiKind::Udma, "inf");
+        let ap = elapsed(recs, app, NiKind::Ap3000, "inf");
+        assert!(udma <= cm5 * 1.02, "{app}: udma {udma} vs cm5 {cm5}");
+        assert!(ap < udma, "{app}: ap {ap} vs udma {udma}");
+    }
+    // 1 -> 2 buffers helps the communication-heavy apps on every FIFO NI.
+    for app in ["barnes", "em3d"] {
+        for ni in [NiKind::Cm5, NiKind::Ap3000] {
+            let b1 = elapsed(recs, app, ni, "1");
+            let b2 = elapsed(recs, app, ni, "2");
+            assert!(b2 < b1, "{app} on {ni:?}: B=2 {b2} vs B=1 {b1}");
+        }
+    }
+    // em3d keeps improving to infinity; appbt does not.
+    let em3d_2 = elapsed(recs, "em3d", NiKind::Cm5, "2");
+    let em3d_inf = elapsed(recs, "em3d", NiKind::Cm5, "inf");
+    assert!(
+        em3d_2 > 1.12 * em3d_inf,
+        "em3d 2->inf: {em3d_2} vs {em3d_inf}"
+    );
+    let appbt_2 = elapsed(recs, "appbt", NiKind::Cm5, "2");
+    let appbt_inf = elapsed(recs, "appbt", NiKind::Cm5, "inf");
+    assert!(appbt_2 < 1.12 * appbt_inf, "appbt gains little beyond 2");
+    // Shrinking finite buffering never helps the communication-bound
+    // apps (appbt is compute-bound enough that its AP3000 series is flat
+    // to within scheduling noise, so it is not held to monotonicity).
+    for app in MacroApp::ALL {
+        if app == MacroApp::Appbt {
+            continue;
+        }
+        for ni in [NiKind::Cm5, NiKind::Udma, NiKind::Ap3000] {
+            let series: Vec<f64> = ["8", "2", "1"]
+                .iter()
+                .map(|b| elapsed(recs, app.name(), ni, b))
+                .collect();
+            for w in series.windows(2) {
+                assert!(
+                    w[1] >= w[0] * 0.999,
+                    "{app} on {ni:?}: fewer buffers must not help ({series:?})"
+                );
+            }
+        }
+    }
+    // And unbounded buffering is never materially worse than the best
+    // finite level on any app/NI.
+    for app in MacroApp::ALL {
+        for ni in [NiKind::Cm5, NiKind::Udma, NiKind::Ap3000] {
+            let inf = elapsed(recs, app.name(), ni, "inf");
+            let best = ["8", "2", "1"]
+                .iter()
+                .map(|b| elapsed(recs, app.name(), ni, b))
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                inf <= best * 1.05,
+                "{app} on {ni:?}: inf {inf} vs best finite {best}"
+            );
+        }
+    }
+}
+
+/// Figure 3b claims (EXPERIMENTS.md "Figure 3b"): CNI_32Qm best of the
+/// coherent NIs, the unstructured exception vs AP3000, coherent buffer
+/// insensitivity, and the §6.2.2 memory-traffic reduction.
+#[test]
+fn golden_fig3b_coherent_shapes() {
+    let doc = committed();
+    let recs = section(&doc, "fig3b");
+    for app in MacroApp::ALL {
+        let rows = fig3b_from_records(recs, app);
+        let by = |k: NiKind| rows.iter().find(|r| r.point.ni == k).expect("row");
+        let c32 = by(NiKind::Cni32Qm);
+        // MemoryChannel is excluded: EXPERIMENTS.md records that our MC
+        // model ties or slightly beats StarT-JR (and on appbt edges out
+        // the CNI) — a documented deviation from the paper's Figure 3b.
+        for other in [NiKind::StartJr, NiKind::Cni512Q] {
+            assert!(
+                c32.point.normalized <= by(other).point.normalized * 1.02,
+                "{app}: CNI_32Qm must be best of the queue-based coherent NIs (vs {other:?})"
+            );
+        }
+    }
+    // CNI_32Qm beats AP3000@8 everywhere except unstructured.
+    for app in MacroApp::ALL {
+        let c32 = fig3b_from_records(recs, app)
+            .iter()
+            .find(|r| r.point.ni == NiKind::Cni32Qm)
+            .expect("row")
+            .point
+            .normalized;
+        if app == MacroApp::Unstructured {
+            assert!(c32 > 1.0, "unstructured favours the AP3000-like NI");
+        } else if app == MacroApp::Barnes {
+            // EXPERIMENTS.md's table has barnes as a near-tie (1.02).
+            assert!(c32 <= 1.02, "barnes should be a near-tie ({c32})");
+        } else {
+            assert!(c32 < 1.0, "{app} should favour CNI_32Qm ({c32})");
+        }
+    }
+    // Coherent designs are largely insensitive to flow-control buffers
+    // (the golden grid carries em3d B=8 extras for exactly this check).
+    for ni in [NiKind::StartJr, NiKind::Cni32Qm] {
+        let b1 = elapsed(recs, "em3d", ni, "1");
+        let b8 = elapsed(recs, "em3d", ni, "8");
+        let ratio = b1 / b8;
+        assert!((0.95..=1.2).contains(&ratio), "{ni:?} em3d B1/B8 = {ratio}");
+    }
+    // §6.2.2: CNI_32Qm sharply cuts main-memory block reads vs StarT-JR.
+    let em3d = fig3b_from_records(recs, MacroApp::Em3d);
+    let reads = |k: NiKind| {
+        em3d.iter()
+            .find(|r| r.point.ni == k)
+            .expect("row")
+            .mem_reads
+    };
+    assert!(
+        (reads(NiKind::Cni32Qm) as f64) < 0.6 * reads(NiKind::StartJr) as f64,
+        "CNI_32Qm {} vs StarT-JR {} memory reads",
+        reads(NiKind::Cni32Qm),
+        reads(NiKind::StartJr)
+    );
+    for app in MacroApp::ALL {
+        let rows = fig3b_from_records(recs, app);
+        let r = |k: NiKind| {
+            rows.iter()
+                .find(|r| r.point.ni == k)
+                .expect("row")
+                .mem_reads
+        };
+        assert!(
+            r(NiKind::Cni32Qm) <= r(NiKind::StartJr),
+            "{app}: the CNI must never read more memory than StarT-JR"
+        );
+    }
+}
+
+/// Figure 4 claims (EXPERIMENTS.md "Figure 4"): the register-mapped NI's
+/// advantage erodes as buffering shrinks, and deep buffering restores it.
+#[test]
+fn golden_fig4_register_mapped_shapes() {
+    let doc = committed();
+    let recs = section(&doc, "fig4");
+    for app in MacroApp::ALL {
+        let points = fig4_from_records(recs, app);
+        // Normalised time declines (or holds) from B=2 up; the 1->2 step
+        // may invert by a hair (EXPERIMENTS.md's table shows ties and
+        // sub-1% inversions there, e.g. em3d 0.94 -> 0.98), but the
+        // endpoints must still order: B=32 beats B=1.
+        for w in points[1..].windows(2) {
+            assert!(
+                w[1].normalized <= w[0].normalized * 1.001,
+                "{app}: fig4 series must decline beyond B=2 ({points:?})"
+            );
+        }
+        assert!(
+            points[3].normalized <= points[0].normalized * 1.001,
+            "{app}: B=32 must beat B=1 ({points:?})"
+        );
+        // At 32 buffers the register-mapped NI wins on every app.
+        assert!(
+            points[3].normalized < 0.9,
+            "{app}: deep buffering should favour NI_2w ({})",
+            points[3].normalized
+        );
+    }
+    // em3d's buffering sensitivity: B=1 is >20% slower than B=32.
+    let em3d = fig4_from_records(recs, MacroApp::Em3d);
+    assert!(
+        em3d[0].elapsed_ns as f64 > 1.2 * em3d[3].elapsed_ns as f64,
+        "em3d on NI_2w: B=1 vs B=32"
+    );
+}
+
+/// Fault-study claims: the 0% run builds no fault plan, the 5% run loses
+/// fragments and recovers every one by retransmission.
+#[test]
+fn golden_fault_recovery_shapes() {
+    let doc = committed();
+    let points = fault_study_from_records(
+        section(&doc, "fault:em3d:cm5"),
+        MacroApp::Em3d,
+        NiKind::Cm5,
+        &[0, 5],
+    );
+    let (clean, lossy) = (&points[0], &points[1]);
+    assert!(clean.recovered_all && lossy.recovered_all, "{points:?}");
+    assert_eq!(clean.offered, 0, "0% must not build a fault plan");
+    assert_eq!(clean.app_messages, lossy.app_messages);
+    assert!(lossy.dropped > 0, "5% loss must drop fragments");
+    assert!(lossy.retransmits >= lossy.dropped, "{lossy:?}");
+    // Retransmission reshuffles event timing, so 5% loss may move the
+    // elapsed time a percent either way — but it must stay bounded.
+    assert!(
+        (0.9..=1.5).contains(&lossy.normalized),
+        "5% loss moved elapsed time out of bounds: {}",
+        lossy.normalized
+    );
+}
+
+/// The drift tripwire: a fresh in-process rerun of the whole golden
+/// suite must reproduce the committed file byte for byte.
+#[test]
+fn golden_matches_a_fresh_rerun_byte_for_byte() {
+    let committed_text = std::fs::read_to_string(golden_path()).expect("committed golden grid");
+    let fresh = golden_document(default_jobs()).to_pretty();
+    assert!(
+        committed_text == fresh,
+        "the golden grid drifted from the simulator's current behaviour;\n\
+         if the change is intended, regenerate with\n\
+         `cargo run --release -p nisim-bench --bin goldens -- --update-goldens`"
+    );
+}
+
+/// Satellite determinism guarantee: a sweep's JSON is byte-identical
+/// whether it ran on one worker or eight.
+#[test]
+fn sweep_json_is_byte_identical_across_job_counts() {
+    use nisim_bench::record::{document, sweep_to_json};
+    let sweep = fig3a_sweep(&[MacroApp::Em3d]);
+    let serial = sweep.run(1);
+    let parallel = sweep.run(8);
+    let a = document(vec![sweep_to_json(&sweep.name, &serial)]).to_pretty();
+    let b = document(vec![sweep_to_json(&sweep.name, &parallel)]).to_pretty();
+    assert!(
+        !a.is_empty() && a == b,
+        "jobs=1 and jobs=8 must emit identical bytes"
+    );
+}

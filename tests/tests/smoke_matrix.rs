@@ -39,6 +39,51 @@ fn every_app_on_every_ni_completes() {
 }
 
 #[test]
+fn full_matrix_completes_through_the_sweep_harness() {
+    use nisim_bench::{Patch, Sweep};
+
+    // The full design-space cross product — every NI × every app × a
+    // tight and a loose buffer level — at reduced node count and scale,
+    // driven through the same parallel harness the experiment binaries
+    // use. Time-bounded so a pathological slowdown fails rather than
+    // hangs: the simulated work is tiny (the budget is wall-clock slack
+    // for slow CI machines, not an expected runtime).
+    let started = std::time::Instant::now();
+    let sweep = Sweep::new("smoke-matrix")
+        .apps(&MacroApp::ALL)
+        .nis(&ALL_NIS)
+        .buffers(&[BufferCount::Finite(1), BufferCount::Infinite])
+        .patches(vec![Patch {
+            label: "small".into(),
+            nodes: Some(8),
+            params: Some(small_params()),
+            ..Patch::default()
+        }]);
+    let records = sweep.run(nisim_bench::default_jobs());
+    assert_eq!(records.len(), MacroApp::ALL.len() * ALL_NIS.len() * 2);
+    for r in &records {
+        assert_eq!(r.status, "drained", "{}/{}/{}", r.work, r.ni, r.buffers);
+        assert!(
+            r.quiescent,
+            "{}/{}/{} not quiescent",
+            r.work, r.ni, r.buffers
+        );
+        assert!(r.stall.is_none(), "{}/{} stalled", r.work, r.ni);
+        assert!(
+            r.counter("app_messages") > 0,
+            "{}/{} sent nothing",
+            r.work,
+            r.ni
+        );
+    }
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(120),
+        "smoke matrix blew its time budget: {:?}",
+        started.elapsed()
+    );
+}
+
+#[test]
 fn tight_buffers_never_lose_messages() {
     for app in MacroApp::ALL {
         let loose = run_app(
