@@ -12,7 +12,8 @@ fn main() {
         let mut model = 0u64;
         let mut sim: Sim<u64> = Sim::new();
         for i in 0..1_000u64 {
-            sim.schedule_at(Time::from_ns((i * 7) % 997), |m: &mut u64, _| *m += 1);
+            sim.schedule_at(Time::from_ns((i * 7) % 997), |m: &mut u64, _| *m += 1)
+                .unwrap();
         }
         sim.run(&mut model);
         black_box(model)

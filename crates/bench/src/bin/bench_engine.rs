@@ -1,0 +1,566 @@
+//! Self-timing engine-scheduler benchmark (`BENCH_3.json`).
+//!
+//! Measures the event scheduler itself, isolated from the machine model:
+//! three synthetic event streams sized from the paper's real timing
+//! configs run once over the old boxed-closure `BinaryHeap` design
+//! (retained as [`nisim_engine::wheel::BinaryHeapQueue`]) and once over
+//! the timing-wheel `Sim` with a typed event enum, reporting events/sec
+//! for each. A fourth section times the full fig3a macro grid at
+//! `--jobs 1` and `--jobs 8` as an end-to-end wall-clock anchor.
+//!
+//! The streams:
+//!
+//! * **bus-link chains** — self-timed chains whose delays are the real
+//!   bus occupancies ([`BusOp::ALL`]) and link serialisation times: the
+//!   dense short-horizon traffic the machine generates.
+//! * **bimodal timers** — the same near traffic with a 1-in-8 mix of
+//!   reliability-layer backoff horizons (up to far beyond the wheel
+//!   span), exercising the overflow heap and its promotion path.
+//! * **same-instant bursts** — heads that fan 16 events into the
+//!   current instant, stressing the FIFO tie-break path.
+//!
+//! Modes:
+//!
+//! * `bench_engine` — run everything, print a table, write
+//!   `BENCH_3.json` at the repo root (`--json <path>` writes elsewhere).
+//! * `bench_engine --check <path>` — CI perf smoke: re-measure the
+//!   streams, verify `<path>` parses through the engine JSON
+//!   round-trip to canonical fixed point, and gate each fresh
+//!   timing-wheel rate at ≥ 0.9× the *committed heap baseline* for the
+//!   same stream. The wheel beats the heap by well over that margin, so
+//!   the gate only trips on a genuine scheduler regression, not on
+//!   runner-to-runner speed differences.
+
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use nisim_bench::fig3a_sweep;
+use nisim_engine::json::{self, Json};
+use nisim_engine::wheel::BinaryHeapQueue;
+use nisim_engine::{Dur, Event, Sim, SplitMix64, Time};
+use nisim_mem::{BusConfig, BusOp};
+use nisim_net::{NetConfig, ReliabilityConfig};
+use nisim_workloads::apps::MacroApp;
+
+/// Events fired per stream measurement.
+const STREAM_EVENTS: u64 = 400_000;
+/// Timed repetitions per (stream, scheduler); the best rate is kept.
+const REPS: u32 = 3;
+/// Concurrent chains in the chain-shaped streams — sized like the
+/// in-flight event population of a large machine run (hundreds of
+/// nodes, several pending bus/link/timer events each).
+const CHAINS: u64 = 512;
+/// Fan-out of one same-instant burst.
+const BURST: u64 = 16;
+/// CI gate: fresh wheel rate must be ≥ this × the committed heap rate.
+const GATE: f64 = 0.9;
+
+fn main() -> ExitCode {
+    let args = match Args::from_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!("usage: bench_engine [--jobs <n>] [--json <path>] [--check <path>]");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = &args.check {
+        return check(path);
+    }
+
+    println!("engine scheduler: boxed-closure BinaryHeap vs typed-event timing wheel\n");
+    let streams = measure_streams();
+    println!(
+        "{:<22} {:>10} {:>16} {:>16} {:>9}",
+        "stream", "events", "heap ev/s", "wheel ev/s", "speedup"
+    );
+    for s in &streams {
+        println!(
+            "{:<22} {:>10} {:>16.0} {:>16.0} {:>8.2}x",
+            s.name,
+            s.events,
+            s.heap_rate,
+            s.wheel_rate,
+            s.speedup()
+        );
+    }
+
+    let sweep = fig3a_sweep(&MacroApp::ALL);
+    let t0 = Instant::now();
+    let records = sweep.run(1);
+    let jobs1_ms = t0.elapsed().as_millis() as u64;
+    let t0 = Instant::now();
+    let records8 = sweep.run(8);
+    let jobs8_ms = t0.elapsed().as_millis() as u64;
+    assert_eq!(records.len(), records8.len());
+    println!(
+        "\nfig3a grid ({} points): {jobs1_ms} ms at --jobs 1, {jobs8_ms} ms at --jobs 8",
+        records.len()
+    );
+
+    let doc = document(&streams, records.len() as u64, jobs1_ms, jobs8_ms);
+    let path = args.json.unwrap_or_else(default_output);
+    std::fs::write(&path, doc.to_pretty())
+        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+    ExitCode::SUCCESS
+}
+
+struct Args {
+    json: Option<PathBuf>,
+    check: Option<PathBuf>,
+}
+
+impl Args {
+    fn from_args(args: impl Iterator<Item = String>) -> Result<Args, String> {
+        let mut out = Args {
+            json: None,
+            check: None,
+        };
+        let mut it = args;
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                // Accepted for harness-wide uniformity; the streams are
+                // single-threaded and the grid section always runs both
+                // --jobs 1 and --jobs 8.
+                "--jobs" => {
+                    let v = it.next().ok_or("--jobs needs a value")?;
+                    v.parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("bad --jobs {v:?} (want a positive integer)"))?;
+                }
+                "--json" => {
+                    let v = it.next().ok_or("--json needs a path")?;
+                    out.json = Some(PathBuf::from(v));
+                }
+                "--check" => {
+                    let v = it.next().ok_or("--check needs a path")?;
+                    out.check = Some(PathBuf::from(v));
+                }
+                other => return Err(format!("unknown argument {other:?}")),
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// The committed location: `BENCH_3.json` at the repo root.
+fn default_output() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_3.json")
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic streams
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum StreamKind {
+    /// Near-horizon chains at bus/link delays.
+    BusLink,
+    /// Near traffic with 1-in-8 reliability-backoff far timers.
+    Bimodal,
+    /// Heads fanning [`BURST`] events into the current instant.
+    Bursts,
+}
+
+impl StreamKind {
+    const ALL: [StreamKind; 3] = [StreamKind::BusLink, StreamKind::Bimodal, StreamKind::Bursts];
+
+    fn name(self) -> &'static str {
+        match self {
+            StreamKind::BusLink => "bus-link chains",
+            StreamKind::Bimodal => "bimodal timers",
+            StreamKind::Bursts => "same-instant bursts",
+        }
+    }
+
+    fn seed(self) -> u64 {
+        match self {
+            StreamKind::BusLink => 0xB175,
+            StreamKind::Bimodal => 0xB1D0,
+            StreamKind::Bursts => 0xB0B5,
+        }
+    }
+}
+
+/// A stand-in for the `WireMsg`-sized state the machine's events carry:
+/// the heap baseline captures it in each boxed closure (forcing the
+/// per-event allocation the old scheduler paid), the wheel carries it
+/// inline in the enum.
+type Stamp = [u64; 4];
+
+/// Shared model for both schedulers. Identical RNG call sequences on
+/// both sides make the generated streams — and therefore the final
+/// simulated times — exactly equal.
+struct Ctx {
+    rng: SplitMix64,
+    near: Vec<Dur>,
+    far: Vec<Dur>,
+    beyond_span: Dur,
+    ticks: u64,
+    sink: u64,
+}
+
+impl Ctx {
+    fn new(kind: StreamKind) -> Ctx {
+        let bus = BusConfig::default();
+        let net = NetConfig::default();
+        let rel = ReliabilityConfig::on();
+        // The machine's short-horizon vocabulary: every bus transaction
+        // type plus link serialisation and the one-way wire hop.
+        let mut near: Vec<Dur> = BusOp::ALL.iter().map(|&op| bus.occupancy(op)).collect();
+        near.push(net.serialisation(net.wire_bytes(net.max_payload_bytes())));
+        near.push(net.serialisation(net.wire_bytes(64)));
+        near.push(net.wire_latency);
+        // Reliability backoff horizons, from the base timeout up to the
+        // ceiling.
+        let far: Vec<Dur> = (0..5).map(|a| rel.timeout_for(a)).collect();
+        Ctx {
+            rng: SplitMix64::new(kind.seed()),
+            near,
+            far,
+            beyond_span: rel.max_timeout() * 400,
+            ticks: 0,
+            sink: 0,
+        }
+    }
+
+    fn next_delay(&mut self, bimodal: bool) -> Dur {
+        if bimodal && self.rng.gen_range(8) == 0 {
+            // Occasionally jump far beyond the wheel's ~16.8 ms in-window
+            // span so the overflow heap and its promotion path stay on
+            // the measured path.
+            if self.rng.gen_range(64) == 0 {
+                return self.beyond_span;
+            }
+            self.far[self.rng.gen_range(self.far.len() as u64) as usize]
+        } else {
+            self.near[self.rng.gen_range(self.near.len() as u64) as usize]
+        }
+    }
+
+    fn make_stamp(&mut self) -> Stamp {
+        self.ticks += 1;
+        [self.ticks, self.ticks ^ 0x5A5A, 64, 8]
+    }
+
+    fn consume(&mut self, stamp: Stamp) {
+        self.sink = self
+            .sink
+            .wrapping_add(stamp[0] ^ stamp[1])
+            .wrapping_add(stamp[2] + stamp[3]);
+    }
+}
+
+// --- timing-wheel side: a typed event enum, stored inline ---
+
+enum StreamEvent {
+    Chain { stamp: Stamp, bimodal: bool },
+    BurstHead { stamp: Stamp },
+    Leaf { stamp: Stamp },
+}
+
+impl Event<Ctx> for StreamEvent {
+    fn fire(self, m: &mut Ctx, sim: &mut Sim<Ctx, StreamEvent>) {
+        match self {
+            StreamEvent::Chain { stamp, bimodal } => {
+                m.consume(stamp);
+                let d = m.next_delay(bimodal);
+                let stamp = m.make_stamp();
+                sim.schedule_event_in(d, StreamEvent::Chain { stamp, bimodal });
+            }
+            StreamEvent::BurstHead { stamp } => {
+                m.consume(stamp);
+                for _ in 0..BURST {
+                    let stamp = m.make_stamp();
+                    sim.schedule_event_in(Dur::ZERO, StreamEvent::Leaf { stamp });
+                }
+                let d = m.next_delay(false);
+                let stamp = m.make_stamp();
+                sim.schedule_event_in(d, StreamEvent::BurstHead { stamp });
+            }
+            StreamEvent::Leaf { stamp } => m.consume(stamp),
+        }
+    }
+}
+
+fn run_wheel(kind: StreamKind, events: u64) -> Time {
+    let mut m = Ctx::new(kind);
+    let mut sim: Sim<Ctx, StreamEvent> = Sim::new();
+    seed_stream(
+        kind,
+        &mut m,
+        |at, m, sim: &mut Sim<Ctx, StreamEvent>| {
+            let stamp = m.make_stamp();
+            let ev = match kind {
+                StreamKind::Bursts => StreamEvent::BurstHead { stamp },
+                _ => StreamEvent::Chain {
+                    stamp,
+                    bimodal: kind == StreamKind::Bimodal,
+                },
+            };
+            sim.schedule_event_at(at, ev).expect("seeding from t=0");
+        },
+        &mut sim,
+    );
+    sim.run_bounded(&mut m, Time::MAX, events);
+    assert_eq!(sim.events_fired(), events);
+    black_box(m.sink);
+    sim.now()
+}
+
+// --- heap baseline: the pre-wheel design, one boxed closure per event ---
+
+/// A faithful replica of the original scheduler: boxed `FnOnce` events
+/// ordered by a `(time, seq)` binary heap.
+type BoxedFire = Box<dyn FnOnce(&mut Ctx, &mut HeapSim)>;
+
+struct HeapSim {
+    now: Time,
+    seq: u64,
+    fired: u64,
+    queue: BinaryHeapQueue<BoxedFire>,
+}
+
+impl HeapSim {
+    fn new() -> HeapSim {
+        HeapSim {
+            now: Time::ZERO,
+            seq: 0,
+            fired: 0,
+            queue: BinaryHeapQueue::new(),
+        }
+    }
+
+    fn schedule_at(&mut self, at: Time, f: impl FnOnce(&mut Ctx, &mut HeapSim) + 'static) {
+        assert!(at >= self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(at, seq, Box::new(f));
+    }
+
+    fn schedule_in(&mut self, delay: Dur, f: impl FnOnce(&mut Ctx, &mut HeapSim) + 'static) {
+        let at = self.now + delay;
+        self.schedule_at(at, f);
+    }
+
+    fn run_bounded(&mut self, m: &mut Ctx, max_events: u64) {
+        while self.fired < max_events {
+            let Some((at, _, event)) = self.queue.pop() else {
+                return;
+            };
+            self.now = at;
+            self.fired += 1;
+            event(m, self);
+        }
+    }
+}
+
+fn heap_chain(stamp: Stamp, bimodal: bool, m: &mut Ctx, sim: &mut HeapSim) {
+    m.consume(stamp);
+    let d = m.next_delay(bimodal);
+    let stamp = m.make_stamp();
+    sim.schedule_in(d, move |m, sim| heap_chain(stamp, bimodal, m, sim));
+}
+
+fn heap_burst_head(stamp: Stamp, m: &mut Ctx, sim: &mut HeapSim) {
+    m.consume(stamp);
+    for _ in 0..BURST {
+        let stamp = m.make_stamp();
+        sim.schedule_in(Dur::ZERO, move |m: &mut Ctx, _| m.consume(stamp));
+    }
+    let d = m.next_delay(false);
+    let stamp = m.make_stamp();
+    sim.schedule_in(d, move |m, sim| heap_burst_head(stamp, m, sim));
+}
+
+fn run_heap(kind: StreamKind, events: u64) -> Time {
+    let mut m = Ctx::new(kind);
+    let mut sim = HeapSim::new();
+    seed_stream(
+        kind,
+        &mut m,
+        |at, m, sim: &mut HeapSim| {
+            let stamp = m.make_stamp();
+            match kind {
+                StreamKind::Bursts => {
+                    sim.schedule_at(at, move |m, sim| heap_burst_head(stamp, m, sim))
+                }
+                _ => {
+                    let bimodal = kind == StreamKind::Bimodal;
+                    sim.schedule_at(at, move |m, sim| heap_chain(stamp, bimodal, m, sim))
+                }
+            }
+        },
+        &mut sim,
+    );
+    sim.run_bounded(&mut m, events);
+    assert_eq!(sim.fired, events);
+    black_box(m.sink);
+    sim.now
+}
+
+/// Schedules the initial population: [`CHAINS`] chains (or burst heads)
+/// staggered one nanosecond apart.
+fn seed_stream<S>(
+    kind: StreamKind,
+    m: &mut Ctx,
+    mut schedule: impl FnMut(Time, &mut Ctx, &mut S),
+    sim: &mut S,
+) {
+    let heads = match kind {
+        StreamKind::Bursts => CHAINS / 8,
+        _ => CHAINS,
+    };
+    for i in 0..heads {
+        schedule(Time::from_ns(i), m, sim);
+    }
+}
+
+struct StreamResult {
+    name: &'static str,
+    events: u64,
+    heap_rate: f64,
+    wheel_rate: f64,
+}
+
+impl StreamResult {
+    fn speedup(&self) -> f64 {
+        self.wheel_rate / self.heap_rate
+    }
+}
+
+fn best_rate(events: u64, mut run: impl FnMut() -> Time) -> (f64, Time) {
+    let mut best = 0.0f64;
+    let mut end = Time::ZERO;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        end = run();
+        let secs = t.elapsed().as_secs_f64();
+        best = best.max(events as f64 / secs);
+    }
+    (best, end)
+}
+
+fn measure_streams() -> Vec<StreamResult> {
+    StreamKind::ALL
+        .iter()
+        .map(|&kind| {
+            let (heap_rate, heap_end) = best_rate(STREAM_EVENTS, || run_heap(kind, STREAM_EVENTS));
+            let (wheel_rate, wheel_end) =
+                best_rate(STREAM_EVENTS, || run_wheel(kind, STREAM_EVENTS));
+            // Differential sanity: same stream, same RNG sequence — both
+            // schedulers must land on the same simulated instant.
+            assert_eq!(
+                heap_end,
+                wheel_end,
+                "{}: heap and wheel diverged",
+                kind.name()
+            );
+            StreamResult {
+                name: kind.name(),
+                events: STREAM_EVENTS,
+                heap_rate,
+                wheel_rate,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// JSON document + CI check mode
+// ---------------------------------------------------------------------------
+
+fn document(streams: &[StreamResult], grid_points: u64, jobs1_ms: u64, jobs8_ms: u64) -> Json {
+    let stream_json: Vec<Json> = streams
+        .iter()
+        .map(|s| {
+            Json::obj()
+                .set("name", s.name)
+                .set("events", s.events)
+                .set("heap_events_per_sec", s.heap_rate.round())
+                .set("wheel_events_per_sec", s.wheel_rate.round())
+                .set("speedup", (s.speedup() * 100.0).round() / 100.0)
+        })
+        .collect();
+    Json::obj()
+        .set("bench", "bench_engine")
+        .set("schema", 1u64)
+        .set("streams", stream_json)
+        .set(
+            "grid",
+            Json::obj()
+                .set("sweep", "fig3a")
+                .set("points", grid_points)
+                .set("jobs1_ms", jobs1_ms)
+                .set("jobs8_ms", jobs8_ms),
+        )
+}
+
+/// CI perf smoke: the committed document must parse through the engine
+/// JSON round-trip to a canonical fixed point, and a fresh wheel
+/// measurement of every committed stream must clear [`GATE`] × the
+/// committed heap baseline.
+fn check(path: &std::path::Path) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {} ({e})", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{} does not parse: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let pretty = doc.to_pretty();
+    match json::parse(&pretty) {
+        Ok(again) if again.to_pretty() == pretty => {}
+        _ => {
+            eprintln!("{} does not round-trip to a fixed point", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    let Some(committed) = doc.get("streams").and_then(Json::as_arr) else {
+        eprintln!("{} has no \"streams\" array", path.display());
+        return ExitCode::FAILURE;
+    };
+
+    let fresh = measure_streams();
+    let mut ok = true;
+    for s in &fresh {
+        let baseline = committed.iter().find_map(|c| {
+            (c.get("name").and_then(Json::as_str) == Some(s.name))
+                .then(|| c.get("heap_events_per_sec").and_then(Json::as_f64))
+                .flatten()
+        });
+        let Some(baseline) = baseline else {
+            eprintln!("{}: no committed baseline for {:?}", path.display(), s.name);
+            ok = false;
+            continue;
+        };
+        let floor = baseline * GATE;
+        let pass = s.wheel_rate >= floor;
+        println!(
+            "{:<22} wheel {:>14.0} ev/s vs {:.1}x committed heap baseline {:>14.0}: {}",
+            s.name,
+            s.wheel_rate,
+            GATE,
+            baseline,
+            if pass { "ok" } else { "REGRESSED" }
+        );
+        ok &= pass;
+    }
+    if ok {
+        println!("perf smoke passed");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

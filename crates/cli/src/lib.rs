@@ -332,6 +332,7 @@ pub fn main_with_args(args: &[String]) -> Result<String, CliError> {
             let mut out = format!(
                 "{app} on {} ({} nodes, buffers {}):\n\
                  \x20 elapsed        {} us\n\
+                 \x20 events         {}\n\
                  \x20 compute        {:.1}%\n\
                  \x20 data transfer  {:.1}%\n\
                  \x20 buffering      {:.1}%\n\
@@ -342,6 +343,7 @@ pub fn main_with_args(args: &[String]) -> Result<String, CliError> {
                 cfg.nodes,
                 cfg.flow_buffers,
                 r.elapsed.as_ns() / 1_000,
+                r.events,
                 100.0 * r.fraction(TimeCategory::Compute),
                 100.0 * r.fraction(TimeCategory::DataTransfer),
                 100.0 * r.fraction(TimeCategory::Buffering),
@@ -487,6 +489,7 @@ mod tests {
         assert!(out.contains("appbt on AP3000-like NI"), "{out}");
         assert!(out.contains("data transfer"));
         assert!(out.contains("4 nodes, buffers 2"));
+        assert!(out.contains("events"), "{out}");
     }
 
     #[test]

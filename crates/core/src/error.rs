@@ -59,6 +59,17 @@ pub enum ProtocolViolation {
         /// The fragment.
         msg: MsgId,
     },
+    /// The machine asked the scheduler to fire an event before the
+    /// current simulated time. The event is dropped and recorded here
+    /// (via [`nisim_engine::ScheduleError`]) instead of aborting the
+    /// run: one buggy NI timing model yields a diagnosable record, not
+    /// a dead sweep.
+    EventScheduledInPast {
+        /// The requested (past) fire time.
+        at: Time,
+        /// The scheduler's time when the request was made.
+        now: Time,
+    },
     /// The reliability layer retransmitted a fragment `attempts` times
     /// without ever seeing an ack and gave up. The fragment stays
     /// outstanding (its flow-control buffer is never released), so the
@@ -93,6 +104,9 @@ impl fmt::Display for ProtocolViolation {
             }
             ProtocolViolation::RetryForUnknownFragment { node, msg } => {
                 write!(f, "{node}: retry for unknown fragment {msg:?}")
+            }
+            ProtocolViolation::EventScheduledInPast { at, now } => {
+                write!(f, "event scheduled in the past: at={at} now={now}")
             }
             ProtocolViolation::RetryCapExhausted {
                 node,

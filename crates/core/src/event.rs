@@ -1,0 +1,95 @@
+//! The machine's typed event vocabulary.
+//!
+//! Every event the simulated machine schedules is one of the
+//! [`MachineEvent`] variants below, dispatched to the corresponding
+//! handler in [`machine`](crate::machine). Compared with the engine's
+//! boxed-closure default ([`nisim_engine::ClosureEvent`]), a plain enum
+//! stores inline in the timing wheel's slot slabs — scheduling a bus
+//! transaction or link hop allocates nothing and dispatch is a jump
+//! table instead of an indirect call through a fat pointer.
+//!
+//! The variants mirror the protocol described in the machine module
+//! docs: processor steps, wire arrivals, acks and their timers, deposit
+//! completions, and the return-to-sender retry path of §5.1.2.
+
+use nisim_engine::Event;
+use nisim_net::{MsgId, NodeId};
+
+use crate::machine::{Machine, MachineSim};
+use crate::ni::WireMsg;
+
+/// One scheduled occurrence in the simulated machine.
+#[derive(Clone, Copy, Debug)]
+pub enum MachineEvent {
+    /// The processor on `node` becomes free (or is woken) and runs its
+    /// dispatch loop: drain, resend, continue a send, or ask the program.
+    ProcRun {
+        /// Node index.
+        node: usize,
+    },
+    /// A data fragment reaches its destination NI's ingress port.
+    Arrival {
+        /// The fragment on the wire.
+        wire: WireMsg,
+        /// True if the fault layer corrupted the payload in flight.
+        corrupted: bool,
+    },
+    /// An ack reaches the original sender, releasing its flow-control
+    /// buffer.
+    AckArrival {
+        /// The sender being acked.
+        src: NodeId,
+        /// The fragment the ack is for.
+        msg: MsgId,
+    },
+    /// A reliability-layer ack timer expires; retransmit if the fragment
+    /// is still outstanding and this timer generation is current.
+    AckTimeout {
+        /// The sender that armed the timer.
+        src: NodeId,
+        /// The fragment the timer guards.
+        msg: MsgId,
+        /// The retransmission attempt this timer belongs to.
+        attempt: u32,
+    },
+    /// The NI finished depositing an accepted fragment; the receiving
+    /// processor can be woken to drain it.
+    DepositDone {
+        /// Receiving node index.
+        dst: usize,
+        /// True for NI-managed buffering, which releases the
+        /// flow-control buffer at deposit rather than at drain.
+        frees_buffer: bool,
+    },
+    /// A rejected fragment arrives back at its sender (return-to-sender
+    /// flow control).
+    ReturnArrival {
+        /// The returned fragment.
+        wire: WireMsg,
+    },
+    /// A returned fragment's backoff elapsed; re-inject it.
+    Retry {
+        /// The sender retrying.
+        src: NodeId,
+        /// The fragment to retry.
+        msg: MsgId,
+    },
+}
+
+impl Event<Machine> for MachineEvent {
+    fn fire(self, m: &mut Machine, sim: &mut MachineSim) {
+        match self {
+            MachineEvent::ProcRun { node } => Machine::proc_run(m, sim, node),
+            MachineEvent::Arrival { wire, corrupted } => Machine::arrival(m, sim, wire, corrupted),
+            MachineEvent::AckArrival { src, msg } => Machine::ack_arrival(m, sim, src, msg),
+            MachineEvent::AckTimeout { src, msg, attempt } => {
+                Machine::ack_timeout(m, sim, src, msg, attempt)
+            }
+            MachineEvent::DepositDone { dst, frees_buffer } => {
+                Machine::deposit_done(m, sim, dst, frees_buffer)
+            }
+            MachineEvent::ReturnArrival { wire } => Machine::return_arrival(m, sim, wire),
+            MachineEvent::Retry { src, msg } => Machine::retry(m, sim, src, msg),
+        }
+    }
+}

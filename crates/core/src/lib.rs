@@ -68,6 +68,7 @@ pub mod accounting;
 pub mod config;
 pub mod costs;
 pub mod error;
+pub mod event;
 pub mod machine;
 pub mod ni;
 pub mod node;
@@ -79,6 +80,7 @@ pub use accounting::{TimeCategory, TimeLedger};
 pub use config::MachineConfig;
 pub use costs::CostModel;
 pub use error::{EndpointSnapshot, ProtocolViolation, StallReason, StallReport, Violation};
+pub use event::MachineEvent;
 pub use machine::{Machine, MachineReport, MachineSim, NodeSummary, TraceEvent, TraceKind};
 pub use ni::{NiKind, NiModel, NiUnit};
 pub use node::{Node, NodeHw};

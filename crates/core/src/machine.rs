@@ -24,13 +24,15 @@ use nisim_net::{fragment_payload, Fabric, FaultPlan, FaultStats, MsgId, NodeId, 
 use crate::accounting::{TimeCategory, TimeLedger};
 use crate::config::MachineConfig;
 use crate::error::{EndpointSnapshot, ProtocolViolation, StallReason, StallReport, Violation};
+use crate::event::MachineEvent;
 use crate::ni::{NiUnit, OutstandingFrag, RxEntry, WireMsg};
 use crate::node::{Node, NodeHw};
 use crate::process::{Action, AppMessage, Process, SendSpec};
 use crate::processor::{ProcPhase, ProcState, SendInProgress};
 
-/// The scheduler type used with [`Machine`].
-pub type MachineSim = Sim<Machine>;
+/// The scheduler type used with [`Machine`]: typed [`MachineEvent`]s
+/// over the engine's timing wheel — no per-event allocation.
+pub type MachineSim = Sim<Machine, MachineEvent>;
 
 /// A point in one network fragment's lifecycle.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -142,6 +144,9 @@ pub struct NodeSummary {
 pub struct MachineReport {
     /// Simulated time at the end of the run.
     pub elapsed: Dur,
+    /// Scheduler events fired during the run (the denominator of the
+    /// engine's events/sec throughput figure).
+    pub events: u64,
     /// Why the run ended.
     pub status: SimStatus,
     /// True if every node finished its program and no work was pending.
@@ -345,17 +350,28 @@ impl Machine {
     /// Schedules the initial processor step on every node.
     pub fn start(&mut self, sim: &mut MachineSim) {
         for i in 0..self.nodes.len() {
-            sim.schedule_at(Time::ZERO, move |m: &mut Machine, sim| {
-                Machine::proc_run(m, sim, i);
-            });
+            Machine::sched(self, sim, Time::ZERO, MachineEvent::ProcRun { node: i });
+        }
+    }
+
+    /// Schedules a machine event, converting a past-timestamp request
+    /// into a recorded [`ProtocolViolation::EventScheduledInPast`] (the
+    /// event is dropped) instead of aborting the run.
+    fn sched(m: &mut Machine, sim: &mut MachineSim, at: Time, ev: MachineEvent) {
+        if let Err(e) = sim.schedule_event_at(at, ev) {
+            m.violation(
+                e.now,
+                ProtocolViolation::EventScheduledInPast {
+                    at: e.at,
+                    now: e.now,
+                },
+            );
         }
     }
 
     /// Builds the end-of-run report.
     pub fn report(&self, sim: &MachineSim, status: SimStatus) -> MachineReport {
-        let all_quiescent = self.nodes.iter().all(|n| {
-            n.proc.is_locally_quiescent() && n.ni.rx_ready.is_empty() && n.ni.outstanding.is_empty()
-        });
+        let all_quiescent = self.nodes.iter().all(Node::is_quiescent);
         // Under faults, a drained queue with work still held means the
         // machine is wedged (e.g. the retry cap ran out and the sender's
         // buffer will never be released): report it as a stall, not as a
@@ -418,6 +434,7 @@ impl Machine {
             .collect();
         MachineReport {
             elapsed: sim.now() - Time::ZERO,
+            events: sim.events_fired(),
             status,
             all_quiescent,
             ledgers: self.nodes.iter().map(|n| n.ledger.clone()).collect(),
@@ -502,15 +519,13 @@ impl Machine {
         let proc = &mut node.proc;
         if matches!(proc.phase, ProcPhase::Idle | ProcPhase::BlockedSend) && !proc.wake_pending {
             proc.wake_pending = true;
-            sim.schedule_at(at, move |m: &mut Machine, sim| {
-                Machine::proc_run(m, sim, nid);
-            });
+            Machine::sched(m, sim, at, MachineEvent::ProcRun { node: nid });
         }
     }
 
     /// The processor's main dispatch: called when it becomes free or is
     /// woken.
-    fn proc_run(m: &mut Machine, sim: &mut MachineSim, nid: usize) {
+    pub(crate) fn proc_run(m: &mut Machine, sim: &mut MachineSim, nid: usize) {
         let now = sim.now();
         {
             let node = &mut m.nodes[nid];
@@ -564,9 +579,7 @@ impl Machine {
                 node.ledger.charge_to(until, TimeCategory::Compute);
                 node.proc.phase = ProcPhase::Busy;
                 node.proc.busy_until = until;
-                sim.schedule_at(until, move |m: &mut Machine, sim| {
-                    Machine::proc_run(m, sim, nid);
-                });
+                Machine::sched(m, sim, until, MachineEvent::ProcRun { node: nid });
             }
             Action::Send(spec) => Machine::start_send(m, sim, nid, spec),
             Action::Wait => {
@@ -705,9 +718,7 @@ impl Machine {
         let node = &mut m.nodes[nid];
         node.proc.phase = ProcPhase::Busy;
         node.proc.busy_until = release;
-        sim.schedule_at(release, move |m: &mut Machine, sim| {
-            Machine::proc_run(m, sim, nid);
-        });
+        Machine::sched(m, sim, release, MachineEvent::ProcRun { node: nid });
     }
 
     /// Puts a fragment on the wire from its source's egress port and
@@ -723,9 +734,15 @@ impl Machine {
         m.record(start, wire.src, wire.id, TraceKind::Inject);
         let Some(plan) = &mut m.fault else {
             let arrive = m.fabric.transit(&net, end, wire.src, wire.dst, bytes);
-            sim.schedule_at(arrive, move |m: &mut Machine, sim| {
-                Machine::arrival(m, sim, wire, false);
-            });
+            Machine::sched(
+                m,
+                sim,
+                arrive,
+                MachineEvent::Arrival {
+                    wire,
+                    corrupted: false,
+                },
+            );
             return;
         };
         let deliveries = plan.deliveries(end, wire.src, wire.dst);
@@ -735,10 +752,15 @@ impl Machine {
         }
         for d in deliveries {
             let arrive = m.fabric.transit(&net, end, wire.src, wire.dst, bytes) + d.extra_delay;
-            let corrupted = d.corrupted;
-            sim.schedule_at(arrive, move |m: &mut Machine, sim| {
-                Machine::arrival(m, sim, wire, corrupted);
-            });
+            Machine::sched(
+                m,
+                sim,
+                arrive,
+                MachineEvent::Arrival {
+                    wire,
+                    corrupted: d.corrupted,
+                },
+            );
         }
     }
 
@@ -752,15 +774,26 @@ impl Machine {
         attempt: u32,
     ) {
         let timeout = m.cfg.reliability.timeout_for(attempt);
-        sim.schedule_in(timeout, move |m: &mut Machine, sim| {
-            Machine::ack_timeout(m, sim, src, id, attempt);
-        });
+        sim.schedule_event_in(
+            timeout,
+            MachineEvent::AckTimeout {
+                src,
+                msg: id,
+                attempt,
+            },
+        );
     }
 
     /// An ack timer fired: if the fragment is still unacked and this
     /// timer is current (not superseded by a later retransmission),
     /// retransmit or give up.
-    fn ack_timeout(m: &mut Machine, sim: &mut MachineSim, src: NodeId, id: MsgId, attempt: u32) {
+    pub(crate) fn ack_timeout(
+        m: &mut Machine,
+        sim: &mut MachineSim,
+        src: NodeId,
+        id: MsgId,
+        attempt: u32,
+    ) {
         let rel = m.cfg.reliability;
         let nid = src.index();
         let Some(entry) = m.nodes[nid].ni.outstanding.get_mut(&id) else {
@@ -792,7 +825,7 @@ impl Machine {
     }
 
     /// A data fragment arrives at its destination NI.
-    fn arrival(m: &mut Machine, sim: &mut MachineSim, wire: WireMsg, corrupted: bool) {
+    pub(crate) fn arrival(m: &mut Machine, sim: &mut MachineSim, wire: WireMsg, corrupted: bool) {
         let now = sim.now();
         let net = m.cfg.net;
         let costs = m.cfg.costs;
@@ -822,11 +855,15 @@ impl Machine {
                 let node = &mut m.nodes[dst];
                 let (_, ack_end) = node.hw.egress.transmit(&net, ejected, costs.ack_wire_bytes);
                 let ack_at = ack_end + net.wire_latency;
-                let src = wire.src;
-                let id = wire.id;
-                sim.schedule_at(ack_at, move |m: &mut Machine, sim| {
-                    Machine::ack_arrival(m, sim, src, id);
-                });
+                Machine::sched(
+                    m,
+                    sim,
+                    ack_at,
+                    MachineEvent::AckArrival {
+                        src: wire.src,
+                        msg: wire.id,
+                    },
+                );
                 return;
             }
         }
@@ -855,12 +892,17 @@ impl Machine {
             // Ack the sender on the (guaranteed) second network.
             let (_, ack_end) = node.hw.egress.transmit(&net, ejected, costs.ack_wire_bytes);
             let ack_at = ack_end + net.wire_latency;
-            let src = wire.src;
-            let id = wire.id;
-            sim.schedule_at(ack_at, move |m: &mut Machine, sim| {
-                Machine::ack_arrival(m, sim, src, id);
-            });
+            Machine::sched(
+                m,
+                sim,
+                ack_at,
+                MachineEvent::AckArrival {
+                    src: wire.src,
+                    msg: wire.id,
+                },
+            );
 
+            let node = &mut m.nodes[dst];
             let dep = node.ni.model.deposit_fragment(
                 &mut node.hw,
                 &costs,
@@ -881,20 +923,31 @@ impl Machine {
                 frees_buffer_at_drain: !frees_at_deposit,
             });
             node.ni.stats.fragments_received.inc();
-            sim.schedule_at(dep.done, move |m: &mut Machine, sim| {
-                if frees_at_deposit {
-                    m.nodes[dst].ni.fc.free_recv();
-                }
-                Machine::try_wake(m, sim, dst);
-            });
+            Machine::sched(
+                m,
+                sim,
+                dep.done,
+                MachineEvent::DepositDone {
+                    dst,
+                    frees_buffer: frees_at_deposit,
+                },
+            );
         } else {
             // Return to sender on the guaranteed channel.
             let (_, ret_end) = node.hw.egress.transmit(&net, ejected, bytes);
             let back_at = ret_end + net.wire_latency;
-            sim.schedule_at(back_at, move |m: &mut Machine, sim| {
-                Machine::return_arrival(m, sim, wire);
-            });
+            Machine::sched(m, sim, back_at, MachineEvent::ReturnArrival { wire });
         }
+    }
+
+    /// The NI finished depositing an accepted fragment: release the
+    /// flow-control buffer if this NI frees at deposit, and wake the
+    /// receiving processor to drain.
+    pub(crate) fn deposit_done(m: &mut Machine, sim: &mut MachineSim, dst: usize, frees: bool) {
+        if frees {
+            m.nodes[dst].ni.fc.free_recv();
+        }
+        Machine::try_wake(m, sim, dst);
     }
 
     /// An ack arrives back at the sender: release the outgoing buffer.
@@ -903,7 +956,7 @@ impl Machine {
     /// with the reliability layer on (a duplicate's re-ack racing the
     /// original ack) and is absorbed; in a loss-free run it is a
     /// protocol violation, recorded instead of panicking.
-    fn ack_arrival(m: &mut Machine, sim: &mut MachineSim, src: NodeId, id: MsgId) {
+    pub(crate) fn ack_arrival(m: &mut Machine, sim: &mut MachineSim, src: NodeId, id: MsgId) {
         let nid = src.index();
         if m.nodes[nid].ni.outstanding.remove(&id).is_none() {
             if !m.cfg.reliability.enabled {
@@ -927,7 +980,7 @@ impl Machine {
     /// (processor-involved buffering) hand the returned fragment to the
     /// sending *processor*, which must re-push it through the full send
     /// path — the §3.2 cost of processor-managed buffering.
-    fn return_arrival(m: &mut Machine, sim: &mut MachineSim, wire: WireMsg) {
+    pub(crate) fn return_arrival(m: &mut Machine, sim: &mut MachineSim, wire: WireMsg) {
         let max_backoff = m.cfg.retry_backoff_max;
         m.record(sim.now(), wire.src, wire.id, TraceKind::Return);
         let nid = wire.src.index();
@@ -954,15 +1007,17 @@ impl Machine {
         node.ni.fc.return_absorbed();
         let backoff = entry.backoff;
         entry.backoff = (backoff * 2).min(max_backoff);
-        let src = wire.src;
-        let id = wire.id;
-        sim.schedule_in(backoff, move |m: &mut Machine, sim| {
-            Machine::retry(m, sim, src, id);
-        });
+        sim.schedule_event_in(
+            backoff,
+            MachineEvent::Retry {
+                src: wire.src,
+                msg: wire.id,
+            },
+        );
     }
 
     /// Retries a previously returned fragment once its backoff elapses.
-    fn retry(m: &mut Machine, sim: &mut MachineSim, src: NodeId, id: MsgId) {
+    pub(crate) fn retry(m: &mut Machine, sim: &mut MachineSim, src: NodeId, id: MsgId) {
         let nid = src.index();
         match m.nodes[nid].ni.outstanding.get(&id) {
             None => {
@@ -1042,9 +1097,7 @@ impl Machine {
         let node = &mut m.nodes[nid];
         node.proc.phase = ProcPhase::Busy;
         node.proc.busy_until = release;
-        sim.schedule_at(release, move |m: &mut Machine, sim| {
-            Machine::proc_run(m, sim, nid);
-        });
+        Machine::sched(m, sim, release, MachineEvent::ProcRun { node: nid });
     }
 
     /// Drains the oldest consumable fragment and runs the handler if it
@@ -1144,9 +1197,7 @@ impl Machine {
         let node = &mut m.nodes[nid];
         node.proc.phase = ProcPhase::Busy;
         node.proc.busy_until = finish;
-        sim.schedule_at(finish, move |m: &mut Machine, sim| {
-            Machine::proc_run(m, sim, nid);
-        });
+        Machine::sched(m, sim, finish, MachineEvent::ProcRun { node: nid });
     }
 }
 
@@ -1545,6 +1596,52 @@ pub(crate) mod tests {
         assert!(r.rel_stats.retransmits > 0);
         // Cut off promptly: a handful of backoff doublings, not seconds.
         assert!(r.elapsed < Dur::ms(2), "elapsed {:?}", r.elapsed);
+    }
+
+    #[test]
+    fn past_schedule_is_recorded_not_fatal() {
+        // A buggy timing model asking for an event in the past must
+        // surface as a recorded violation (and a dropped event), not
+        // abort the run.
+        let cfg = MachineConfig::with_ni(NiKind::Cm5).nodes(2);
+        let mut machine = Machine::new(cfg, echo_factory(1, 8));
+        let mut sim = MachineSim::new();
+        machine.start(&mut sim);
+        let status = sim.run(&mut machine);
+        assert_eq!(status, SimStatus::Drained);
+        let now = sim.now();
+        assert!(now > Time::ZERO);
+        Machine::sched(
+            &mut machine,
+            &mut sim,
+            Time::ZERO,
+            MachineEvent::ProcRun { node: 0 },
+        );
+        assert_eq!(sim.pending(), 0, "the past event must be dropped");
+        assert!(
+            machine.violations().iter().any(|v| v.kind
+                == ProtocolViolation::EventScheduledInPast {
+                    at: Time::ZERO,
+                    now
+                }),
+            "violation channel must record the bad schedule: {:?}",
+            machine.violations()
+        );
+        // The run can continue and the report carries the diagnostic.
+        let status = sim.run(&mut machine);
+        let report = machine.report(&sim, status);
+        assert!(!report.violations.is_empty());
+    }
+
+    #[test]
+    fn report_counts_scheduler_events() {
+        let r = run_kind(NiKind::Cm5, BufferCount::Finite(8), 4, 64);
+        // Every fragment involves at least a send, arrival, deposit and
+        // ack event, so the event count strictly exceeds the fragment
+        // count; and it is deterministic.
+        assert!(r.events > r.fragments_sent, "{} events", r.events);
+        let again = run_kind(NiKind::Cm5, BufferCount::Finite(8), 4, 64);
+        assert_eq!(r.events, again.events);
     }
 
     #[test]

@@ -212,6 +212,17 @@ pub struct Node {
     pub process: Box<dyn Process>,
 }
 
+impl Node {
+    /// True when this node holds no unfinished work: its program is done
+    /// and idle, no deposited fragments await draining, and no sent
+    /// fragments await an ack. A machine is quiescent when every node is.
+    pub fn is_quiescent(&self) -> bool {
+        self.proc.is_locally_quiescent()
+            && self.ni.rx_ready.is_empty()
+            && self.ni.outstanding.is_empty()
+    }
+}
+
 impl std::fmt::Debug for Node {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Node")

@@ -9,8 +9,9 @@
 //! buses, or network interfaces. It provides:
 //!
 //! * [`Time`] and [`Dur`] — integer-nanosecond simulated time,
-//! * [`Sim`] — a priority-queue event scheduler with deterministic
-//!   tie-breaking (FIFO among events scheduled for the same instant),
+//! * [`Sim`] — an event scheduler with deterministic tie-breaking (FIFO
+//!   among events scheduled for the same instant), backed by a
+//!   hierarchical timing wheel ([`wheel`]) over typed events ([`Event`]),
 //! * [`SplitMix64`] — a tiny seedable PRNG for deterministic workloads,
 //! * [`stats`] — counters, histograms and online summary statistics used
 //!   for experiment reporting,
@@ -39,10 +40,11 @@ pub mod json;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod wheel;
 
 mod sim;
 
 pub use json::Json;
 pub use rng::SplitMix64;
-pub use sim::{Sim, SimStatus};
+pub use sim::{ClosureEvent, Event, ScheduleError, Sim, SimStatus};
 pub use time::{Dur, Time};

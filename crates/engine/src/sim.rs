@@ -1,42 +1,87 @@
 //! The event scheduler.
 //!
-//! [`Sim<M>`] owns a priority queue of events scheduled against a model of
-//! type `M`. Events are boxed `FnOnce(&mut M, &mut Sim<M>)` closures; firing
-//! an event may mutate the model and schedule further events. Events
-//! scheduled for the same instant fire in the order they were scheduled
-//! (FIFO), which makes runs exactly reproducible.
+//! [`Sim<M, E>`] owns a priority queue of events scheduled against a model
+//! of type `M`. An event is any type implementing [`Event<M>`]; firing an
+//! event may mutate the model and schedule further events. Events scheduled
+//! for the same instant fire in the order they were scheduled (FIFO), which
+//! makes runs exactly reproducible.
+//!
+//! The queue is a hierarchical timing wheel with a far-future heap overflow
+//! (see [`crate::wheel`]): the dense short-horizon traffic a hardware model
+//! generates — bus transactions, link hops, memory accesses — schedules and
+//! pops in O(1) instead of O(log n).
+//!
+//! Simulation models define a plain `enum` of their event kinds and
+//! dispatch in [`Event::fire`]; the events are stored inline in the wheel's
+//! slots, so the steady state allocates nothing per event. For quick
+//! experiments and tests, the default event type [`ClosureEvent`] keeps the
+//! original boxed-closure API: `Sim<M>` means `Sim<M, ClosureEvent<M>>`,
+//! and [`Sim::schedule_at`] / [`Sim::schedule_in`] accept plain closures.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::marker::PhantomData;
 
 use crate::time::{Dur, Time};
+use crate::wheel::TimerWheel;
 
 /// A scheduled event: fires against the model and may schedule more events.
-type BoxedEvent<M> = Box<dyn FnOnce(&mut M, &mut Sim<M>)>;
-
-struct Entry<M> {
-    at: Time,
-    seq: u64,
-    event: BoxedEvent<M>,
+///
+/// Implement this on an `enum` of the model's event kinds to get
+/// allocation-free scheduling; see [`ClosureEvent`] for the boxed-closure
+/// escape hatch.
+pub trait Event<M>: Sized {
+    /// Consumes the event, mutating the model and possibly scheduling
+    /// follow-up events.
+    fn fire(self, model: &mut M, sim: &mut Sim<M, Self>);
 }
 
-impl<M> PartialEq for Entry<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+/// The default event type: a boxed `FnOnce(&mut M, &mut Sim<M>)` closure.
+///
+/// This is the pre-wheel API, kept for tests, examples, and models whose
+/// event shapes don't justify a dedicated enum. Each event costs one heap
+/// allocation; hot paths should define a typed event enum instead.
+pub struct ClosureEvent<M>(BoxedHandler<M>);
+
+/// The boxed form a [`ClosureEvent`] stores.
+type BoxedHandler<M> = Box<dyn FnOnce(&mut M, &mut Sim<M>)>;
+
+impl<M> ClosureEvent<M> {
+    /// Wraps a closure as a schedulable event.
+    pub fn new(f: impl FnOnce(&mut M, &mut Sim<M>) + 'static) -> Self {
+        ClosureEvent(Box::new(f))
     }
 }
-impl<M> Eq for Entry<M> {}
-impl<M> PartialOrd for Entry<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+
+impl<M> Event<M> for ClosureEvent<M> {
+    fn fire(self, model: &mut M, sim: &mut Sim<M>) {
+        (self.0)(model, sim)
     }
 }
-impl<M> Ord for Entry<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; reverse to pop the earliest (time, seq).
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+
+/// A schedule request named a timestamp earlier than the current time.
+///
+/// Scheduling into the past is always a model bug, but one buggy design
+/// point should surface as a diagnostic, not abort a whole sweep: callers
+/// route this into their violation channel (the machine layer records a
+/// `ProtocolViolation` and drops the event) instead of panicking.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ScheduleError {
+    /// The requested (past) fire time.
+    pub at: Time,
+    /// The scheduler's current time when the request was made.
+    pub now: Time,
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot schedule event in the past: at={:?} now={:?}",
+            self.at, self.now
+        )
     }
 }
+
+impl std::error::Error for ScheduleError {}
 
 /// Why a [`Sim::run`] call returned.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -67,27 +112,50 @@ pub enum SimStatus {
 /// sim.run(&mut log);
 /// assert_eq!(log, ["a", "b"]);
 /// ```
-pub struct Sim<M> {
+///
+/// Typed events avoid the per-event allocation:
+///
+/// ```
+/// use nisim_engine::{Event, Sim, Time};
+///
+/// enum Ev {
+///     Add(u64),
+/// }
+/// impl Event<u64> for Ev {
+///     fn fire(self, model: &mut u64, _sim: &mut Sim<u64, Self>) {
+///         let Ev::Add(n) = self;
+///         *model += n;
+///     }
+/// }
+/// let mut total = 0u64;
+/// let mut sim: Sim<u64, Ev> = Sim::new();
+/// sim.schedule_event_at(Time::from_ns(3), Ev::Add(2)).unwrap();
+/// sim.run(&mut total);
+/// assert_eq!(total, 2);
+/// ```
+pub struct Sim<M, E: Event<M> = ClosureEvent<M>> {
     now: Time,
     seq: u64,
     fired: u64,
-    queue: BinaryHeap<Entry<M>>,
+    queue: TimerWheel<E>,
+    _model: PhantomData<fn(&mut M)>,
 }
 
-impl<M> Default for Sim<M> {
+impl<M, E: Event<M>> Default for Sim<M, E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<M> Sim<M> {
+impl<M, E: Event<M>> Sim<M, E> {
     /// Creates an empty scheduler at time zero.
     pub fn new() -> Self {
         Sim {
             now: Time::ZERO,
             seq: 0,
             fired: 0,
-            queue: BinaryHeap::new(),
+            queue: TimerWheel::new(),
+            _model: PhantomData,
         }
     }
 
@@ -111,27 +179,25 @@ impl<M> Sim<M> {
 
     /// Schedules `event` to fire at absolute time `at`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `at` is in the past (before [`Sim::now`]).
-    pub fn schedule_at(&mut self, at: Time, event: impl FnOnce(&mut M, &mut Sim<M>) + 'static) {
-        assert!(
-            at >= self.now,
-            "cannot schedule event in the past: at={at:?} now={:?}",
-            self.now
-        );
+    /// Returns a [`ScheduleError`] (and queues nothing) if `at` is before
+    /// [`Sim::now`].
+    pub fn schedule_event_at(&mut self, at: Time, event: E) -> Result<(), ScheduleError> {
+        if at < self.now {
+            return Err(ScheduleError { at, now: self.now });
+        }
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Entry {
-            at,
-            seq,
-            event: Box::new(event),
-        });
+        self.queue.push(at, seq, event);
+        Ok(())
     }
 
-    /// Schedules `event` to fire `delay` after the current time.
-    pub fn schedule_in(&mut self, delay: Dur, event: impl FnOnce(&mut M, &mut Sim<M>) + 'static) {
-        self.schedule_at(self.now + delay, event);
+    /// Schedules `event` to fire `delay` after the current time. Cannot
+    /// fail: `now + delay` is never in the past.
+    pub fn schedule_event_in(&mut self, delay: Dur, event: E) {
+        let at = self.now + delay;
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(at, seq, event);
     }
 
     /// Runs until the queue drains. Returns [`SimStatus::Drained`].
@@ -153,7 +219,7 @@ impl<M> Sim<M> {
         loop {
             match self.queue.peek() {
                 None => return SimStatus::Drained,
-                Some(head) if head.at > horizon => {
+                Some((at, _)) if at > horizon => {
                     self.now = horizon;
                     return SimStatus::HorizonReached;
                 }
@@ -163,11 +229,11 @@ impl<M> Sim<M> {
                 return SimStatus::EventBudgetExhausted;
             }
             budget -= 1;
-            let entry = self.queue.pop().expect("peeked entry vanished");
-            debug_assert!(entry.at >= self.now, "event queue returned stale event");
-            self.now = entry.at;
+            let (at, _, event) = self.queue.pop().expect("peeked entry vanished");
+            debug_assert!(at >= self.now, "event queue returned stale event");
+            self.now = at;
             self.fired += 1;
-            (entry.event)(model, self);
+            event.fire(model, self);
         }
     }
 
@@ -199,7 +265,7 @@ impl<M> Sim<M> {
         loop {
             match self.queue.peek() {
                 None => return SimStatus::Drained,
-                Some(head) if head.at > horizon => {
+                Some((at, _)) if at > horizon => {
                     self.now = horizon;
                     return SimStatus::HorizonReached;
                 }
@@ -209,11 +275,11 @@ impl<M> Sim<M> {
                 return SimStatus::EventBudgetExhausted;
             }
             budget -= 1;
-            let entry = self.queue.pop().expect("peeked entry vanished");
-            debug_assert!(entry.at >= self.now, "event queue returned stale event");
-            self.now = entry.at;
+            let (at, _, event) = self.queue.pop().expect("peeked entry vanished");
+            debug_assert!(at >= self.now, "event queue returned stale event");
+            self.now = at;
             self.fired += 1;
-            (entry.event)(model, self);
+            event.fire(model, self);
             let value = progress(model);
             if value != last_value {
                 last_value = value;
@@ -229,17 +295,36 @@ impl<M> Sim<M> {
     pub fn step(&mut self, model: &mut M) -> bool {
         match self.queue.pop() {
             None => false,
-            Some(entry) => {
-                self.now = entry.at;
+            Some((at, _, event)) => {
+                self.now = at;
                 self.fired += 1;
-                (entry.event)(model, self);
+                event.fire(model, self);
                 true
             }
         }
     }
 }
 
-impl<M> std::fmt::Debug for Sim<M> {
+impl<M> Sim<M> {
+    /// Schedules a closure to fire at absolute time `at`.
+    ///
+    /// Returns a [`ScheduleError`] (and queues nothing) if `at` is before
+    /// [`Sim::now`].
+    pub fn schedule_at(
+        &mut self,
+        at: Time,
+        event: impl FnOnce(&mut M, &mut Sim<M>) + 'static,
+    ) -> Result<(), ScheduleError> {
+        self.schedule_event_at(at, ClosureEvent::new(event))
+    }
+
+    /// Schedules a closure to fire `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: Dur, event: impl FnOnce(&mut M, &mut Sim<M>) + 'static) {
+        self.schedule_event_in(delay, ClosureEvent::new(event));
+    }
+}
+
+impl<M, E: Event<M>> std::fmt::Debug for Sim<M, E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Sim")
             .field("now", &self.now)
@@ -258,7 +343,8 @@ mod tests {
         let mut out: Vec<u64> = Vec::new();
         let mut sim: Sim<Vec<u64>> = Sim::new();
         for &t in &[30u64, 10, 20] {
-            sim.schedule_at(Time::from_ns(t), move |m: &mut Vec<u64>, _| m.push(t));
+            sim.schedule_at(Time::from_ns(t), move |m: &mut Vec<u64>, _| m.push(t))
+                .unwrap();
         }
         assert_eq!(sim.run(&mut out), SimStatus::Drained);
         assert_eq!(out, [10, 20, 30]);
@@ -270,7 +356,8 @@ mod tests {
         let mut out: Vec<u32> = Vec::new();
         let mut sim: Sim<Vec<u32>> = Sim::new();
         for i in 0..100u32 {
-            sim.schedule_at(Time::from_ns(7), move |m: &mut Vec<u32>, _| m.push(i));
+            sim.schedule_at(Time::from_ns(7), move |m: &mut Vec<u32>, _| m.push(i))
+                .unwrap();
         }
         sim.run(&mut out);
         assert_eq!(out, (0..100).collect::<Vec<_>>());
@@ -288,7 +375,7 @@ mod tests {
                 }
             }
         }
-        sim.schedule_at(Time::ZERO, chain(9));
+        sim.schedule_at(Time::ZERO, chain(9)).unwrap();
         sim.run(&mut count);
         assert_eq!(count, 10);
         assert_eq!(sim.now(), Time::from_ns(9));
@@ -296,12 +383,42 @@ mod tests {
     }
 
     #[test]
+    fn typed_events_dispatch_without_boxing() {
+        enum Ev {
+            Add(u64),
+            Fork,
+        }
+        impl Event<u64> for Ev {
+            fn fire(self, model: &mut u64, sim: &mut Sim<u64, Self>) {
+                match self {
+                    Ev::Add(n) => *model += n,
+                    Ev::Fork => {
+                        sim.schedule_event_in(Dur::ns(1), Ev::Add(10));
+                        sim.schedule_event_in(Dur::ns(2), Ev::Add(100));
+                    }
+                }
+            }
+        }
+        let mut total = 0u64;
+        let mut sim: Sim<u64, Ev> = Sim::new();
+        sim.schedule_event_at(Time::from_ns(5), Ev::Fork).unwrap();
+        sim.schedule_event_at(Time::from_ns(1), Ev::Add(1)).unwrap();
+        assert_eq!(sim.run(&mut total), SimStatus::Drained);
+        assert_eq!(total, 111);
+        assert_eq!(sim.now(), Time::from_ns(7));
+        assert_eq!(sim.events_fired(), 4);
+    }
+
+    #[test]
     fn horizon_stops_run_and_clamps_now() {
         let mut hits = 0u64;
         let mut sim: Sim<u64> = Sim::new();
-        sim.schedule_at(Time::from_ns(5), |m: &mut u64, _| *m += 1);
-        sim.schedule_at(Time::from_ns(10), |m: &mut u64, _| *m += 1);
-        sim.schedule_at(Time::from_ns(50), |m: &mut u64, _| *m += 1);
+        sim.schedule_at(Time::from_ns(5), |m: &mut u64, _| *m += 1)
+            .unwrap();
+        sim.schedule_at(Time::from_ns(10), |m: &mut u64, _| *m += 1)
+            .unwrap();
+        sim.schedule_at(Time::from_ns(50), |m: &mut u64, _| *m += 1)
+            .unwrap();
         let status = sim.run_until(&mut hits, Time::from_ns(10));
         assert_eq!(status, SimStatus::HorizonReached);
         assert_eq!(hits, 2); // the event at exactly the horizon fires
@@ -314,7 +431,8 @@ mod tests {
         let mut hits = 0u64;
         let mut sim: Sim<u64> = Sim::new();
         for i in 0..10 {
-            sim.schedule_at(Time::from_ns(i), |m: &mut u64, _| *m += 1);
+            sim.schedule_at(Time::from_ns(i), |m: &mut u64, _| *m += 1)
+                .unwrap();
         }
         let status = sim.run_bounded(&mut hits, Time::MAX, 4);
         assert_eq!(status, SimStatus::EventBudgetExhausted);
@@ -323,21 +441,53 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cannot schedule event in the past")]
-    fn scheduling_in_the_past_panics() {
+    fn scheduling_in_the_past_returns_a_typed_error() {
         let mut model = ();
         let mut sim: Sim<()> = Sim::new();
-        sim.schedule_at(Time::from_ns(10), |_, _| {});
+        sim.schedule_at(Time::from_ns(10), |_, _| {}).unwrap();
         sim.run(&mut model);
-        sim.schedule_at(Time::from_ns(5), |_, _| {});
+        let err = sim.schedule_at(Time::from_ns(5), |_, _| {}).unwrap_err();
+        assert_eq!(
+            err,
+            ScheduleError {
+                at: Time::from_ns(5),
+                now: Time::from_ns(10)
+            }
+        );
+        assert!(err.to_string().contains("past"), "{err}");
+        // The rejected event was not queued; the run stays healthy.
+        assert_eq!(sim.pending(), 0);
+        assert_eq!(sim.run(&mut model), SimStatus::Drained);
+    }
+
+    #[test]
+    fn rescheduling_after_a_bounded_run_lands_in_order() {
+        // A horizon-bounded run leaves the queue holding only a far-future
+        // event; scheduling near `now` afterwards must still fire first.
+        let mut out: Vec<u64> = Vec::new();
+        let mut sim: Sim<Vec<u64>> = Sim::new();
+        sim.schedule_at(Time::from_ns(1_000_000), |m: &mut Vec<u64>, _| {
+            m.push(1_000_000)
+        })
+        .unwrap();
+        let status = sim.run_until(&mut out, Time::from_ns(100));
+        assert_eq!(status, SimStatus::HorizonReached);
+        sim.schedule_at(Time::from_ns(101), |m: &mut Vec<u64>, _| m.push(101))
+            .unwrap();
+        sim.schedule_at(Time::from_ns(500), |m: &mut Vec<u64>, _| m.push(500))
+            .unwrap();
+        assert_eq!(sim.run(&mut out), SimStatus::Drained);
+        assert_eq!(out, [101, 500, 1_000_000]);
     }
 
     #[test]
     fn step_fires_single_event() {
         let mut n = 0u64;
         let mut sim: Sim<u64> = Sim::new();
-        sim.schedule_at(Time::from_ns(1), |m: &mut u64, _| *m += 1);
-        sim.schedule_at(Time::from_ns(2), |m: &mut u64, _| *m += 1);
+        sim.schedule_at(Time::from_ns(1), |m: &mut u64, _| *m += 1)
+            .unwrap();
+        sim.schedule_at(Time::from_ns(2), |m: &mut u64, _| *m += 1)
+            .unwrap();
         assert!(sim.step(&mut n));
         assert_eq!(n, 1);
         assert!(sim.step(&mut n));
@@ -362,7 +512,7 @@ mod tests {
         }
         let mut model = 0u64;
         let mut sim: Sim<u64> = Sim::new();
-        sim.schedule_at(Time::ZERO, churn);
+        sim.schedule_at(Time::ZERO, churn).unwrap();
         let status = sim.run_watched(&mut model, Time::MAX, u64::MAX, Dur::ns(500), |m| *m);
         assert_eq!(status, SimStatus::Stalled);
         assert!(sim.now() >= Time::from_ns(500));
@@ -379,7 +529,7 @@ mod tests {
         }
         let mut model = 0u64;
         let mut sim: Sim<u64> = Sim::new();
-        sim.schedule_at(Time::ZERO, work);
+        sim.schedule_at(Time::ZERO, work).unwrap();
         let status = sim.run_watched(&mut model, Time::MAX, u64::MAX, Dur::ns(15), |m| *m);
         assert_eq!(status, SimStatus::Drained);
         assert_eq!(model, 200);
@@ -391,7 +541,8 @@ mod tests {
         // does advance the counter: no stall.
         let mut model = 0u64;
         let mut sim: Sim<u64> = Sim::new();
-        sim.schedule_at(Time::from_ns(10_000), |m: &mut u64, _| *m += 1);
+        sim.schedule_at(Time::from_ns(10_000), |m: &mut u64, _| *m += 1)
+            .unwrap();
         let status = sim.run_watched(&mut model, Time::MAX, u64::MAX, Dur::ns(100), |m| *m);
         assert_eq!(status, SimStatus::Drained);
     }
@@ -401,7 +552,8 @@ mod tests {
         let mut model = 0u64;
         let mut sim: Sim<u64> = Sim::new();
         for i in 0..10 {
-            sim.schedule_at(Time::from_ns(i), |m: &mut u64, _| *m += 1);
+            sim.schedule_at(Time::from_ns(i), |m: &mut u64, _| *m += 1)
+                .unwrap();
         }
         let status = sim.run_watched(&mut model, Time::from_ns(4), u64::MAX, Dur::ns(100), |m| *m);
         assert_eq!(status, SimStatus::HorizonReached);

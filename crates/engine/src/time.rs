@@ -81,6 +81,13 @@ impl Time {
     pub fn saturating_since(self, earlier: Time) -> Dur {
         Dur(self.0.saturating_sub(earlier.0))
     }
+
+    /// Adds a duration, saturating at [`Time::MAX`] instead of
+    /// overflowing — useful when probing instants near "never".
+    #[inline]
+    pub fn saturating_add(self, d: Dur) -> Time {
+        Time(self.0.saturating_add(d.0))
+    }
 }
 
 impl Dur {
@@ -277,6 +284,15 @@ mod tests {
         assert_eq!(Dur::us(3).as_ns(), 3_000);
         assert_eq!(Dur::ms(2).as_ns(), 2_000_000);
         assert_eq!(Dur::cycles(5, 4).as_ns(), 20);
+    }
+
+    #[test]
+    fn saturating_add_clamps_at_never() {
+        assert_eq!(Time::MAX.saturating_add(Dur::ns(5)), Time::MAX);
+        assert_eq!(
+            Time::from_ns(10).saturating_add(Dur::ns(5)),
+            Time::from_ns(15)
+        );
     }
 
     #[test]

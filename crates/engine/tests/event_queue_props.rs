@@ -5,7 +5,7 @@
 //! The cases are generated with the crate's own seedable [`SplitMix64`]
 //! so every run is exactly reproducible without external dependencies.
 
-use nisim_engine::{Sim, SimStatus, SplitMix64, Time};
+use nisim_engine::{Dur, Sim, SimStatus, SplitMix64, Time};
 
 const CASES: u64 = 48;
 
@@ -22,7 +22,8 @@ fn ordering_and_fifo_stability() {
         for (i, &t) in times.iter().enumerate() {
             sim.schedule_at(Time::from_ns(t), move |m: &mut Vec<(u64, usize)>, _| {
                 m.push((t, i));
-            });
+            })
+            .unwrap();
         }
         assert_eq!(sim.run(&mut log), SimStatus::Drained);
         assert_eq!(log.len(), times.len());
@@ -58,7 +59,8 @@ fn cascades_accumulate_delays() {
         let delays: Vec<u64> = (0..n).map(|_| 1 + rng.gen_range(49)).collect();
         let mut model = ModelState::default();
         let mut sim: Sim<ModelState> = Sim::new();
-        sim.schedule_at(Time::from_ns(delays[0]), chain(delays.clone(), 0));
+        sim.schedule_at(Time::from_ns(delays[0]), chain(delays.clone(), 0))
+            .unwrap();
         sim.run(&mut model);
         let mut expect = 0u64;
         for (i, &d) in delays.iter().enumerate() {
@@ -80,12 +82,111 @@ fn horizon_splits_schedule() {
         let mut count = 0u64;
         let mut sim: Sim<u64> = Sim::new();
         for &t in &times {
-            sim.schedule_at(Time::from_ns(t), |m: &mut u64, _| *m += 1);
+            sim.schedule_at(Time::from_ns(t), |m: &mut u64, _| *m += 1)
+                .unwrap();
         }
         sim.run_until(&mut count, Time::from_ns(horizon));
         let before = times.iter().filter(|&&t| t <= horizon).count() as u64;
         assert_eq!(count, before, "case {case}");
         assert_eq!(sim.pending(), times.len() - before as usize, "case {case}");
         assert!(sim.now() <= Time::from_ns(horizon));
+    }
+}
+
+/// An event landing exactly on the horizon is on the near side of the
+/// boundary: it fires, the clock ends exactly at the horizon, and only
+/// strictly-later events stay pending.
+#[test]
+fn event_exactly_at_horizon_fires() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xB0DE + case);
+        let horizon = 1 + rng.gen_range(100_000);
+        let later = horizon + 1 + rng.gen_range(1000);
+        let mut log: Vec<u64> = Vec::new();
+        let mut sim: Sim<Vec<u64>> = Sim::new();
+        // Several events at exactly the horizon (FIFO batch), one after.
+        let batch = 1 + rng.gen_range(5);
+        for i in 0..batch {
+            sim.schedule_at(Time::from_ns(horizon), move |m: &mut Vec<u64>, _| m.push(i))
+                .unwrap();
+        }
+        sim.schedule_at(Time::from_ns(later), |m: &mut Vec<u64>, _| m.push(u64::MAX))
+            .unwrap();
+        let status = sim.run_until(&mut log, Time::from_ns(horizon));
+        assert_eq!(status, SimStatus::HorizonReached, "case {case}");
+        assert_eq!(log, (0..batch).collect::<Vec<_>>(), "case {case}");
+        assert_eq!(sim.now(), Time::from_ns(horizon), "case {case}");
+        assert_eq!(sim.pending(), 1, "case {case}");
+    }
+}
+
+/// The watchdog boundary is exact: an event arriving precisely when the
+/// no-progress window expires decides the run — if it advances the
+/// progress counter the run survives, if it doesn't the run stalls at
+/// that very instant.
+#[test]
+fn watchdog_window_expiring_with_a_progress_event_survives() {
+    for &advances in &[true, false] {
+        let window = Dur::ns(1_000);
+        // Churn events every 100 ns never advance progress; the event at
+        // exactly t = window either does or doesn't.
+        fn churn(m: &mut u64, sim: &mut Sim<u64>) {
+            let _ = m;
+            if sim.now() < Time::from_ns(5_000) {
+                sim.schedule_in(Dur::ns(100), churn);
+            }
+        }
+        let mut sim: Sim<u64> = Sim::new();
+        let mut model = 0u64;
+        sim.schedule_at(Time::ZERO, churn).unwrap();
+        sim.schedule_at(Time::from_ns(1_000), move |m: &mut u64, _| {
+            if advances {
+                *m += 1;
+            }
+        })
+        .unwrap();
+        let status = sim.run_watched(&mut model, Time::MAX, u64::MAX, window, |m| *m);
+        if advances {
+            // Progress landed exactly at the window edge: the run goes on
+            // (and eventually stalls much later once churn alone remains).
+            assert_ne!(sim.now(), Time::from_ns(1_000), "survived the boundary");
+            assert_eq!(status, SimStatus::Stalled);
+            assert_eq!(sim.now(), Time::from_ns(2_000));
+        } else {
+            assert_eq!(status, SimStatus::Stalled);
+            assert_eq!(sim.now(), Time::from_ns(1_000), "stalled at the boundary");
+        }
+    }
+}
+
+/// Exhausting the event budget in the middle of a same-instant batch
+/// must split the batch exactly at the budget, keep the clock at the
+/// batch's instant, and resume in FIFO order with no event lost.
+#[test]
+fn budget_exhaustion_splits_a_same_instant_batch() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xB7D6 + case);
+        let at = Time::from_ns(1 + rng.gen_range(1 << 30));
+        let batch = 2 + rng.gen_range(30);
+        let budget = 1 + rng.gen_range(batch - 1); // strictly inside the batch
+        let mut log: Vec<u64> = Vec::new();
+        let mut sim: Sim<Vec<u64>> = Sim::new();
+        for i in 0..batch {
+            sim.schedule_at(at, move |m: &mut Vec<u64>, _| m.push(i))
+                .unwrap();
+        }
+        let status = sim.run_bounded(&mut log, Time::MAX, budget);
+        assert_eq!(status, SimStatus::EventBudgetExhausted, "case {case}");
+        assert_eq!(log, (0..budget).collect::<Vec<_>>(), "case {case}");
+        assert_eq!(
+            sim.now(),
+            at,
+            "case {case}: clock sits at the batch instant"
+        );
+        assert_eq!(sim.pending(), (batch - budget) as usize, "case {case}");
+        // Resuming drains the remainder of the batch in FIFO order.
+        assert_eq!(sim.run(&mut log), SimStatus::Drained, "case {case}");
+        assert_eq!(log, (0..batch).collect::<Vec<_>>(), "case {case}");
+        assert_eq!(sim.events_fired(), batch, "case {case}");
     }
 }

@@ -44,6 +44,17 @@ pub enum BusOp {
 }
 
 impl BusOp {
+    /// Every transaction type, in declaration order — handy for sweeps
+    /// and benchmarks that exercise the full occupancy mix.
+    pub const ALL: [BusOp; 6] = [
+        BusOp::WordRead,
+        BusOp::WordWrite,
+        BusOp::BlockRead,
+        BusOp::BlockReadExclusive,
+        BusOp::BlockWrite,
+        BusOp::Upgrade,
+    ];
+
     /// True if the transaction moves a whole cache block.
     pub fn is_block(self) -> bool {
         matches!(

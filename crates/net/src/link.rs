@@ -70,6 +70,17 @@ impl Link {
     pub fn busy(&self) -> Dur {
         self.busy
     }
+
+    /// Fraction of `elapsed` the port spent serialising (0 when `elapsed`
+    /// is zero). Useful for reporting link pressure in sweeps and
+    /// benchmarks without re-deriving it from the raw counters.
+    pub fn utilisation(&self, elapsed: Dur) -> f64 {
+        if elapsed.is_zero() {
+            0.0
+        } else {
+            self.busy.as_ns() as f64 / elapsed.as_ns() as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -95,6 +106,15 @@ mod tests {
         port.transmit(&cfg, Time::ZERO, 10);
         let (s, _) = port.transmit(&cfg, Time::from_ns(500), 10);
         assert_eq!(s, Time::from_ns(500));
+    }
+
+    #[test]
+    fn utilisation_is_busy_over_elapsed() {
+        let cfg = NetConfig::default();
+        let mut port = Link::new();
+        assert_eq!(port.utilisation(Dur::ZERO), 0.0);
+        port.transmit(&cfg, Time::ZERO, 50);
+        assert!((port.utilisation(Dur::ns(100)) - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -89,6 +89,13 @@ impl ReliabilityConfig {
         let shifted = base.checked_shl(attempt).unwrap_or(u64::MAX);
         Dur::ns(shifted.min(self.timeout_max.as_ns().max(base)))
     }
+
+    /// The longest timeout the backoff can ever produce — the ceiling the
+    /// exponential schedule saturates at. This is the far edge of the
+    /// timer horizon the scheduler must cover for reliability traffic.
+    pub fn max_timeout(&self) -> Dur {
+        Dur::ns(self.timeout_max.as_ns().max(self.ack_timeout.as_ns()))
+    }
 }
 
 /// Sender-side sequence allocation: one monotone counter per receiver.
@@ -220,6 +227,24 @@ mod tests {
         assert_eq!(cfg.timeout_for(3), Dur::ns(750));
         assert_eq!(cfg.timeout_for(40), Dur::ns(750));
         assert_eq!(cfg.timeout_for(200), Dur::ns(750)); // shift overflow
+    }
+
+    #[test]
+    fn max_timeout_is_the_backoff_ceiling() {
+        let cfg = ReliabilityConfig::on();
+        assert_eq!(cfg.max_timeout(), cfg.timeout_max);
+        // Every attempt's timeout stays at or below the ceiling.
+        for attempt in 0..40 {
+            assert!(cfg.timeout_for(attempt) <= cfg.max_timeout());
+        }
+        // A degenerate config whose base exceeds the cap still reports a
+        // ceiling that covers what timeout_for can produce.
+        let odd = ReliabilityConfig {
+            ack_timeout: Dur::us(100),
+            timeout_max: Dur::us(1),
+            ..ReliabilityConfig::on()
+        };
+        assert_eq!(odd.max_timeout(), Dur::us(100));
     }
 
     #[test]

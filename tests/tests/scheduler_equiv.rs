@@ -1,0 +1,233 @@
+//! Differential property suite: the timing-wheel scheduler against the
+//! retained reference `BinaryHeap` queue.
+//!
+//! The wheel ([`nisim_engine::wheel::TimerWheel`]) replaced the original
+//! boxed-closure `BinaryHeap` scheduler; its FIFO-at-equal-instants
+//! contract is what makes every run byte-reproducible, so the two
+//! backends are driven here with seeded randomized streams — mixed
+//! near/far horizons, same-instant bursts, and scheduling from within a
+//! firing event — and must produce identical `(time, seq)` pop
+//! sequences, identical event counts, and identical final clocks.
+
+use nisim_engine::wheel::{BinaryHeapQueue, TimerWheel};
+use nisim_engine::{Dur, Event, Sim, SimStatus, SplitMix64, Time};
+
+/// Pops both queues in lockstep, asserting identical `(time, seq)`
+/// sequences until both drain.
+fn assert_queues_equal(wheel: &mut TimerWheel<u64>, heap: &mut BinaryHeapQueue<u64>, label: &str) {
+    assert_eq!(wheel.len(), heap.len(), "{label}: length mismatch");
+    let mut popped = 0u64;
+    loop {
+        let peeked = wheel.peek();
+        let a = wheel.pop();
+        let b = heap.pop();
+        assert_eq!(
+            a.as_ref().map(|e| (e.0, e.1)),
+            peeked,
+            "{label}: wheel peek/pop disagree at pop {popped}"
+        );
+        assert_eq!(
+            a.as_ref().map(|e| (e.0, e.1)),
+            b.as_ref().map(|e| (e.0, e.1)),
+            "{label}: backends diverged at pop {popped}"
+        );
+        if a.is_none() {
+            break;
+        }
+        popped += 1;
+    }
+}
+
+/// A delay drawn from the machine's characteristic horizons: mostly
+/// bus/link-scale nanoseconds, some µs-scale ack timers, occasionally
+/// past the wheel's ~16.8 ms span (overflow), with same-instant zeros
+/// mixed in.
+fn mixed_delay(rng: &mut SplitMix64) -> u64 {
+    match rng.gen_range(16) {
+        0 => 0,                                   // same instant
+        1..=2 => rng.gen_range(64_000) + 256,     // level 1
+        3 => rng.gen_range(16_000_000),           // level 2
+        4 => 16_800_000 + rng.gen_range(1 << 34), // overflow
+        _ => rng.gen_range(256),                  // level 0
+    }
+}
+
+#[test]
+fn mixed_horizon_streams_pop_identically() {
+    for case in 0..20u64 {
+        let mut rng = SplitMix64::new(0x5EED + case);
+        let mut wheel = TimerWheel::new();
+        let mut heap = BinaryHeapQueue::new();
+        let mut now = 0u64;
+        let mut seq = 0u64;
+        // Interleave pushes and pops so the wheel's bases actually move:
+        // every pop advances `now`, and later pushes land relative to it.
+        for _ in 0..600 {
+            let burst = rng.gen_range(4) + 1;
+            for _ in 0..burst {
+                let at = now + mixed_delay(&mut rng);
+                wheel.push(Time::from_ns(at), seq, seq);
+                heap.push(Time::from_ns(at), seq, seq);
+                seq += 1;
+            }
+            if rng.gen_range(3) == 0 {
+                let a = wheel.pop();
+                let b = heap.pop();
+                assert_eq!(
+                    a.as_ref().map(|e| (e.0, e.1)),
+                    b.as_ref().map(|e| (e.0, e.1)),
+                    "case {case}: diverged mid-stream"
+                );
+                if let Some((t, _, _)) = a {
+                    now = t.as_ns();
+                }
+            }
+        }
+        assert_queues_equal(&mut wheel, &mut heap, &format!("case {case}"));
+    }
+}
+
+#[test]
+fn same_instant_bursts_preserve_fifo_across_backends() {
+    for case in 0..10u64 {
+        let mut rng = SplitMix64::new(0xF1F0 + case);
+        let mut wheel = TimerWheel::new();
+        let mut heap = BinaryHeapQueue::new();
+        // A handful of instants, each receiving a large interleaved burst.
+        let instants: Vec<u64> = (0..8).map(|_| rng.gen_range(1 << 22)).collect();
+        for seq in 0..400u64 {
+            let at = instants[rng.gen_range(instants.len() as u64) as usize];
+            wheel.push(Time::from_ns(at), seq, seq);
+            heap.push(Time::from_ns(at), seq, seq);
+        }
+        assert_queues_equal(&mut wheel, &mut heap, &format!("case {case}"));
+    }
+}
+
+/// The Sim-level half of the differential: the same recursive workload
+/// run through the typed-event wheel `Sim` and through a closure replay
+/// over the reference heap must agree on fire order, count, and clock.
+///
+/// Each fired event re-schedules 0–2 successors (drawn from a seeded
+/// RNG shared by construction), exercising schedule-from-within-fire on
+/// the wheel's cascade and re-anchor paths.
+struct EquivCtx {
+    rng: SplitMix64,
+    fired_log: Vec<(u64, u32)>,
+    spawned: u64,
+    cap: u64,
+}
+
+#[derive(Clone, Copy)]
+struct Spawn {
+    id: u32,
+}
+
+impl Event<EquivCtx> for Spawn {
+    fn fire(self, m: &mut EquivCtx, sim: &mut Sim<EquivCtx, Spawn>) {
+        m.fired_log.push((sim.now().as_ns(), self.id));
+        let kids = m.rng.gen_range(4);
+        for _ in 0..kids {
+            if m.spawned >= m.cap {
+                break;
+            }
+            let d = mixed_delay(&mut m.rng);
+            let id = m.spawned as u32;
+            m.spawned += 1;
+            sim.schedule_event_in(Dur::ns(d), Spawn { id });
+        }
+    }
+}
+
+fn run_typed(seed: u64, cap: u64) -> (Vec<(u64, u32)>, u64, u64) {
+    let mut m = EquivCtx {
+        rng: SplitMix64::new(seed),
+        fired_log: Vec::new(),
+        spawned: 0,
+        cap,
+    };
+    let mut sim: Sim<EquivCtx, Spawn> = Sim::new();
+    for _ in 0..8 {
+        let id = m.spawned as u32;
+        m.spawned += 1;
+        sim.schedule_event_at(Time::from_ns(id as u64), Spawn { id })
+            .unwrap();
+    }
+    assert_eq!(sim.run(&mut m), SimStatus::Drained);
+    (m.fired_log, sim.events_fired(), sim.now().as_ns())
+}
+
+fn run_closure_replay(seed: u64, cap: u64) -> (Vec<(u64, u32)>, u64, u64) {
+    // The pre-wheel design: boxed closures over the reference heap. The
+    // replay must make exactly the same RNG calls in exactly the same
+    // fire order to reproduce the typed run.
+    type BoxedFire = Box<dyn FnOnce(&mut EquivCtx, &mut Replay)>;
+    struct Replay {
+        now: u64,
+        seq: u64,
+        fired: u64,
+        queue: BinaryHeapQueue<BoxedFire>,
+    }
+    impl Replay {
+        fn schedule(&mut self, at: u64, f: impl FnOnce(&mut EquivCtx, &mut Replay) + 'static) {
+            let seq = self.seq;
+            self.seq += 1;
+            self.queue.push(Time::from_ns(at), seq, Box::new(f));
+        }
+    }
+    fn spawn(id: u32) -> impl FnOnce(&mut EquivCtx, &mut Replay) {
+        move |m, sim| {
+            m.fired_log.push((sim.now, id));
+            let kids = m.rng.gen_range(4);
+            for _ in 0..kids {
+                if m.spawned >= m.cap {
+                    break;
+                }
+                let d = mixed_delay(&mut m.rng);
+                let id = m.spawned as u32;
+                m.spawned += 1;
+                let at = sim.now + d;
+                sim.schedule(at, spawn(id));
+            }
+        }
+    }
+    let mut m = EquivCtx {
+        rng: SplitMix64::new(seed),
+        fired_log: Vec::new(),
+        spawned: 0,
+        cap,
+    };
+    let mut sim = Replay {
+        now: 0,
+        seq: 0,
+        fired: 0,
+        queue: BinaryHeapQueue::new(),
+    };
+    for _ in 0..8 {
+        let id = m.spawned as u32;
+        m.spawned += 1;
+        sim.schedule(id as u64, spawn(id));
+    }
+    while let Some((at, _, f)) = sim.queue.pop() {
+        sim.now = at.as_ns();
+        sim.fired += 1;
+        f(&mut m, &mut sim);
+    }
+    (m.fired_log, sim.fired, sim.now)
+}
+
+#[test]
+fn sim_runs_match_a_closure_replay_over_the_reference_heap() {
+    for case in 0..8u64 {
+        let seed = 0xD1FF + case;
+        let (log_a, fired_a, now_a) = run_typed(seed, 3_000);
+        let (log_b, fired_b, now_b) = run_closure_replay(seed, 3_000);
+        assert_eq!(fired_a, fired_b, "case {case}: events_fired diverged");
+        assert_eq!(now_a, now_b, "case {case}: final clock diverged");
+        assert_eq!(log_a, log_b, "case {case}: fire order diverged");
+        assert!(
+            fired_a >= 3_000,
+            "case {case}: workload too small to mean much"
+        );
+    }
+}

@@ -75,7 +75,30 @@ fn full_matrix_completes_through_the_sweep_harness() {
             r.work,
             r.ni
         );
+        // The four Figure 1 accounting categories partition accounted
+        // processor time: their fractions must sum to exactly 1.
+        assert!(
+            r.accounted_ns() > 0,
+            "{}/{} accounted nothing",
+            r.work,
+            r.ni
+        );
+        let total: f64 = nisim_core::TimeCategory::ALL
+            .into_iter()
+            .map(|c| r.fraction(c))
+            .sum();
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "{}/{}/{}: accounting fractions sum to {total}, not 1",
+            r.work,
+            r.ni,
+            r.buffers
+        );
     }
+    // Belt and braces on top of the per-record status checks: the whole
+    // matrix must contain zero watchdog-stalled runs.
+    let stalled = records.iter().filter(|r| r.status == "stalled").count();
+    assert_eq!(stalled, 0, "smoke matrix contains {stalled} stalled runs");
     assert!(
         started.elapsed() < std::time::Duration::from_secs(120),
         "smoke matrix blew its time budget: {:?}",
