@@ -1,0 +1,701 @@
+//! Determinism and robustness lint for the simulator sources.
+//!
+//! A hand-rolled Rust tokenizer (comments, strings, char-vs-lifetime
+//! disambiguation) feeding four token-level rules:
+//!
+//! * `hash-collections` — `HashMap`/`HashSet` are banned in the crates
+//!   whose state feeds sweep records and golden files
+//!   (`engine`/`mem`/`net`/`core`/`workloads`/`bench`): their iteration
+//!   order is seeded per-process, so any aggregation or serialization
+//!   walking one is a nondeterminism hazard. Use `BTreeMap`/`BTreeSet`
+//!   or an indexed `Vec`. (`cli` is exempt: its only maps hold parsed
+//!   command-line flags, which are looked up by key and never
+//!   iterated into output.)
+//! * `wall-clock` — `Instant::now`/`SystemTime`/ambient randomness are
+//!   banned in `core`/`engine`/`mem`/`net`: simulated time must be the
+//!   only clock, and every run must be bit-reproducible. (`bench`
+//!   measures real elapsed time by design and is exempt.)
+//! * `panic-path` — `.unwrap()`/`.expect()`/`panic!` are banned in the
+//!   simulation hot paths (the event loop, the timing wheel, and the
+//!   machine/NI dispatch) outside the committed allowlist; a mid-sweep
+//!   panic loses the whole parallel run.
+//! * `wildcard-dispatch` — `_ =>` arms are banned in matches that
+//!   dispatch over `MachineEvent`, `BusOp`, `MoesiState` or
+//!   `SnoopKind`, so adding a variant fails to compile instead of
+//!   silently falling through.
+//!
+//! `#[cfg(test)]` items are skipped everywhere: tests may unwrap.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One token of Rust source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (also `_`).
+    Ident(String),
+    /// Single punctuation character.
+    Punct(char),
+    /// String/char/number literal (content irrelevant to the rules).
+    Lit,
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// Tokenizes Rust source, skipping whitespace and comments and
+/// collapsing literals. Lifetimes (`'a`) are dropped entirely; char
+/// literals become [`Tok::Lit`].
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                let start = line;
+                i += 1;
+                while i < b.len() {
+                    match b[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                toks.push(Token {
+                    tok: Tok::Lit,
+                    line: start,
+                });
+            }
+            b'\'' => {
+                // Char literal or lifetime. A lifetime is `'` + ident
+                // with no closing quote.
+                if b.get(i + 1) == Some(&b'\\') {
+                    // Escaped char literal: consume to the closing quote.
+                    i += 2;
+                    while i < b.len() && b[i] != b'\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                    toks.push(Token {
+                        tok: Tok::Lit,
+                        line,
+                    });
+                } else if b.get(i + 2) == Some(&b'\'') {
+                    i += 3;
+                    toks.push(Token {
+                        tok: Tok::Lit,
+                        line,
+                    });
+                } else {
+                    // Lifetime: skip the quote and its identifier.
+                    i += 1;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                }
+            }
+            c if c.is_ascii_digit() => {
+                // A `.` continues the literal only before another digit,
+                // so `x.0.unwrap()` keeps `unwrap` as its own token.
+                while i < b.len()
+                    && (b[i].is_ascii_alphanumeric()
+                        || b[i] == b'_'
+                        || (b[i] == b'.' && b.get(i + 1).is_some_and(u8::is_ascii_digit)))
+                {
+                    i += 1;
+                }
+                toks.push(Token {
+                    tok: Tok::Lit,
+                    line,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let ident = &src[start..i];
+                // Raw and byte string prefixes: r"..", r#".."#, b"..", br"..".
+                if matches!(ident, "r" | "b" | "br" | "rb") {
+                    let mut hashes = 0;
+                    let mut j = i;
+                    while b.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if b.get(j) == Some(&b'"') {
+                        j += 1;
+                        'scan: while j < b.len() {
+                            if b[j] == b'\n' {
+                                line += 1;
+                            } else if b[j] == b'"' {
+                                let mut k = 0;
+                                while k < hashes && b.get(j + 1 + k) == Some(&b'#') {
+                                    k += 1;
+                                }
+                                if k == hashes {
+                                    j += 1 + hashes;
+                                    break 'scan;
+                                }
+                            } else if ident.starts_with('b') && hashes == 0 && b[j] == b'\\' {
+                                j += 1;
+                            }
+                            j += 1;
+                        }
+                        i = j;
+                        toks.push(Token {
+                            tok: Tok::Lit,
+                            line,
+                        });
+                        continue;
+                    }
+                    if ident == "b" && b.get(i) == Some(&b'\'') {
+                        i += 1; // opening quote of a byte literal
+                        if b.get(i) == Some(&b'\\') {
+                            i += 1;
+                        }
+                        while i < b.len() && b[i] != b'\'' {
+                            i += 1;
+                        }
+                        i += 1;
+                        toks.push(Token {
+                            tok: Tok::Lit,
+                            line,
+                        });
+                        continue;
+                    }
+                }
+                toks.push(Token {
+                    tok: Tok::Ident(ident.to_string()),
+                    line,
+                });
+            }
+            c => {
+                toks.push(Token {
+                    tok: Tok::Punct(c as char),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Repo-relative path.
+    pub file: String,
+    pub line: u32,
+    /// Rule slug.
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl Finding {
+    /// The exact-match key an allowlist entry must equal to suppress
+    /// this finding.
+    pub fn key(&self) -> String {
+        format!("{}:{}:{}", self.file, self.line, self.rule)
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Marks the token index ranges covered by `#[cfg(test)]` items so the
+/// rules can skip them. Returns a bool per token: true = excluded.
+fn test_cfg_mask(toks: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i + 6 < toks.len() {
+        let is_cfg_test = toks[i].tok == Tok::Punct('#')
+            && toks[i + 1].tok == Tok::Punct('[')
+            && toks[i + 2].tok == Tok::Ident("cfg".into())
+            && toks[i + 3].tok == Tok::Punct('(')
+            && toks[i + 4].tok == Tok::Ident("test".into())
+            && toks[i + 5].tok == Tok::Punct(')')
+            && toks[i + 6].tok == Tok::Punct(']');
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Exclude from the attribute to the end of the annotated item:
+        // either the matching `}` of its first brace block, or the next
+        // `;` at depth zero (e.g. a gated `use`).
+        let mut j = i + 7;
+        let mut depth = 0usize;
+        let mut entered = false;
+        while j < toks.len() {
+            match toks[j].tok {
+                Tok::Punct('{') => {
+                    depth += 1;
+                    entered = true;
+                }
+                Tok::Punct('}') => {
+                    depth = depth.saturating_sub(1);
+                    if entered && depth == 0 {
+                        break;
+                    }
+                }
+                Tok::Punct(';') if !entered => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        for m in mask.iter_mut().take((j + 1).min(toks.len())).skip(i) {
+            *m = true;
+        }
+        i = j + 1;
+    }
+    mask
+}
+
+/// Crates whose iteration order can leak into records/goldens.
+const HASH_SCOPE: [&str; 6] = [
+    "crates/engine/src/",
+    "crates/mem/src/",
+    "crates/net/src/",
+    "crates/core/src/",
+    "crates/workloads/src/",
+    "crates/bench/src/",
+];
+
+/// Crates that must be wall-clock- and entropy-free.
+const CLOCK_SCOPE: [&str; 4] = [
+    "crates/core/src/",
+    "crates/engine/src/",
+    "crates/mem/src/",
+    "crates/net/src/",
+];
+
+/// Simulation hot paths: a panic here kills a whole parallel sweep.
+const HOT_PATHS: [&str; 6] = [
+    "crates/engine/src/sim.rs",
+    "crates/engine/src/wheel.rs",
+    "crates/core/src/machine.rs",
+    "crates/core/src/event.rs",
+    "crates/core/src/node.rs",
+    "crates/core/src/ni/",
+];
+
+/// Enums whose dispatch matches must stay exhaustive.
+const DISPATCH_ENUMS: [&str; 4] = ["MachineEvent", "BusOp", "MoesiState", "SnoopKind"];
+
+fn in_scope(file: &str, scope: &[&str]) -> bool {
+    scope.iter().any(|p| file.starts_with(p))
+}
+
+/// Runs every rule over one file's source.
+pub fn lint_source(file: &str, src: &str) -> Vec<Finding> {
+    let toks = tokenize(src);
+    let excluded = test_cfg_mask(&toks);
+    let mut findings = Vec::new();
+    let ident = |i: usize| -> Option<&str> {
+        match &toks.get(i)?.tok {
+            Tok::Ident(s) if !excluded[i] => Some(s),
+            _ => None,
+        }
+    };
+    let punct_at = |i: usize, c: char| toks.get(i).map(|t| t.tok == Tok::Punct(c)) == Some(true);
+
+    if in_scope(file, &HASH_SCOPE) {
+        for (i, t) in toks.iter().enumerate() {
+            if let Some(name @ ("HashMap" | "HashSet")) = ident(i) {
+                findings.push(Finding {
+                    file: file.into(),
+                    line: t.line,
+                    rule: "hash-collections",
+                    message: format!(
+                        "{name} has seeded iteration order; use BTreeMap/BTreeSet or a Vec"
+                    ),
+                });
+            }
+        }
+    }
+
+    if in_scope(file, &CLOCK_SCOPE) {
+        for (i, t) in toks.iter().enumerate() {
+            let bad = match ident(i) {
+                Some("SystemTime") => Some("SystemTime reads the wall clock"),
+                Some("thread_rng") | Some("from_entropy") | Some("RandomState") => {
+                    Some("ambient randomness breaks reproducibility")
+                }
+                Some("Instant")
+                    if punct_at(i + 1, ':')
+                        && punct_at(i + 2, ':')
+                        && ident(i + 3) == Some("now") =>
+                {
+                    Some("Instant::now reads the wall clock")
+                }
+                _ => None,
+            };
+            if let Some(message) = bad {
+                findings.push(Finding {
+                    file: file.into(),
+                    line: t.line,
+                    rule: "wall-clock",
+                    message: format!("{message}; simulated time is the only clock"),
+                });
+            }
+        }
+    }
+
+    if in_scope(file, &HOT_PATHS) {
+        for (i, t) in toks.iter().enumerate() {
+            let hit = match ident(i) {
+                Some(name @ ("unwrap" | "expect")) if i > 0 && punct_at(i - 1, '.') => {
+                    Some(format!(".{name}() can panic mid-sweep"))
+                }
+                Some("panic") if punct_at(i + 1, '!') => {
+                    Some("panic! aborts the whole parallel sweep".to_string())
+                }
+                _ => None,
+            };
+            if let Some(message) = hit {
+                findings.push(Finding {
+                    file: file.into(),
+                    line: t.line,
+                    rule: "panic-path",
+                    message,
+                });
+            }
+        }
+    }
+
+    // wildcard-dispatch applies everywhere: find each `match` body and,
+    // if it mentions a dispatch enum, forbid bare `_ =>` arms inside it.
+    for i in 0..toks.len() {
+        if excluded[i] || toks[i].tok != Tok::Ident("match".into()) {
+            continue;
+        }
+        let Some(open) = (i + 1..toks.len()).find(|&j| toks[j].tok == Tok::Punct('{')) else {
+            continue;
+        };
+        let mut depth = 0usize;
+        let mut close = open;
+        for (j, t) in toks.iter().enumerate().skip(open) {
+            match t.tok {
+                Tok::Punct('{') => depth += 1,
+                Tok::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = j;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let body = &toks[open..=close.min(toks.len() - 1)];
+        let mentions = body.iter().any(|t| match &t.tok {
+            Tok::Ident(s) => DISPATCH_ENUMS.contains(&s.as_str()),
+            _ => false,
+        });
+        if !mentions {
+            continue;
+        }
+        for (k, t) in body.iter().enumerate() {
+            if excluded[open + k] {
+                continue;
+            }
+            if t.tok == Tok::Ident("_".into())
+                && body.get(k + 1).map(|t| &t.tok) == Some(&Tok::Punct('='))
+                && body.get(k + 2).map(|t| &t.tok) == Some(&Tok::Punct('>'))
+            {
+                findings.push(Finding {
+                    file: file.into(),
+                    line: t.line,
+                    rule: "wildcard-dispatch",
+                    message: "wildcard arm in a dispatch match; enumerate the variants so new \
+                              ones fail loudly"
+                        .into(),
+                });
+            }
+        }
+    }
+
+    findings.sort();
+    findings.dedup();
+    findings
+}
+
+/// Result of a full lint run.
+#[derive(Clone, Debug, Default)]
+pub struct LintOutcome {
+    /// Findings not suppressed by the allowlist, sorted.
+    pub findings: Vec<Finding>,
+    /// Allowlist entries that matched no finding (stale suppressions).
+    pub stale_allows: Vec<String>,
+    /// Files scanned.
+    pub files: usize,
+}
+
+impl LintOutcome {
+    /// True when the tree is clean and the allowlist exact.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && self.stale_allows.is_empty()
+    }
+}
+
+/// Parses the allowlist: one `file:line:rule` key per line; `#` starts
+/// a comment; blank lines are skipped.
+pub fn parse_allowlist(text: &str) -> BTreeSet<String> {
+    text.lines()
+        .map(|l| l.split('#').next().unwrap_or("").trim())
+        .filter(|l| !l.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+/// Deterministic recursive listing of the `.rs` files under `dir`,
+/// repo-relative. Directories named `tests` are skipped — integration
+/// tests may unwrap and iterate however they like.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "tests") {
+                continue;
+            }
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Lints every simulator source file under `repo_root` and applies the
+/// allowlist.
+pub fn lint_tree(repo_root: &Path, allowlist: &BTreeSet<String>) -> LintOutcome {
+    let mut files = Vec::new();
+    rust_files(&repo_root.join("crates"), &mut files);
+    let mut out = LintOutcome::default();
+    let mut used: BTreeSet<String> = BTreeSet::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(repo_root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Ok(src) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        out.files += 1;
+        for finding in lint_source(&rel, &src) {
+            let key = finding.key();
+            if allowlist.contains(&key) {
+                used.insert(key);
+            } else {
+                out.findings.push(finding);
+            }
+        }
+    }
+    out.stale_allows = allowlist.difference(&used).cloned().collect();
+    out.findings.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        tokenize(src)
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tokenizer_skips_comments_strings_and_lifetimes() {
+        let src = r##"
+            // HashMap in a line comment
+            /* HashMap in /* a nested */ block */
+            fn f<'unwrap>(x: &'unwrap str) -> u32 {
+                let s = "HashMap::unwrap()";
+                let r = r#"SystemTime "quoted" here"#;
+                let c = 'x';
+                let esc = '\n';
+                let b = b"panic!";
+                s.len() as u32 + r.len() as u32
+            }
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"SystemTime".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(ids.contains(&"len".to_string()));
+    }
+
+    #[test]
+    fn tokenizer_tracks_lines() {
+        let toks = tokenize("a\nbb\n\ncc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn hash_rule_fires() {
+        let f = lint_source(
+            "crates/core/src/x.rs",
+            "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }",
+        );
+        assert!(f
+            .iter()
+            .any(|f| f.rule == "hash-collections" && f.line == 1));
+        // Out of scope: same source in the cli crate is fine.
+        assert!(lint_source("crates/cli/src/x.rs", "use std::collections::HashMap;").is_empty());
+    }
+
+    #[test]
+    fn wall_clock_rule_fires() {
+        let src = "fn f() { let t = std::time::Instant::now(); }";
+        let f = lint_source("crates/engine/src/x.rs", src);
+        assert!(f.iter().any(|f| f.rule == "wall-clock"));
+        let f = lint_source("crates/net/src/x.rs", "use std::time::SystemTime;");
+        assert!(f.iter().any(|f| f.rule == "wall-clock"));
+        // `Instant` alone (e.g. in a type) is fine; only `::now` is banned.
+        assert!(lint_source("crates/engine/src/x.rs", "fn f(t: Instant) {}").is_empty());
+        // bench is exempt: it measures real time by design.
+        assert!(lint_source("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_rule_fires_only_in_hot_paths() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        let f = lint_source("crates/engine/src/sim.rs", src);
+        assert!(f.iter().any(|f| f.rule == "panic-path"));
+        let f = lint_source("crates/core/src/ni/cm5.rs", "fn f() { panic!(\"boom\") }");
+        assert!(f.iter().any(|f| f.rule == "panic-path"));
+        // `unwrap_or` is a different identifier and must not fire.
+        assert!(lint_source(
+            "crates/engine/src/sim.rs",
+            "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }"
+        )
+        .is_empty());
+        // Outside the hot paths the rule stays quiet.
+        assert!(lint_source("crates/mem/src/cache.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wildcard_rule_fires_on_dispatch_matches_only() {
+        let dispatch = "fn f(e: MachineEvent) { match e { MachineEvent::Tick => (), _ => () } }";
+        let f = lint_source("crates/core/src/x.rs", dispatch);
+        assert!(f.iter().any(|f| f.rule == "wildcard-dispatch"));
+        // A match over something else may use wildcards freely.
+        let other = "fn f(x: u32) -> u32 { match x { 0 => 1, _ => 2 } }";
+        assert!(lint_source("crates/core/src/x.rs", other).is_empty());
+        // Tuple patterns with `_` components are not bare wildcard arms.
+        let tuple = "fn f(s: MoesiState, k: SnoopKind) { match (s, k) { (_, SnoopKind::Read) => (), (s2, _) => { let _ = s2; } } }";
+        assert!(lint_source("crates/mem/src/x.rs", tuple).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_items_are_skipped() {
+        let src = "
+            fn live() {}
+            #[cfg(test)]
+            mod tests {
+                use std::collections::HashMap;
+                #[test]
+                fn t() { let x: Option<u32> = None; x.unwrap(); }
+            }
+        ";
+        assert!(lint_source("crates/engine/src/sim.rs", src).is_empty());
+        assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allowlist_parses_and_round_trips() {
+        let text = "
+            # suppressions are exact file:line:rule keys
+            crates/core/src/machine.rs:336:panic-path  # trace forced on above
+\t
+        ";
+        let allow = parse_allowlist(text);
+        assert_eq!(allow.len(), 1);
+        assert!(allow.contains("crates/core/src/machine.rs:336:panic-path"));
+        let f = Finding {
+            file: "crates/core/src/machine.rs".into(),
+            line: 336,
+            rule: "panic-path",
+            message: String::new(),
+        };
+        assert_eq!(f.key(), "crates/core/src/machine.rs:336:panic-path");
+        assert!(allow.contains(&f.key()));
+    }
+
+    #[test]
+    fn stale_allowlist_entries_are_reported() {
+        // Lint an empty temp tree with a non-empty allowlist: every
+        // entry is stale and must be surfaced.
+        let allow = parse_allowlist("crates/engine/src/nonexistent.rs:1:panic-path");
+        let dir = std::env::temp_dir().join("nisim-analysis-stale-test");
+        let _ = std::fs::create_dir_all(dir.join("crates"));
+        let out = lint_tree(&dir, &allow);
+        assert!(!out.is_clean());
+        assert_eq!(
+            out.stale_allows,
+            vec!["crates/engine/src/nonexistent.rs:1:panic-path".to_string()]
+        );
+    }
+}

@@ -15,7 +15,7 @@
 //! * the simulation ends at quiescence (no events left) or when the
 //!   caller's horizon/event budget runs out.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use nisim_engine::stats::{Histogram, Summary};
 use nisim_engine::{Dur, Sim, SimStatus, Time};
@@ -92,9 +92,9 @@ pub struct Machine {
     /// data behind Table 4.
     pub msg_size_hist: Histogram,
     /// Fragments drained so far per (dst, src, transfer).
-    assembling: HashMap<(u32, u32, u64), u32>,
+    assembling: BTreeMap<(u32, u32, u64), u32>,
     /// When each in-flight transfer's send began (for latency stats).
-    transfer_started: HashMap<u64, Time>,
+    transfer_started: BTreeMap<u64, Time>,
     app_messages: u64,
     /// End-to-end application message latency (send start to handler
     /// dispatch), in nanoseconds.
@@ -192,6 +192,11 @@ pub struct MachineReport {
     pub fault_stats: FaultStats,
     /// Reliability-layer activity summed over all nodes.
     pub rel_stats: RelStats,
+    /// Union of MOESI states the processor caches passed through, as a
+    /// bitmap indexed by `MoesiState::index()`. Populated in debug builds
+    /// only (zero in release) — the static-vs-dynamic agreement test
+    /// compares it against the model checker's reachable set.
+    pub moesi_visited: u8,
 }
 
 impl MachineReport {
@@ -259,8 +264,8 @@ impl Machine {
             next_msg_id: 0,
             next_transfer_id: 0,
             msg_size_hist: Histogram::new(),
-            assembling: HashMap::new(),
-            transfer_started: HashMap::new(),
+            assembling: BTreeMap::new(),
+            transfer_started: BTreeMap::new(),
             app_messages: 0,
             msg_latency: Summary::new(),
             trace: if trace_enabled {
@@ -456,6 +461,10 @@ impl Machine {
             stall,
             fault_stats: self.fault.as_ref().map(|p| p.stats()).unwrap_or_default(),
             rel_stats,
+            moesi_visited: self
+                .nodes
+                .iter()
+                .fold(0u8, |m, n| m | n.hw.cache.visited_mask()),
         }
     }
 
@@ -1201,7 +1210,7 @@ impl Machine {
     }
 }
 
-fn self_entry_increment(map: &mut HashMap<(u32, u32, u64), u32>, key: (u32, u32, u64)) -> u32 {
+fn self_entry_increment(map: &mut BTreeMap<(u32, u32, u64), u32>, key: (u32, u32, u64)) -> u32 {
     let v = map.entry(key).or_insert(0);
     *v += 1;
     *v

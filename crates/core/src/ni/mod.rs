@@ -25,7 +25,7 @@ pub mod memchannel;
 pub mod startjr;
 pub mod udma;
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use nisim_engine::stats::Counter;
 use nisim_engine::{Dur, Time};
@@ -371,7 +371,7 @@ pub struct NiUnit {
     /// Deposited fragments awaiting the processor, in arrival order.
     pub rx_ready: VecDeque<RxEntry>,
     /// Sent fragments whose ack has not arrived yet.
-    pub outstanding: HashMap<MsgId, OutstandingFrag>,
+    pub outstanding: BTreeMap<MsgId, OutstandingFrag>,
     /// Statistics.
     pub stats: NiStats,
     /// Sender-side sequence allocation (reliability layer).
@@ -409,7 +409,7 @@ impl NiUnit {
             fc: FlowControlEndpoint::new(buffers),
             model,
             rx_ready: VecDeque::new(),
-            outstanding: HashMap::new(),
+            outstanding: BTreeMap::new(),
             stats: NiStats::default(),
             rel_tx: SenderReliability::default(),
             rel_rx: ReceiverDedup::default(),

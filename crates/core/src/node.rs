@@ -133,8 +133,11 @@ impl NodeHw {
         supplier_keeps_copy: bool,
     ) -> Time {
         match self.cache.lookup(block) {
-            s if s.is_valid() => now,
-            _ => {
+            MoesiState::Modified
+            | MoesiState::Owned
+            | MoesiState::Exclusive
+            | MoesiState::Shared => now,
+            MoesiState::Invalid => {
                 let g = self.bus.acquire(now, BusOp::BlockRead);
                 let done = g.end + self.miss_latency(miss_source);
                 self.fill(block, read_fill_state(supplier_keeps_copy), done);

@@ -229,7 +229,9 @@ impl<M, E: Event<M>> Sim<M, E> {
                 return SimStatus::EventBudgetExhausted;
             }
             budget -= 1;
-            let (at, _, event) = self.queue.pop().expect("peeked entry vanished");
+            let Some((at, _, event)) = self.queue.pop() else {
+                return SimStatus::Drained;
+            };
             debug_assert!(at >= self.now, "event queue returned stale event");
             self.now = at;
             self.fired += 1;
@@ -275,7 +277,9 @@ impl<M, E: Event<M>> Sim<M, E> {
                 return SimStatus::EventBudgetExhausted;
             }
             budget -= 1;
-            let (at, _, event) = self.queue.pop().expect("peeked entry vanished");
+            let Some((at, _, event)) = self.queue.pop() else {
+                return SimStatus::Drained;
+            };
             debug_assert!(at >= self.now, "event queue returned stale event");
             self.now = at;
             self.fired += 1;

@@ -172,8 +172,9 @@ impl<T> TimerWheel<T> {
     /// outer levels (or the overflow heap) into level 0.
     pub fn peek(&mut self) -> Option<(Time, u64)> {
         let slot = self.advance()?;
-        let e = self.slots[slot].front().expect("occupied slot is empty");
-        Some((Time::from_ns(e.at), e.seq))
+        self.slots[slot]
+            .front()
+            .map(|e| (Time::from_ns(e.at), e.seq))
     }
 
     /// Removes and returns the earliest pending entry.
@@ -187,7 +188,7 @@ impl<T> TimerWheel<T> {
                 .all(|(a, b)| a.at == b.at && a.seq < b.seq),
             "level-0 bucket lost its single-instant / ascending-seq invariant"
         );
-        let e = bucket.pop_front().expect("occupied slot is empty");
+        let e = bucket.pop_front()?;
         if bucket.is_empty() {
             clear_bit(&mut self.occ[0], slot);
         }
@@ -273,12 +274,14 @@ impl<T> TimerWheel<T> {
             let head = self.overflow.peek()?;
             let new_base = head.0.at & !(SPAN[2] - 1);
             self.base[2] = new_base;
-            while let Some(head) = self.overflow.peek() {
-                if head.0.at - new_base >= SPAN[2] {
-                    break;
+            while self
+                .overflow
+                .peek()
+                .is_some_and(|head| head.0.at - new_base < SPAN[2])
+            {
+                if let Some(HeapEntry(e)) = self.overflow.pop() {
+                    self.insert(e);
                 }
-                let HeapEntry(e) = self.overflow.pop().expect("peeked entry vanished");
-                self.insert(e);
             }
         }
     }

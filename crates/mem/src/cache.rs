@@ -113,6 +113,11 @@ pub struct Cache {
     ways: usize,
     clock: u64,
     stats: CacheStats,
+    /// Bitmap of every [`MoesiState`] a line of this cache has ever
+    /// held (bit = [`MoesiState::index`]). Maintained in debug builds
+    /// only; the static-vs-dynamic agreement test compares it against
+    /// the model checker's reachable-state set.
+    visited: u8,
 }
 
 impl Cache {
@@ -135,14 +140,32 @@ impl Cache {
             sets.is_power_of_two(),
             "number of sets must be a power of two, got {sets}"
         );
-        Cache {
+        let mut cache = Cache {
             cfg,
             geo,
             sets: vec![EMPTY; blocks as usize],
             ways: cfg.ways as usize,
             clock: 0,
             stats: CacheStats::default(),
+            visited: 0,
+        };
+        // Every line starts Invalid, so Invalid is visited by construction.
+        cache.note_visit(MoesiState::Invalid);
+        cache
+    }
+
+    /// Records a state a line takes on, for the debug-build visit bitmap.
+    #[inline]
+    fn note_visit(&mut self, state: MoesiState) {
+        if cfg!(debug_assertions) {
+            self.visited |= 1 << state.index();
         }
+    }
+
+    /// The set of [`MoesiState`]s lines of this cache have held, as a
+    /// bitmap over [`MoesiState::index`]. Always 0 in release builds.
+    pub fn visited_mask(&self) -> u8 {
+        self.visited
     }
 
     /// The cache's configuration.
@@ -218,6 +241,7 @@ impl Cache {
             .find(block)
             .unwrap_or_else(|| panic!("set_state on non-resident {block:?}"));
         self.sets[i].state = state;
+        self.note_visit(state);
     }
 
     /// Invalidates `block` if present, returning its prior state.
@@ -239,6 +263,7 @@ impl Cache {
     /// Inserting a block that is already resident just updates its state.
     pub fn insert(&mut self, block: BlockAddr, state: MoesiState) -> Option<Eviction> {
         self.clock += 1;
+        self.note_visit(state);
         if let Some(i) = self.find(block) {
             self.sets[i].state = state;
             self.sets[i].lru = self.clock;
@@ -430,6 +455,27 @@ mod tests {
         let mut blocks: Vec<u64> = c.iter().map(|(b, _)| b.raw()).collect();
         blocks.sort_unstable();
         assert_eq!(blocks, vec![0, 64]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn visit_bitmap_tracks_states() {
+        let mut c = small();
+        let b = block(&c, 0x40);
+        assert_eq!(c.visited_mask(), 1 << MoesiState::Invalid.index());
+        c.insert(b, MoesiState::Exclusive);
+        c.set_state(b, MoesiState::Owned);
+        c.set_state(b, MoesiState::Modified);
+        let want = [
+            MoesiState::Invalid,
+            MoesiState::Exclusive,
+            MoesiState::Owned,
+            MoesiState::Modified,
+        ]
+        .iter()
+        .fold(0u8, |m, s| m | 1 << s.index());
+        assert_eq!(c.visited_mask(), want);
+        assert_eq!(c.visited_mask() & (1 << MoesiState::Shared.index()), 0);
     }
 
     #[test]

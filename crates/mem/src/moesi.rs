@@ -37,6 +37,29 @@ pub enum MoesiState {
 }
 
 impl MoesiState {
+    /// Every state, in declaration (M, O, E, S, I) order — the
+    /// enumeration base for exhaustive checks and the visit bitmap.
+    pub const ALL: [MoesiState; 5] = [
+        MoesiState::Modified,
+        MoesiState::Owned,
+        MoesiState::Exclusive,
+        MoesiState::Shared,
+        MoesiState::Invalid,
+    ];
+
+    /// This state's position in [`MoesiState::ALL`] (also its bit in a
+    /// visit bitmap).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            MoesiState::Modified => 0,
+            MoesiState::Owned => 1,
+            MoesiState::Exclusive => 2,
+            MoesiState::Shared => 3,
+            MoesiState::Invalid => 4,
+        }
+    }
+
     /// True for any state that can satisfy a local read.
     #[inline]
     pub fn is_valid(self) -> bool {
@@ -275,6 +298,14 @@ mod tests {
             } else {
                 assert!(!a.next.dirty());
             }
+        }
+    }
+
+    #[test]
+    fn all_and_index_agree() {
+        assert_eq!(MoesiState::ALL, ALL);
+        for (i, s) in MoesiState::ALL.into_iter().enumerate() {
+            assert_eq!(s.index(), i);
         }
     }
 

@@ -34,8 +34,10 @@ pub enum BufferCount {
 }
 
 impl BufferCount {
-    /// True if `in_use` buffers leave at least one free.
-    fn has_free(self, in_use: u32) -> bool {
+    /// True if `in_use` buffers leave at least one free. Public so the
+    /// `nisim-analysis` model checker drives the exact predicate the
+    /// endpoints use.
+    pub fn has_free(self, in_use: u32) -> bool {
         match self {
             BufferCount::Finite(cap) => in_use < cap,
             BufferCount::Infinite => true,

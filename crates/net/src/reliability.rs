@@ -84,9 +84,17 @@ impl ReliabilityConfig {
 
     /// The ack timeout for retransmission attempt `attempt` (0-based):
     /// `ack_timeout · 2^attempt`, capped at `timeout_max`.
+    ///
+    /// `checked_shl` alone is not enough: it only fails for shifts
+    /// ≥ 64, while smaller shifts silently drop high bits and would
+    /// wrap the timeout back toward zero. The round-trip shift detects
+    /// that and saturates instead.
     pub fn timeout_for(&self, attempt: u32) -> Dur {
         let base = self.ack_timeout.as_ns();
-        let shifted = base.checked_shl(attempt).unwrap_or(u64::MAX);
+        let shifted = base
+            .checked_shl(attempt)
+            .filter(|s| s >> attempt == base)
+            .unwrap_or(u64::MAX);
         Dur::ns(shifted.min(self.timeout_max.as_ns().max(base)))
     }
 
@@ -227,6 +235,23 @@ mod tests {
         assert_eq!(cfg.timeout_for(3), Dur::ns(750));
         assert_eq!(cfg.timeout_for(40), Dur::ns(750));
         assert_eq!(cfg.timeout_for(200), Dur::ns(750)); // shift overflow
+    }
+
+    #[test]
+    fn backoff_saturates_through_partial_shift_overflow() {
+        // Shifts below 64 that still overflow drop high bits rather
+        // than failing `checked_shl`; the schedule must saturate at the
+        // ceiling instead of wrapping back toward zero (found by the
+        // nisim-analysis backoff check).
+        let cfg = ReliabilityConfig::on();
+        for attempt in 0..80 {
+            assert!(
+                cfg.timeout_for(attempt) >= cfg.timeout_for(attempt.saturating_sub(1)),
+                "attempt {attempt} shrank"
+            );
+        }
+        assert_eq!(cfg.timeout_for(59), cfg.max_timeout());
+        assert_eq!(cfg.timeout_for(63), cfg.max_timeout());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! Links are serially-reusable [`Link`] resources shared machine-wide,
 //! so many-to-one traffic exhibits real link contention.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use nisim_engine::{Dur, Time};
 
@@ -115,7 +115,9 @@ pub struct Fabric {
     topology: Topology,
     nodes: u32,
     hop_latency: Dur,
-    links: HashMap<(u32, u32), Link>,
+    /// Per-hop links, keyed `(from, to)`. A `BTreeMap` so iteration
+    /// (e.g. [`Fabric::link_loads`]) is deterministic without sorting.
+    links: BTreeMap<(u32, u32), Link>,
 }
 
 impl Fabric {
@@ -126,7 +128,7 @@ impl Fabric {
             topology,
             nodes,
             hop_latency,
-            links: HashMap::new(),
+            links: BTreeMap::new(),
         }
     }
 

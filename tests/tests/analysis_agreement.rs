@@ -1,0 +1,54 @@
+//! Static-vs-dynamic agreement: the per-cache MOESI states the model
+//! checker proves reachable must equal the states processor caches
+//! actually pass through during a smoke-scale run.
+//!
+//! The dynamic half comes from the debug-build visit bitmap in
+//! `nisim_mem::Cache` (surfaced as `MachineReport::moesi_visited`), so
+//! the comparison only exists in debug builds — in release the bitmap
+//! compiles to a constant zero and this test is compiled out.
+//!
+//! Divergence in either direction is a finding: a state the checker
+//! reaches but no run exercises means the workloads under-cover the
+//! protocol; a state a run visits but the checker cannot reach means
+//! the bounded model is missing a transition.
+
+#![cfg(debug_assertions)]
+
+use nisim_analysis::MoesiChecker;
+use nisim_core::{MachineConfig, NiKind};
+use nisim_engine::Dur;
+use nisim_workloads::apps::{run_app, AppParams, MacroApp};
+
+#[test]
+fn checker_reachable_states_match_observed_states() {
+    let static_mask = MoesiChecker::new().check().reachable_mask;
+    assert_eq!(static_mask, 0b1_1111, "checker must reach all five states");
+
+    let params = AppParams {
+        iterations: 2,
+        intensity: 2,
+        compute: Dur::us(2),
+    };
+    // A coherent NI (the NI snoops the processor cache, exercising
+    // M -> O supplies), a classical one (plain fills and
+    // invalidations), and StarT-Jr (whose receive path fills from main
+    // memory with no other sharer, installing Exclusive) cover the
+    // full state set between them.
+    let mut dynamic_mask = 0u8;
+    for (app, ni) in [
+        (MacroApp::Em3d, NiKind::Cni32Qm),
+        (MacroApp::Appbt, NiKind::Cm5),
+        (MacroApp::Moldyn, NiKind::Cni512Q),
+        (MacroApp::Spsolve, NiKind::StartJr),
+    ] {
+        let cfg = MachineConfig::with_ni(ni).nodes(8);
+        let r = run_app(app, &cfg, &params);
+        assert!(r.all_quiescent, "{app} on {ni} not quiescent");
+        dynamic_mask |= r.moesi_visited;
+    }
+    assert_eq!(
+        dynamic_mask, static_mask,
+        "states observed dynamically (bitmap {dynamic_mask:#07b}, bit order MOESI) diverge \
+         from the checker's reachable set ({static_mask:#07b})"
+    );
+}
