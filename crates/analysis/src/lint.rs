@@ -1,7 +1,7 @@
 //! Determinism and robustness lint for the simulator sources.
 //!
 //! A hand-rolled Rust tokenizer (comments, strings, char-vs-lifetime
-//! disambiguation) feeding four token-level rules:
+//! disambiguation) feeding five token-level rules:
 //!
 //! * `hash-collections` — `HashMap`/`HashSet` are banned in the crates
 //!   whose state feeds sweep records and golden files
@@ -23,6 +23,11 @@
 //!   dispatch over `MachineEvent`, `BusOp`, `MoesiState` or
 //!   `SnoopKind`, so adding a variant fails to compile instead of
 //!   silently falling through.
+//! * `metrics-raw` — `.raw_add()`/`.raw_record()` calls are banned
+//!   outside `crates/engine/src/metrics.rs`: they bypass the
+//!   sum-to-total invariant the observability layer's safe API
+//!   (`charge`/`record`) maintains, and exist only for the metrics
+//!   module's own merge/deserialize paths.
 //!
 //! `#[cfg(test)]` items are skipped everywhere: tests may unwrap.
 
@@ -312,13 +317,19 @@ const HASH_SCOPE: [&str; 6] = [
     "crates/bench/src/",
 ];
 
-/// Crates that must be wall-clock- and entropy-free.
-const CLOCK_SCOPE: [&str; 4] = [
+/// Crates that must be wall-clock- and entropy-free. (`bench` and `cli`
+/// stay exempt: they measure real elapsed time by design.)
+const CLOCK_SCOPE: [&str; 6] = [
     "crates/core/src/",
     "crates/engine/src/",
     "crates/mem/src/",
     "crates/net/src/",
+    "crates/workloads/src/",
+    "crates/analysis/src/",
 ];
+
+/// The only file allowed to touch the raw metrics counters.
+const METRICS_MODULE: &str = "crates/engine/src/metrics.rs";
 
 /// Simulation hot paths: a panic here kills a whole parallel sweep.
 const HOT_PATHS: [&str; 6] = [
@@ -410,6 +421,24 @@ pub fn lint_source(file: &str, src: &str) -> Vec<Finding> {
                     rule: "panic-path",
                     message,
                 });
+            }
+        }
+    }
+
+    if file != METRICS_MODULE {
+        for (i, t) in toks.iter().enumerate() {
+            if let Some(name @ ("raw_add" | "raw_record")) = ident(i) {
+                if i > 0 && punct_at(i - 1, '.') && punct_at(i + 1, '(') {
+                    findings.push(Finding {
+                        file: file.into(),
+                        line: t.line,
+                        rule: "metrics-raw",
+                        message: format!(
+                            ".{name}() bypasses the sum-to-total invariant; use the \
+                             charge/record API (raw counters live in {METRICS_MODULE} only)"
+                        ),
+                    });
+                }
             }
         }
     }
@@ -647,6 +676,45 @@ mod tests {
         // Tuple patterns with `_` components are not bare wildcard arms.
         let tuple = "fn f(s: MoesiState, k: SnoopKind) { match (s, k) { (_, SnoopKind::Read) => (), (s2, _) => { let _ = s2; } } }";
         assert!(lint_source("crates/mem/src/x.rs", tuple).is_empty());
+    }
+
+    #[test]
+    fn metrics_raw_rule_fires_everywhere_but_the_metrics_module() {
+        let src = "fn f(c: &mut ComponentCycles) { c.raw_add(Component::ProcSend, 5); }";
+        for file in [
+            "crates/core/src/machine.rs",
+            "crates/bench/src/harness.rs",
+            "crates/engine/src/trace.rs",
+        ] {
+            let f = lint_source(file, src);
+            assert!(f.iter().any(|f| f.rule == "metrics-raw"), "{file}");
+        }
+        let hist = "fn f(h: &mut Log2Hist) { h.raw_record(3, 1); }";
+        assert!(lint_source("crates/net/src/reliability.rs", hist)
+            .iter()
+            .any(|f| f.rule == "metrics-raw"));
+        // The metrics module itself owns the raw counters.
+        assert!(lint_source("crates/engine/src/metrics.rs", src).is_empty());
+        // The safe API and mere mentions of the name do not fire.
+        assert!(lint_source(
+            "crates/core/src/machine.rs",
+            "fn f(c: &mut ComponentCycles) { c.charge(Component::ProcSend, Dur::ns(5)); }"
+        )
+        .is_empty());
+        assert!(lint_source("crates/core/src/machine.rs", "fn raw_add() {}").is_empty());
+    }
+
+    #[test]
+    fn wall_clock_scope_covers_workloads_and_analysis() {
+        let src = "fn f() { let t = std::time::Instant::now(); }";
+        assert!(lint_source("crates/workloads/src/apps.rs", src)
+            .iter()
+            .any(|f| f.rule == "wall-clock"));
+        assert!(lint_source("crates/analysis/src/x.rs", src)
+            .iter()
+            .any(|f| f.rule == "wall-clock"));
+        // bench and cli still measure real time by design.
+        assert!(lint_source("crates/cli/src/lib.rs", src).is_empty());
     }
 
     #[test]

@@ -108,6 +108,19 @@ fn run_selftest() -> bool {
         println!("selftest: FAIL — expected deadlock went undetected");
         ok = false;
     }
+    // The lint must likewise catch a seeded violation of every rule it
+    // would actually fire on in the tree — here, a raw metrics-counter
+    // mutation smuggled outside the metrics module.
+    let seeded = lint::lint_source(
+        "crates/core/src/machine.rs",
+        "fn sneak(c: &mut ComponentCycles) { c.raw_add(Component::ProcSend, 1); }",
+    );
+    if seeded.iter().any(|f| f.rule == "metrics-raw") {
+        println!("selftest: seeded raw-counter mutation caught by metrics-raw lint");
+    } else {
+        println!("selftest: FAIL — seeded metrics-raw violation went undetected");
+        ok = false;
+    }
     ok
 }
 

@@ -38,6 +38,7 @@ use std::time::Instant;
 
 use nisim_bench::fig3a_sweep;
 use nisim_engine::json::{self, Json};
+use nisim_engine::metrics::{Component, ComponentCycles, Log2Hist};
 use nisim_engine::wheel::BinaryHeapQueue;
 use nisim_engine::{Dur, Event, Sim, SplitMix64, Time};
 use nisim_mem::{BusConfig, BusOp};
@@ -56,6 +57,9 @@ const CHAINS: u64 = 512;
 const BURST: u64 = 16;
 /// CI gate: fresh wheel rate must be ≥ this × the committed heap rate.
 const GATE: f64 = 0.9;
+/// CI gate: the metrics-on wheel must keep ≥ this × the fresh
+/// metrics-off wheel rate — i.e. cycle accounting may cost < 15%.
+const METRICS_GATE: f64 = 0.85;
 
 fn main() -> ExitCode {
     let args = match Args::from_args(std::env::args().skip(1)) {
@@ -73,17 +77,19 @@ fn main() -> ExitCode {
     println!("engine scheduler: boxed-closure BinaryHeap vs typed-event timing wheel\n");
     let streams = measure_streams();
     println!(
-        "{:<22} {:>10} {:>16} {:>16} {:>9}",
-        "stream", "events", "heap ev/s", "wheel ev/s", "speedup"
+        "{:<22} {:>10} {:>16} {:>16} {:>9} {:>16} {:>9}",
+        "stream", "events", "heap ev/s", "wheel ev/s", "speedup", "metrics ev/s", "cost"
     );
     for s in &streams {
         println!(
-            "{:<22} {:>10} {:>16.0} {:>16.0} {:>8.2}x",
+            "{:<22} {:>10} {:>16.0} {:>16.0} {:>8.2}x {:>16.0} {:>8.1}%",
             s.name,
             s.events,
             s.heap_rate,
             s.wheel_rate,
-            s.speedup()
+            s.speedup(),
+            s.metrics_rate,
+            100.0 * s.metrics_overhead()
         );
     }
 
@@ -202,9 +208,37 @@ struct Ctx {
     beyond_span: Dur,
     ticks: u64,
     sink: u64,
+    meters: Option<Box<Meters>>,
+}
+
+/// The per-event instrumentation the machine's observability layer adds:
+/// one component-cycle charge and one log2-histogram record per event.
+struct Meters {
+    cycles: ComponentCycles,
+    hist: Log2Hist,
 }
 
 impl Ctx {
+    /// Same stream, with the observability layer's per-event cost on the
+    /// measured path (the RNG sequence is untouched, so the simulated
+    /// end instant still matches the uninstrumented runs exactly).
+    fn with_metrics(kind: StreamKind) -> Ctx {
+        let mut ctx = Ctx::new(kind);
+        ctx.meters = Some(Box::new(Meters {
+            cycles: ComponentCycles::new(),
+            hist: Log2Hist::new(),
+        }));
+        ctx
+    }
+
+    fn charge(&mut self, d: Dur) {
+        if let Some(m) = &mut self.meters {
+            let c = Component::ALL[(self.ticks % Component::ALL.len() as u64) as usize];
+            m.cycles.charge(c, d);
+            m.hist.record(d.as_ns());
+        }
+    }
+
     fn new(kind: StreamKind) -> Ctx {
         let bus = BusConfig::default();
         let net = NetConfig::default();
@@ -225,6 +259,7 @@ impl Ctx {
             beyond_span: rel.max_timeout() * 400,
             ticks: 0,
             sink: 0,
+            meters: None,
         }
     }
 
@@ -269,6 +304,7 @@ impl Event<Ctx> for StreamEvent {
             StreamEvent::Chain { stamp, bimodal } => {
                 m.consume(stamp);
                 let d = m.next_delay(bimodal);
+                m.charge(d);
                 let stamp = m.make_stamp();
                 sim.schedule_event_in(d, StreamEvent::Chain { stamp, bimodal });
             }
@@ -279,16 +315,24 @@ impl Event<Ctx> for StreamEvent {
                     sim.schedule_event_in(Dur::ZERO, StreamEvent::Leaf { stamp });
                 }
                 let d = m.next_delay(false);
+                m.charge(d);
                 let stamp = m.make_stamp();
                 sim.schedule_event_in(d, StreamEvent::BurstHead { stamp });
             }
-            StreamEvent::Leaf { stamp } => m.consume(stamp),
+            StreamEvent::Leaf { stamp } => {
+                m.consume(stamp);
+                m.charge(Dur::ZERO);
+            }
         }
     }
 }
 
-fn run_wheel(kind: StreamKind, events: u64) -> Time {
-    let mut m = Ctx::new(kind);
+fn run_wheel(kind: StreamKind, events: u64, metrics: bool) -> Time {
+    let mut m = if metrics {
+        Ctx::with_metrics(kind)
+    } else {
+        Ctx::new(kind)
+    };
     let mut sim: Sim<Ctx, StreamEvent> = Sim::new();
     seed_stream(
         kind,
@@ -308,6 +352,10 @@ fn run_wheel(kind: StreamKind, events: u64) -> Time {
     );
     sim.run_bounded(&mut m, Time::MAX, events);
     assert_eq!(sim.events_fired(), events);
+    if let Some(meters) = &m.meters {
+        assert!(meters.hist.count() > 0, "metrics run must have recorded");
+        black_box(meters.cycles.total());
+    }
     black_box(m.sink);
     sim.now()
 }
@@ -425,11 +473,17 @@ struct StreamResult {
     events: u64,
     heap_rate: f64,
     wheel_rate: f64,
+    metrics_rate: f64,
 }
 
 impl StreamResult {
     fn speedup(&self) -> f64 {
         self.wheel_rate / self.heap_rate
+    }
+
+    /// Fraction of wheel throughput the observability layer costs.
+    fn metrics_overhead(&self) -> f64 {
+        1.0 - self.metrics_rate / self.wheel_rate
     }
 }
 
@@ -451,13 +505,22 @@ fn measure_streams() -> Vec<StreamResult> {
         .map(|&kind| {
             let (heap_rate, heap_end) = best_rate(STREAM_EVENTS, || run_heap(kind, STREAM_EVENTS));
             let (wheel_rate, wheel_end) =
-                best_rate(STREAM_EVENTS, || run_wheel(kind, STREAM_EVENTS));
-            // Differential sanity: same stream, same RNG sequence — both
-            // schedulers must land on the same simulated instant.
+                best_rate(STREAM_EVENTS, || run_wheel(kind, STREAM_EVENTS, false));
+            let (metrics_rate, metrics_end) =
+                best_rate(STREAM_EVENTS, || run_wheel(kind, STREAM_EVENTS, true));
+            // Differential sanity: same stream, same RNG sequence — all
+            // three runs must land on the same simulated instant (the
+            // observability layer must not perturb timing).
             assert_eq!(
                 heap_end,
                 wheel_end,
                 "{}: heap and wheel diverged",
+                kind.name()
+            );
+            assert_eq!(
+                wheel_end,
+                metrics_end,
+                "{}: metrics accounting changed the simulated time",
                 kind.name()
             );
             StreamResult {
@@ -465,6 +528,7 @@ fn measure_streams() -> Vec<StreamResult> {
                 events: STREAM_EVENTS,
                 heap_rate,
                 wheel_rate,
+                metrics_rate,
             }
         })
         .collect()
@@ -483,12 +547,13 @@ fn document(streams: &[StreamResult], grid_points: u64, jobs1_ms: u64, jobs8_ms:
                 .set("events", s.events)
                 .set("heap_events_per_sec", s.heap_rate.round())
                 .set("wheel_events_per_sec", s.wheel_rate.round())
+                .set("metrics_events_per_sec", s.metrics_rate.round())
                 .set("speedup", (s.speedup() * 100.0).round() / 100.0)
         })
         .collect();
     Json::obj()
         .set("bench", "bench_engine")
-        .set("schema", 1u64)
+        .set("schema", 2u64)
         .set("streams", stream_json)
         .set(
             "grid",
@@ -556,6 +621,24 @@ fn check(path: &std::path::Path) -> ExitCode {
             if pass { "ok" } else { "REGRESSED" }
         );
         ok &= pass;
+        // The observability layer must stay cheap: the metrics-on wheel
+        // keeps ≥ METRICS_GATE of the fresh metrics-off wheel rate (both
+        // measured on this runner, so machine speed cancels out) and
+        // still clears the committed heap baseline gate.
+        let metrics_pass = s.metrics_rate >= METRICS_GATE * s.wheel_rate && s.metrics_rate >= floor;
+        println!(
+            "{:<22} metrics {:>12.0} ev/s vs {:.2}x fresh wheel {:>14.0}: {}",
+            s.name,
+            s.metrics_rate,
+            METRICS_GATE,
+            s.wheel_rate,
+            if metrics_pass {
+                "ok"
+            } else {
+                "METRICS TOO COSTLY"
+            }
+        );
+        ok &= metrics_pass;
     }
     if ok {
         println!("perf smoke passed");

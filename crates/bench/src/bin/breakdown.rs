@@ -1,0 +1,80 @@
+//! Prints the per-component cycle-occupancy breakdown (§6 observability
+//! layer): where each Table 2 NI design spends its accounted cycles on
+//! em3d, as shares of processor overhead, bus, cache stalls, NI buffer
+//! residency and wire time.
+//!
+//! - `breakdown --update-goldens` rewrites
+//!   `tests/goldens/golden_breakdown.json`.
+//! - `breakdown` alone byte-compares the fresh document against the
+//!   committed file, exiting non-zero on drift.
+//! - `--json <path>` writes the fresh document wherever you like;
+//!   `--jobs <n>` bounds the worker threads.
+use std::process::ExitCode;
+
+use nisim_bench::fmt::{pct, TableWriter};
+use nisim_bench::record::{document, sweep_to_json};
+use nisim_bench::{breakdown_from_records, breakdown_golden_path, breakdown_sweep, BenchArgs};
+
+fn main() -> ExitCode {
+    let args = BenchArgs::parse();
+    let records = breakdown_sweep().run(args.jobs);
+    let rows = breakdown_from_records(&records);
+
+    let mut t = TableWriter::new(
+        ["NI", "total (ms)", "proc", "bus", "stall", "ni", "wire"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for row in &rows {
+        t.row(vec![
+            row.ni.to_string(),
+            format!("{:.2}", row.total_ns as f64 / 1e6),
+            pct(row.proc_share),
+            pct(row.bus_share),
+            pct(row.stall_share),
+            pct(row.ni_share),
+            pct(row.wire_share),
+        ]);
+    }
+    println!("em3d cycle-occupancy breakdown (share of accounted cycles)");
+    print!("{}", t.render());
+
+    let doc = document(vec![sweep_to_json("breakdown", &records)]);
+    let text = doc.to_pretty();
+    if let Some(path) = &args.json {
+        std::fs::write(path, &text).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        eprintln!("wrote {}", path.display());
+    }
+    let golden = breakdown_golden_path();
+    if args.update_goldens {
+        if let Some(dir) = golden.parent() {
+            std::fs::create_dir_all(dir)
+                .unwrap_or_else(|e| panic!("creating {}: {e}", dir.display()));
+        }
+        std::fs::write(&golden, &text)
+            .unwrap_or_else(|e| panic!("writing {}: {e}", golden.display()));
+        println!("updated {}", golden.display());
+        return ExitCode::SUCCESS;
+    }
+    match std::fs::read_to_string(&golden) {
+        Ok(committed) if committed == text => {
+            println!("breakdown golden matches {}", golden.display());
+            ExitCode::SUCCESS
+        }
+        Ok(_) => {
+            eprintln!(
+                "breakdown golden DRIFTED from {} — inspect the diff and rerun\n\
+                 with --update-goldens if the change is intended",
+                golden.display()
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!(
+                "cannot read {} ({e}); run with --update-goldens to create it",
+                golden.display()
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -10,6 +10,7 @@
 //! and `tests/goldens/` pins the full machine-readable output.
 
 use nisim_core::{Machine, MachineConfig, MachineReport, NiKind, TimeCategory};
+use nisim_engine::metrics::Component;
 use nisim_engine::stats::Histogram;
 use nisim_engine::Dur;
 use nisim_net::{BufferCount, Topology};
@@ -1201,6 +1202,101 @@ pub fn run_fault_fig4(app: MacroApp, drop_pct: u32) -> Vec<FaultBufferPoint> {
         app,
         drop_pct,
     )
+}
+
+/// One row of the per-component occupancy breakdown: where one NI
+/// design's accounted cycles go, as fractions of the breakdown total.
+#[derive(Clone, Debug)]
+pub struct BreakdownRow {
+    /// The NI design.
+    pub ni: NiKind,
+    /// Total accounted nanoseconds across every component.
+    pub total_ns: u64,
+    /// Processor overhead share (send + receive paths).
+    pub proc_share: f64,
+    /// Bus share (arbitration + occupancy of every transaction class).
+    pub bus_share: f64,
+    /// Cache stall share (miss fills + ownership upgrades).
+    pub stall_share: f64,
+    /// NI buffer-residency share (deposit-complete to drain).
+    pub ni_share: f64,
+    /// Wire share (link serialization + retransmissions).
+    pub wire_share: f64,
+}
+
+/// The occupancy-breakdown grid: em3d across all seven Table 2 NIs with
+/// cycle accounting on. The metrics patch keeps the empty label — the
+/// metrics switch is excluded from the config fingerprint, so every
+/// point stays directly comparable with its metrics-off golden twin.
+pub fn breakdown_sweep() -> Sweep {
+    Sweep::new("breakdown")
+        .apps(&[MacroApp::Em3d])
+        .nis(&NiKind::TABLE2)
+        .patches(vec![Patch {
+            metrics: true,
+            ..Patch::default()
+        }])
+}
+
+/// Folds the breakdown sweep into per-NI occupancy rows.
+///
+/// # Panics
+///
+/// Panics if a record lacks its breakdown or the component cycles fail
+/// the sum-to-total identity — either means the metrics layer is broken.
+pub fn breakdown_from_records(records: &[RunRecord]) -> Vec<BreakdownRow> {
+    NiKind::TABLE2
+        .iter()
+        .map(|&ni| {
+            let r = rec(records, MacroApp::Em3d.name(), ni, B8, "");
+            let b = r
+                .breakdown
+                .as_ref()
+                .unwrap_or_else(|| panic!("{} record lacks a breakdown", ni.key()));
+            let sum: u64 = b.cycles.iter().map(|(_, ns)| ns).sum();
+            assert_eq!(
+                sum,
+                b.cycles.total().as_ns(),
+                "{}: component cycles must sum to the total",
+                ni.key()
+            );
+            let share = |components: &[Component]| -> f64 {
+                components.iter().map(|&c| b.cycles.fraction(c)).sum()
+            };
+            BreakdownRow {
+                ni,
+                total_ns: b.cycles.total().as_ns(),
+                proc_share: share(&[Component::ProcSend, Component::ProcRecv]),
+                bus_share: Component::ALL
+                    .iter()
+                    .filter(|c| c.is_bus())
+                    .map(|&c| b.cycles.fraction(c))
+                    .sum(),
+                stall_share: share(&[Component::CacheMissStall, Component::CacheUpgradeStall]),
+                ni_share: share(&[Component::NiResidency]),
+                wire_share: share(&[Component::LinkSerialization, Component::Retransmit]),
+            }
+        })
+        .collect()
+}
+
+/// Runs the occupancy breakdown for all seven Table 2 NIs.
+pub fn run_breakdown() -> Vec<BreakdownRow> {
+    breakdown_from_records(&breakdown_sweep().run(default_jobs()))
+}
+
+/// Path of the committed breakdown golden (kept separate from the main
+/// grid so metrics-off goldens stay byte-identical to the seed).
+pub fn breakdown_golden_path() -> std::path::PathBuf {
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/goldens/golden_breakdown.json")
+}
+
+/// Runs the breakdown sweep on `jobs` workers and builds the JSON
+/// document `tests/goldens/golden_breakdown.json` pins.
+pub fn breakdown_document(jobs: usize) -> nisim_engine::json::Json {
+    let records = breakdown_sweep().run(jobs);
+    crate::record::document(vec![crate::record::sweep_to_json("breakdown", &records)])
 }
 
 /// The golden shape-regression grid: every sweep whose qualitative

@@ -115,6 +115,11 @@ pub struct Patch {
     /// Force the UDMA NI to always use uncached transfers (suppresses
     /// the pure-UDMA cost model the micro works otherwise select).
     pub udma_uncached_fallback: bool,
+    /// Collect the per-component cycle breakdown for this point. Pure
+    /// observation: it adds a `breakdown` field to the record but is
+    /// excluded from the config fingerprint, so a metrics-on point stays
+    /// comparable field-by-field with its metrics-off golden twin.
+    pub metrics: bool,
 }
 
 impl Patch {
@@ -165,6 +170,9 @@ impl Patch {
         }
         if self.udma_uncached_fallback {
             cfg.costs.udma_threshold_payload = u64::MAX;
+        }
+        if self.metrics {
+            cfg.metrics.enabled = true;
         }
         if let Some(pct) = self.drop_pct {
             if pct > 0 {
@@ -628,10 +636,12 @@ mod tests {
             cni_bypass: Some(false),
             cni_dead_block_opt: Some(false),
             udma_uncached_fallback: true,
+            metrics: true,
             ..Patch::default()
         };
         let mut cfg = MachineConfig::with_ni(NiKind::Cni32Qm);
         patch.apply(&mut cfg);
+        assert!(cfg.metrics.enabled && !cfg.metrics.trace);
         assert_eq!(cfg.nodes, 4);
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.net.topology, Topology::Ring);

@@ -15,6 +15,7 @@ use std::path::Path;
 
 use nisim_core::{MachineConfig, MachineReport, TimeCategory};
 use nisim_engine::json::{self, Json};
+use nisim_engine::metrics::MetricsBreakdown;
 use nisim_engine::SimStatus;
 
 /// The schema version stamped into every sweep JSON document.
@@ -103,6 +104,10 @@ pub struct RunRecord {
     pub metrics: Vec<(String, f64)>,
     /// Stall diagnostics, when `status` is `"stalled"`.
     pub stall: Option<StallBrief>,
+    /// Per-component cycle breakdown, carried only by metrics-enabled
+    /// runs. Serialized as a trailing key that is *omitted* when absent,
+    /// so metrics-off sweeps stay byte-identical to pre-metrics goldens.
+    pub breakdown: Option<MetricsBreakdown>,
 }
 
 impl RunRecord {
@@ -183,6 +188,7 @@ impl RunRecord {
                 reason: s.reason.to_string(),
                 wedged: s.wedged_endpoints().count() as u64,
             }),
+            breakdown: report.breakdown.clone(),
         }
     }
 
@@ -274,6 +280,11 @@ impl RunRecord {
                     .set("wedged", s.wedged),
             },
         );
+        // The breakdown key is appended only when present: metrics-off
+        // records must serialize to the exact bytes of the seed schema.
+        if let Some(b) = &self.breakdown {
+            v = v.set("breakdown", b.to_json());
+        }
         v
     }
 
@@ -358,6 +369,13 @@ impl RunRecord {
                 .collect::<Result<Vec<_>, _>>()?,
             _ => return Err("metrics must be an object".into()),
         };
+        let breakdown = match v.get("breakdown") {
+            None | Some(Json::Null) => None,
+            Some(b) => Some(
+                MetricsBreakdown::from_json(b)
+                    .ok_or("breakdown malformed or sum-to-total violated")?,
+            ),
+        };
         let stall = match v.get("stall") {
             None | Some(Json::Null) => None,
             Some(s) => Some(StallBrief {
@@ -391,6 +409,7 @@ impl RunRecord {
             latency,
             metrics,
             stall,
+            breakdown,
         })
     }
 }
@@ -550,6 +569,53 @@ mod tests {
         assert_eq!(r.metric("missing"), None);
         let total: f64 = TimeCategory::ALL.iter().map(|&c| r.fraction(c)).sum();
         assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metrics_off_records_omit_the_breakdown_key() {
+        let r = sample_record();
+        assert!(r.breakdown.is_none());
+        assert!(
+            !r.to_json().to_compact().contains("\"breakdown\""),
+            "absent breakdown must not appear in the serialized bytes"
+        );
+    }
+
+    #[test]
+    fn metrics_on_record_round_trips_with_breakdown() {
+        use nisim_engine::metrics::MetricsConfig;
+        let cfg = MachineConfig::with_ni(NiKind::Cm5)
+            .nodes(4)
+            .flow_buffers(BufferCount::Finite(2))
+            .metrics(MetricsConfig::enabled());
+        let params = AppParams {
+            iterations: 2,
+            intensity: 2,
+            compute: nisim_engine::Dur::us(2),
+        };
+        let report = run_app(MacroApp::Em3d, &cfg, &params);
+        let r = RunRecord::from_report(
+            "em3d".into(),
+            NiKind::Cm5.key().into(),
+            "2".into(),
+            String::new(),
+            fingerprint(&cfg),
+            &report,
+            Vec::new(),
+        );
+        let b = r.breakdown.as_ref().expect("metrics-on run has breakdown");
+        assert!(!b.cycles.is_empty());
+        let back = RunRecord::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+        // The metrics field must not perturb the config fingerprint.
+        assert_eq!(
+            r.fingerprint,
+            fingerprint(
+                &MachineConfig::with_ni(NiKind::Cm5)
+                    .nodes(4)
+                    .flow_buffers(BufferCount::Finite(2))
+            )
+        );
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use nisim_core::{MachineConfig, NiKind, TimeCategory};
+use nisim_engine::metrics::MetricsConfig;
 use nisim_engine::{Dur, Time};
 use nisim_net::{BufferCount, DownWindow, NodeId, Topology};
 use nisim_workloads::apps::{run_app, MacroApp};
@@ -49,6 +50,12 @@ usage:
   nisim run   --app <app> --ni <ni> [--buffers <n|inf>] [--nodes <n>]
               [--topology ideal|ring|mesh] [--seed <n>] [--json <path>]
   nisim sweep --app <app> [--buffers <n|inf>] [--jobs <n>] [--json <path>]
+
+observability (any command that builds a machine):
+  --metrics <on|off>   per-component cycle accounting (default: off;
+                       pure observation — timing is unchanged)
+  --trace <path>       write a Chrome-trace JSONL span log (run only;
+                       implies --metrics on)
 
 fault injection (any command that builds a machine):
   --fault-drop <p>     drop probability, 0..=1
@@ -262,6 +269,16 @@ fn config_from(flags: &HashMap<String, String>, ni: NiKind) -> Result<MachineCon
     if let Some(s) = flags.get("seed") {
         cfg.seed = s.parse().map_err(|_| err(format!("bad seed {s:?}")))?;
     }
+    if let Some(v) = flags.get("metrics") {
+        cfg.metrics.enabled = match v.as_str() {
+            "on" | "yes" | "true" | "1" => true,
+            "off" | "no" | "false" | "0" => false,
+            other => return Err(err(format!("bad --metrics {other:?} (want on|off)"))),
+        };
+    }
+    if flags.contains_key("trace") {
+        cfg.metrics = MetricsConfig::traced();
+    }
     fault_config_from(flags, &mut cfg)?;
     Ok(cfg)
 }
@@ -370,6 +387,30 @@ pub fn main_with_args(args: &[String]) -> Result<String, CliError> {
             }
             if let Some(stall) = &r.stall {
                 out.push_str(&format!("{stall}"));
+            }
+            if let Some(b) = &r.breakdown {
+                out.push_str(&format!(
+                    "  cycle breakdown ({} us accounted):\n",
+                    b.cycles.total().as_ns() / 1_000
+                ));
+                for (c, ns) in b.cycles.iter() {
+                    if ns > 0 {
+                        out.push_str(&format!(
+                            "    {:<20} {:>5.1}%\n",
+                            c.key(),
+                            100.0 * b.cycles.fraction(c)
+                        ));
+                    }
+                }
+            }
+            if let Some(path) = flags.get("trace") {
+                let sink = r
+                    .trace
+                    .as_ref()
+                    .ok_or_else(|| err("--trace was set but the run produced no trace"))?;
+                std::fs::write(path, sink.to_chrome_jsonl())
+                    .map_err(|e| err(format!("writing {path:?}: {e}")))?;
+                out.push_str(&format!("  wrote {} trace spans to {path}\n", sink.len()));
             }
             if let Some(path) = flags.get("json") {
                 write_records(path, "run", &[record_for(app, ni, &cfg, &r)])?;
@@ -618,6 +659,64 @@ mod tests {
             "sweep JSON must not depend on --jobs"
         );
         assert!(run(&["sweep", "--app", "em3d", "--jobs", "0"]).is_err());
+    }
+
+    #[test]
+    fn metrics_flags_configure_the_machine() {
+        let flags = |pairs: &[(&str, &str)]| {
+            pairs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect::<HashMap<_, _>>()
+        };
+        let cfg = config_from(&flags(&[]), NiKind::Cm5).unwrap();
+        assert!(!cfg.metrics.any(), "metrics default off");
+        let cfg = config_from(&flags(&[("metrics", "on")]), NiKind::Cm5).unwrap();
+        assert!(cfg.metrics.enabled && !cfg.metrics.trace);
+        let cfg = config_from(&flags(&[("trace", "/tmp/t.jsonl")]), NiKind::Cm5).unwrap();
+        assert!(
+            cfg.metrics.enabled && cfg.metrics.trace,
+            "trace implies metrics"
+        );
+        assert!(config_from(&flags(&[("metrics", "maybe")]), NiKind::Cm5).is_err());
+    }
+
+    #[test]
+    fn run_command_reports_cycle_breakdown_only_when_asked() {
+        let base = ["run", "--app", "em3d", "--ni", "cm5", "--nodes", "4"];
+        let off = run(&base).unwrap();
+        assert!(!off.contains("cycle breakdown"), "{off}");
+
+        let mut on_args = base.to_vec();
+        on_args.extend(["--metrics", "on"]);
+        let on = run(&on_args).unwrap();
+        assert!(on.contains("cycle breakdown"), "{on}");
+        assert!(on.contains("proc_send"), "{on}");
+        // Observation only: the simulated numbers are identical.
+        let elapsed = |s: &str| {
+            s.lines()
+                .find(|l| l.contains("elapsed"))
+                .map(str::to_string)
+                .unwrap()
+        };
+        assert_eq!(elapsed(&off), elapsed(&on));
+    }
+
+    #[test]
+    fn trace_flag_writes_chrome_jsonl() {
+        let dir = std::env::temp_dir().join("nisim-cli-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let path_str = path.to_str().unwrap();
+        let out = run(&[
+            "run", "--app", "em3d", "--ni", "cm5", "--nodes", "4", "--trace", path_str,
+        ])
+        .unwrap();
+        assert!(out.contains("trace spans"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let first = text.lines().next().expect("trace must be non-empty");
+        let ev = nisim_engine::json::parse(first).unwrap();
+        assert!(ev.get("ph").is_some() && ev.get("ts").is_some(), "{first}");
     }
 
     #[test]

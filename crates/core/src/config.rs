@@ -4,6 +4,7 @@
 //! exactly; the builder methods support the sensitivity sweeps in the
 //! benchmark harness.
 
+use nisim_engine::metrics::MetricsConfig;
 use nisim_engine::Dur;
 use nisim_mem::{BusConfig, CacheConfig};
 use nisim_net::{BufferCount, FaultConfig, NetConfig, ReliabilityConfig};
@@ -12,7 +13,7 @@ use crate::costs::CostModel;
 use crate::ni::NiKind;
 
 /// Full configuration of the simulated parallel machine.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct MachineConfig {
     /// Number of nodes. 16 per Table 3.
     pub nodes: u32,
@@ -77,6 +78,45 @@ pub struct MachineConfig {
     /// diagnostic [`StallReport`](crate::error::StallReport). Event-free
     /// gaps (long computes) never trip it.
     pub watchdog_window: Dur,
+    /// Observability switches (per-component cycle metrics and the span
+    /// trace sink). Off by default, purely observational, and excluded
+    /// from the `Debug` rendering so config fingerprints — and therefore
+    /// the committed goldens — are unaffected by observability settings.
+    pub metrics: MetricsConfig,
+}
+
+impl std::fmt::Debug for MachineConfig {
+    /// Renders exactly like the derived impl did before `metrics` was
+    /// added (same fields, same order, `metrics` omitted): the sweep
+    /// fingerprint hashes this rendering, and enabling observability must
+    /// never change a record's identity.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MachineConfig")
+            .field("nodes", &self.nodes)
+            .field("cpu_period", &self.cpu_period)
+            .field("cache", &self.cache)
+            .field("bus", &self.bus)
+            .field("main_memory_latency", &self.main_memory_latency)
+            .field("ni_memory_latency", &self.ni_memory_latency)
+            .field("cache_to_cache_latency", &self.cache_to_cache_latency)
+            .field("net", &self.net)
+            .field("ni", &self.ni)
+            .field("flow_buffers", &self.flow_buffers)
+            .field("retry_backoff", &self.retry_backoff)
+            .field("retry_backoff_max", &self.retry_backoff_max)
+            .field("costs", &self.costs)
+            .field("cni_cache_blocks", &self.cni_cache_blocks)
+            .field("cni_queue_blocks", &self.cni_queue_blocks)
+            .field("cni_bypass", &self.cni_bypass)
+            .field("cni_prefetch", &self.cni_prefetch)
+            .field("cni_dead_block_opt", &self.cni_dead_block_opt)
+            .field("seed", &self.seed)
+            .field("trace", &self.trace)
+            .field("fault", &self.fault)
+            .field("reliability", &self.reliability)
+            .field("watchdog_window", &self.watchdog_window)
+            .finish()
+    }
 }
 
 impl Default for MachineConfig {
@@ -107,6 +147,7 @@ impl Default for MachineConfig {
             fault: FaultConfig::default(),
             reliability: ReliabilityConfig::default(),
             watchdog_window: Dur::ms(1),
+            metrics: MetricsConfig::default(),
         }
     }
 }
@@ -154,6 +195,12 @@ impl MachineConfig {
     /// Sets the no-progress watchdog window.
     pub fn watchdog_window(mut self, window: Dur) -> MachineConfig {
         self.watchdog_window = window;
+        self
+    }
+
+    /// Sets the observability switches.
+    pub fn metrics(mut self, metrics: MetricsConfig) -> MachineConfig {
+        self.metrics = metrics;
         self
     }
 
@@ -205,6 +252,17 @@ mod tests {
     #[should_panic(expected = "at least two nodes")]
     fn single_node_rejected() {
         MachineConfig::default().nodes(1);
+    }
+
+    #[test]
+    fn debug_rendering_ignores_metrics() {
+        // The fingerprint hashes the Debug rendering, so observability
+        // settings must be invisible to it.
+        let off = MachineConfig::default();
+        let on = MachineConfig::default().metrics(MetricsConfig::traced());
+        assert!(on.metrics.any());
+        assert_eq!(format!("{off:?}"), format!("{on:?}"));
+        assert!(!format!("{off:?}").contains("metrics"));
     }
 
     #[test]

@@ -17,9 +17,13 @@
 
 use std::collections::BTreeMap;
 
+use nisim_engine::metrics::{Component, ComponentCycles, Log2Hist, MetricsBreakdown};
 use nisim_engine::stats::{Histogram, Summary};
+use nisim_engine::trace::TraceSink;
 use nisim_engine::{Dur, Sim, SimStatus, Time};
-use nisim_net::{fragment_payload, Fabric, FaultPlan, FaultStats, MsgId, NodeId, RelStats};
+use nisim_net::{
+    fragment_payload, Fabric, FaultPlan, FaultStats, MsgId, NodeId, RelMetrics, RelStats,
+};
 
 use crate::accounting::{TimeCategory, TimeLedger};
 use crate::config::MachineConfig;
@@ -114,6 +118,23 @@ pub struct Machine {
     /// injections — NOT on returns, retries or retransmissions, so a
     /// retry storm that delivers nothing trips the watchdog.
     progress: u64,
+    /// Cycle-accounting state, present only when
+    /// [`MachineConfig::metrics`] requests collection — so default runs
+    /// pay a single branch per charge site.
+    metrics: Option<Box<MachineMetrics>>,
+}
+
+/// Observability state of a metrics-enabled machine: the machine-level
+/// cycle accumulators and latency histograms, the reliability layer's
+/// retransmit-cycle handle, and the optional span trace sink. Per-node
+/// bus and cache counters live on the node hardware and are merged into
+/// the [`MetricsBreakdown`] at report time.
+struct MachineMetrics {
+    cycles: ComponentCycles,
+    msg_rtt: Log2Hist,
+    frag_queue: Log2Hist,
+    rel: RelMetrics,
+    sink: Option<TraceSink>,
 }
 
 /// Per-node summary within a [`MachineReport`].
@@ -188,6 +209,13 @@ pub struct MachineReport {
     /// Diagnostic snapshot, present when `status` is
     /// [`SimStatus::Stalled`].
     pub stall: Option<StallReport>,
+    /// Per-component cycle breakdown and latency histograms, present
+    /// when [`MachineConfig::metrics`] requested collection. The
+    /// component cycles sum to `breakdown.cycles.total()` exactly.
+    pub breakdown: Option<MetricsBreakdown>,
+    /// The component span trace, present when span tracing was
+    /// requested ([`MetricsConfig::traced`](nisim_engine::metrics::MetricsConfig::traced)).
+    pub trace: Option<TraceSink>,
     /// What the fault injector did (all zeros when faults are off).
     pub fault_stats: FaultStats,
     /// Reliability-layer activity summed over all nodes.
@@ -242,6 +270,15 @@ impl Machine {
             .fault
             .is_active()
             .then(|| FaultPlan::new(cfg.fault.clone()));
+        let metrics = cfg.metrics.any().then(|| {
+            Box::new(MachineMetrics {
+                cycles: ComponentCycles::new(),
+                msg_rtt: Log2Hist::new(),
+                frag_queue: Log2Hist::new(),
+                rel: RelMetrics::default(),
+                sink: cfg.metrics.trace.then(TraceSink::new),
+            })
+        });
         let nodes = (0..cfg.nodes)
             .map(|i| {
                 let id = NodeId(i);
@@ -277,6 +314,27 @@ impl Machine {
             fault,
             violations: Vec::new(),
             progress: 0,
+            metrics,
+        }
+    }
+
+    /// Charges the closed span `[start, end)` to `component` — and to
+    /// its trace track when tracing. Retransmit wire time routes through
+    /// the reliability layer's [`RelMetrics`] handle so it is never
+    /// conflated with first-transmission serialization. No-op (one
+    /// branch) when metrics are off.
+    fn charge_span(&mut self, component: Component, node: NodeId, start: Time, end: Time) {
+        let Some(mm) = &mut self.metrics else {
+            return;
+        };
+        let dur = end.saturating_since(start);
+        if component == Component::Retransmit {
+            mm.rel.charge_retransmit(dur);
+        } else {
+            mm.cycles.charge(component, dur);
+        }
+        if let Some(sink) = &mut mm.sink {
+            sink.span(component, node.0, start, end);
         }
     }
 
@@ -422,6 +480,26 @@ impl Machine {
             bus_busy += bus.busy;
             bus_data_bytes += bus.data_bytes.get();
         }
+        let breakdown = self.metrics.as_ref().map(|mm| {
+            let mut b = MetricsBreakdown {
+                cycles: mm.cycles.clone(),
+                msg_rtt: mm.msg_rtt.clone(),
+                frag_queue: mm.frag_queue.clone(),
+                bus_grant_wait: Log2Hist::new(),
+            };
+            b.cycles.merge(&mm.rel.cycles);
+            for n in &self.nodes {
+                if let Some(bus) = n.hw.bus.metrics() {
+                    b.cycles.merge(&bus.cycles);
+                    b.bus_grant_wait.merge(&bus.grant_wait);
+                }
+                if let Some(cache) = n.hw.cache.metrics() {
+                    b.cycles.merge(&cache.cycles);
+                }
+            }
+            b
+        });
+        let trace = self.metrics.as_ref().and_then(|mm| mm.sink.clone());
         let per_node = self
             .nodes
             .iter()
@@ -459,6 +537,8 @@ impl Machine {
             msg_latency: self.msg_latency.clone(),
             violations: self.violations.clone(),
             stall,
+            breakdown,
+            trace,
             fault_stats: self.fault.as_ref().map(|p| p.stats()).unwrap_or_default(),
             rel_stats,
             moesi_visited: self
@@ -649,7 +729,7 @@ impl Machine {
             );
             return;
         }
-        let (wire, inject_ready, release) = {
+        let (wire, inject_ready, release, proc_release) = {
             let node = &mut m.nodes[nid];
             let Some(send) = node.proc.current_send.as_mut() else {
                 return;
@@ -704,10 +784,12 @@ impl Machine {
                 },
                 path.inject_ready,
                 release,
+                path.proc_release,
             )
         };
         let mut wire = wire;
         wire.id = m.alloc_msg_id();
+        m.charge_span(Component::ProcSend, NodeId(nid as u32), now, proc_release);
         m.record(now, wire.src, wire.id, TraceKind::SendStart);
         m.nodes[nid].ni.outstanding.insert(
             wire.id,
@@ -722,7 +804,7 @@ impl Machine {
         if rel_on {
             Machine::schedule_ack_timer(m, sim, NodeId(nid as u32), wire.id, 0);
         }
-        Machine::inject(m, sim, wire, inject_ready);
+        Machine::inject(m, sim, wire, inject_ready, Component::LinkSerialization);
 
         let node = &mut m.nodes[nid];
         node.proc.phase = ProcPhase::Busy;
@@ -733,13 +815,25 @@ impl Machine {
     /// Puts a fragment on the wire from its source's egress port and
     /// schedules the arrival(s) — the fault layer may drop, duplicate,
     /// corrupt or delay the message.
-    fn inject(m: &mut Machine, sim: &mut MachineSim, wire: WireMsg, ready: Time) {
+    ///
+    /// `charge_as` says which component the egress serialization time is
+    /// accounted to: [`Component::LinkSerialization`] for first sends and
+    /// flow-control retries, [`Component::Retransmit`] for
+    /// reliability-layer retransmissions.
+    fn inject(
+        m: &mut Machine,
+        sim: &mut MachineSim,
+        wire: WireMsg,
+        ready: Time,
+        charge_as: Component,
+    ) {
         let net = m.cfg.net;
         let bytes = wire.wire_bytes(net.header_bytes);
         let (start, end) = m.nodes[wire.src.index()]
             .hw
             .egress
             .transmit(&net, ready, bytes);
+        m.charge_span(charge_as, wire.src, start, end);
         m.record(start, wire.src, wire.id, TraceKind::Inject);
         let Some(plan) = &mut m.fault else {
             let arrive = m.fabric.transit(&net, end, wire.src, wire.dst, bytes);
@@ -829,7 +923,7 @@ impl Machine {
         let wire = entry.wire;
         m.nodes[nid].ni.rel_stats.retransmits += 1;
         m.record(sim.now(), src, id, TraceKind::Retransmit);
-        Machine::inject(m, sim, wire, sim.now());
+        Machine::inject(m, sim, wire, sim.now(), Component::Retransmit);
         Machine::schedule_ack_timer(m, sim, src, id, next_attempt);
     }
 
@@ -842,7 +936,9 @@ impl Machine {
         let bytes = wire.wire_bytes(net.header_bytes);
 
         let node = &mut m.nodes[dst];
-        let (_, ejected) = node.hw.ingress.transmit(&net, now, bytes);
+        let (eject_start, ejected) = node.hw.ingress.transmit(&net, now, bytes);
+        m.charge_span(Component::LinkSerialization, wire.dst, eject_start, ejected);
+        let node = &mut m.nodes[dst];
 
         // A corrupted payload fails the checksum after ejection: it has
         // consumed wire bandwidth but is neither deposited, acked nor
@@ -1050,7 +1146,7 @@ impl Machine {
         node.ni.fc.retried();
         if node.ni.model.frees_buffer_at_deposit() {
             // NI-managed buffering: the NI re-injects on its own.
-            Machine::inject(m, sim, wire, sim.now());
+            Machine::inject(m, sim, wire, sim.now(), Component::LinkSerialization);
         } else {
             // Processor-managed buffering: queue a software re-send.
             node.proc.pending_resends.push_back(wire);
@@ -1102,7 +1198,7 @@ impl Machine {
                 .charge_to(path.proc_release, TimeCategory::Buffering);
             (wire, path.inject_ready, path.proc_release)
         };
-        Machine::inject(m, sim, wire, inject_ready);
+        Machine::inject(m, sim, wire, inject_ready, Component::LinkSerialization);
         let node = &mut m.nodes[nid];
         node.proc.phase = ProcPhase::Busy;
         node.proc.busy_until = release;
@@ -1156,6 +1252,16 @@ impl Machine {
             (entry, t)
         };
 
+        m.charge_span(
+            Component::NiResidency,
+            NodeId(nid as u32),
+            entry.ready_at,
+            now,
+        );
+        m.charge_span(Component::ProcRecv, NodeId(nid as u32), now, drained_at);
+        if let Some(mm) = &mut m.metrics {
+            mm.frag_queue.record(entry.queueing_delay(now).as_ns());
+        }
         m.record(
             drained_at,
             NodeId(nid as u32),
@@ -1173,6 +1279,10 @@ impl Machine {
             if let Some(started) = m.transfer_started.remove(&entry.transfer_id) {
                 m.msg_latency
                     .record(drained_at.saturating_since(started).as_ns() as f64);
+                if let Some(mm) = &mut m.metrics {
+                    mm.msg_rtt
+                        .record(drained_at.saturating_since(started).as_ns());
+                }
             }
             let node = &mut m.nodes[nid];
             let dispatch_done = drained_at
@@ -1192,6 +1302,12 @@ impl Machine {
             node.proc.queued_sends.extend(handler.sends);
             node.proc.app_messages_handled += 1;
             let msg_id = entry.msg_id;
+            m.charge_span(
+                Component::ProcRecv,
+                NodeId(nid as u32),
+                drained_at,
+                dispatch_done,
+            );
             m.record(
                 dispatch_done,
                 NodeId(nid as u32),
@@ -1445,6 +1561,75 @@ pub(crate) mod tests {
         let returns = trace.iter().filter(|e| e.kind == TraceKind::Return).count() as u64;
         assert_eq!(rejects, report.recv_rejects);
         assert_eq!(returns, report.recv_rejects);
+    }
+
+    #[test]
+    fn metrics_breakdown_sums_and_leaves_timing_unchanged() {
+        use nisim_engine::metrics::{Component, MetricsConfig};
+        let base = MachineConfig::with_ni(NiKind::Cm5)
+            .nodes(2)
+            .flow_buffers(BufferCount::Finite(8));
+        let off = Machine::run(base.clone(), echo_factory(4, 64));
+        let on = Machine::run(base.metrics(MetricsConfig::enabled()), echo_factory(4, 64));
+        assert!(off.breakdown.is_none());
+        assert!(off.trace.is_none());
+        assert_eq!(off.elapsed, on.elapsed, "metrics must not change timing");
+        assert_eq!(off.events, on.events);
+        assert_eq!(off.bus_transactions, on.bus_transactions);
+        let b = on.breakdown.expect("metrics-on run carries a breakdown");
+        let sum: u64 = b.cycles.iter().map(|(_, ns)| ns).sum();
+        assert_eq!(sum, b.cycles.total().as_ns(), "components sum to total");
+        for c in [
+            Component::ProcSend,
+            Component::ProcRecv,
+            Component::LinkSerialization,
+            Component::NiResidency,
+        ] {
+            assert!(b.cycles.get(c) > Dur::ZERO, "{c} should be charged");
+        }
+        assert_eq!(b.cycles.get(Component::Retransmit), Dur::ZERO);
+        // Loss-free: every sent fragment is drained exactly once, every
+        // app message completes exactly once.
+        assert_eq!(b.msg_rtt.count(), on.app_messages);
+        assert_eq!(b.frag_queue.count(), on.fragments_sent);
+        assert!(on.trace.is_none(), "spans need the trace switch");
+    }
+
+    #[test]
+    fn traced_run_collects_spans() {
+        use nisim_engine::metrics::MetricsConfig;
+        let cfg = MachineConfig::with_ni(NiKind::Ap3000)
+            .nodes(2)
+            .metrics(MetricsConfig::traced());
+        let r = Machine::run(cfg, echo_factory(2, 64));
+        let sink = r.trace.expect("traced run carries spans");
+        assert!(!sink.is_empty());
+        assert!(sink.spans().iter().all(|s| s.end_ns >= s.start_ns));
+        // The sink sees the machine-level spans; node-local bus/cache
+        // charges are counters only, so span count < total charges.
+        let b = r.breakdown.expect("trace implies metrics");
+        assert!(!b.cycles.is_empty());
+    }
+
+    #[test]
+    fn retransmissions_are_charged_to_the_retransmit_component() {
+        use nisim_engine::metrics::{Component, MetricsConfig};
+        use nisim_net::{FaultConfig, ReliabilityConfig};
+        let cfg = MachineConfig::with_ni(NiKind::Cm5)
+            .nodes(2)
+            .fault(FaultConfig {
+                drop_p: 0.3,
+                ..FaultConfig::default()
+            })
+            .reliability(ReliabilityConfig::on())
+            .metrics(MetricsConfig::enabled());
+        let r = Machine::run(cfg, echo_factory(8, 64));
+        assert!(r.rel_stats.retransmits > 0);
+        let b = r.breakdown.expect("breakdown present");
+        assert!(
+            b.cycles.get(Component::Retransmit) > Dur::ZERO,
+            "retransmit wire time must be accounted separately"
+        );
     }
 
     #[test]

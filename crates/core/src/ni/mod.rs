@@ -302,6 +302,17 @@ pub struct RxEntry {
     pub frees_buffer_at_drain: bool,
 }
 
+impl RxEntry {
+    /// How long the deposited fragment has been sitting in NI buffering
+    /// at `now` — the queueing delay the metrics layer records per drain
+    /// ([`Component::NiResidency`](nisim_engine::metrics::Component) and
+    /// the `frag_queue` histogram). Zero if the drain starts the moment
+    /// the deposit completes.
+    pub fn queueing_delay(&self, now: Time) -> Dur {
+        now.saturating_since(self.ready_at)
+    }
+}
+
 /// One network message on the wire.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct WireMsg {

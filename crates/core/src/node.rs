@@ -61,9 +61,15 @@ impl NodeHw {
         } else {
             MemoryDevice::with_latency(MemoryKind::NiSram, cfg.ni_memory_latency)
         };
+        let mut bus = Bus::new(cfg.bus);
+        let mut cache = Cache::new(cfg.cache);
+        if cfg.metrics.any() {
+            bus.enable_metrics();
+            cache.enable_metrics();
+        }
         NodeHw {
-            bus: Bus::new(cfg.bus),
-            cache: Cache::new(cfg.cache),
+            bus,
+            cache,
             main_mem: MemoryDevice::with_latency(MemoryKind::Main, cfg.main_memory_latency),
             ni_mem,
             egress: Link::new(),
@@ -110,11 +116,14 @@ impl NodeHw {
             MoesiState::Shared | MoesiState::Owned => {
                 let g = self.bus.acquire(now, BusOp::Upgrade);
                 self.cache.set_state(block, MoesiState::Modified);
+                self.cache.charge_upgrade_stall(g.end.saturating_since(now));
                 g.end
             }
             MoesiState::Invalid => {
                 let g = self.bus.acquire(now, BusOp::BlockReadExclusive);
-                let done = g.end + self.miss_latency(miss_source);
+                let fill_latency = self.miss_latency(miss_source);
+                self.cache.charge_miss_stall(fill_latency);
+                let done = g.end + fill_latency;
                 self.fill(block, MoesiState::Modified, done);
                 done
             }
@@ -139,7 +148,9 @@ impl NodeHw {
             | MoesiState::Shared => now,
             MoesiState::Invalid => {
                 let g = self.bus.acquire(now, BusOp::BlockRead);
-                let done = g.end + self.miss_latency(miss_source);
+                let fill_latency = self.miss_latency(miss_source);
+                self.cache.charge_miss_stall(fill_latency);
+                let done = g.end + fill_latency;
                 self.fill(block, read_fill_state(supplier_keeps_copy), done);
                 done
             }
@@ -369,5 +380,30 @@ mod tests {
     #[test]
     fn cycles_at_1ghz() {
         assert_eq!(hw().cycles(12), Dur::ns(12));
+    }
+
+    #[test]
+    fn metrics_enabled_hw_accounts_stalls_without_changing_timing() {
+        use nisim_engine::metrics::{Component, MetricsConfig};
+        let cfg = MachineConfig::default().metrics(MetricsConfig::enabled());
+        let mut on = NodeHw::new(&cfg, NiKind::Cm5);
+        let mut off = hw();
+        let b = blk(&on, 0x10000);
+        for hw in [&mut on, &mut off] {
+            // Cold write miss (120 ns fill), NI read (M→O supply), then
+            // a second-lap write that upgrades (8 ns BusUpgr).
+            let t1 = hw.proc_write_block(Time::ZERO, b, BlockSource::MainMemory);
+            let t2 = hw.ni_read_block(t1, b, BlockSource::MainMemory);
+            let t3 = hw.proc_write_block(t2, b, BlockSource::MainMemory);
+            assert_eq!(t3 - t2, Dur::ns(8));
+        }
+        assert_eq!(on.bus.free_at(), off.bus.free_at(), "timing unchanged");
+        assert!(off.cache.metrics().is_none());
+        let m = on.cache.metrics().unwrap();
+        assert_eq!(m.cycles.get(Component::CacheMissStall), Dur::ns(120));
+        assert_eq!(m.cycles.get(Component::CacheUpgradeStall), Dur::ns(8));
+        let bus = on.bus.metrics().unwrap();
+        assert_eq!(bus.cycles.get(Component::BusUpgrade), Dur::ns(8));
+        assert_eq!(bus.grant_wait.count(), 3);
     }
 }

@@ -16,7 +16,11 @@
 //! * [`stats`] — counters, histograms and online summary statistics used
 //!   for experiment reporting,
 //! * [`json`] — a dependency-free JSON value type with a deterministic
-//!   serializer, used for machine-readable sweep results.
+//!   serializer, used for machine-readable sweep results,
+//! * [`metrics`] — per-component cycle accounting and exactly-mergeable
+//!   log2 latency histograms (observational only; off by default),
+//! * [`trace`] — a Chrome-trace-viewable JSONL span sink for the
+//!   metrics layer.
 //!
 //! # Example
 //!
@@ -37,9 +41,11 @@
 //! ```
 
 pub mod json;
+pub mod metrics;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 pub mod wheel;
 
 mod sim;

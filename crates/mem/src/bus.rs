@@ -22,6 +22,7 @@
 //! layered on top by the caller, which matches a split-transaction bus —
 //! the address/data phases occupy the bus, the DRAM access itself does not.
 
+use nisim_engine::metrics::{Component, ComponentCycles, Log2Hist};
 use nisim_engine::stats::{Counter, Summary};
 use nisim_engine::{Dur, Time};
 
@@ -69,6 +70,19 @@ impl BusOp {
             BusOp::WordRead | BusOp::WordWrite => cfg.word_bytes,
             BusOp::BlockRead | BusOp::BlockReadExclusive | BusOp::BlockWrite => cfg.block_bytes,
             BusOp::Upgrade => 0,
+        }
+    }
+
+    /// The metrics component this transaction class's occupancy is
+    /// charged to.
+    pub fn component(self) -> Component {
+        match self {
+            BusOp::WordRead => Component::BusWordRead,
+            BusOp::WordWrite => Component::BusWordWrite,
+            BusOp::BlockRead => Component::BusBlockRead,
+            BusOp::BlockReadExclusive => Component::BusBlockReadExcl,
+            BusOp::BlockWrite => Component::BusBlockWrite,
+            BusOp::Upgrade => Component::BusUpgrade,
         }
     }
 }
@@ -204,6 +218,19 @@ pub struct Bus {
     cfg: BusConfig,
     free_at: Time,
     stats: BusStats,
+    metrics: Option<Box<BusMetrics>>,
+}
+
+/// Cycle accounting for one bus: arbitration wait and occupancy per
+/// transaction class, plus the grant-wait latency histogram. Collected
+/// only when [`Bus::enable_metrics`] was called; charged through the
+/// typed handles of [`nisim_engine::metrics`].
+#[derive(Clone, Debug, Default)]
+pub struct BusMetrics {
+    /// Arbitration wait plus per-class occupancy cycles.
+    pub cycles: ComponentCycles,
+    /// Grant-wait (request to arbitration win) distribution, ns.
+    pub grant_wait: Log2Hist,
 }
 
 impl Bus {
@@ -213,7 +240,19 @@ impl Bus {
             cfg,
             free_at: Time::ZERO,
             stats: BusStats::default(),
+            metrics: None,
         }
+    }
+
+    /// Turns on per-transaction cycle accounting. Observational only:
+    /// grant timing is unchanged.
+    pub fn enable_metrics(&mut self) {
+        self.metrics = Some(Box::default());
+    }
+
+    /// The accumulated cycle accounting, if enabled.
+    pub fn metrics(&self) -> Option<&BusMetrics> {
+        self.metrics.as_deref()
     }
 
     /// The bus configuration.
@@ -242,9 +281,13 @@ impl Bus {
         self.stats.counts[BusStats::index_of(op)].inc();
         self.stats.busy += occupancy;
         self.stats.data_bytes.add(op.data_bytes(&self.cfg));
-        self.stats
-            .queueing
-            .record(start.saturating_since(now).as_ns() as f64);
+        let wait = start.saturating_since(now);
+        self.stats.queueing.record(wait.as_ns() as f64);
+        if let Some(m) = &mut self.metrics {
+            m.cycles.charge(Component::BusArbitration, wait);
+            m.cycles.charge(op.component(), occupancy);
+            m.grant_wait.record(wait.as_ns());
+        }
         BusGrant { start, end }
     }
 
@@ -338,6 +381,26 @@ mod tests {
         assert_eq!(s.block_transactions(), 1);
         assert_eq!(s.busy, Dur::ns(12 + 16 + 8));
         assert_eq!(s.data_bytes.get(), 8 + 64);
+    }
+
+    #[test]
+    fn metrics_account_arbitration_and_occupancy() {
+        let mut bus = Bus::new(BusConfig::default());
+        assert!(bus.metrics().is_none());
+        bus.enable_metrics();
+        bus.acquire(Time::ZERO, BusOp::BlockRead); // wait 0, occupancy 16
+        bus.acquire(Time::ZERO, BusOp::Upgrade); // wait 16, occupancy 8
+        let m = bus.metrics().unwrap();
+        assert_eq!(m.cycles.get(Component::BusArbitration), Dur::ns(16));
+        assert_eq!(m.cycles.get(Component::BusBlockRead), Dur::ns(16));
+        assert_eq!(m.cycles.get(Component::BusUpgrade), Dur::ns(8));
+        assert_eq!(m.cycles.total(), Dur::ns(40));
+        assert_eq!(m.grant_wait.count(), 2);
+        // The breakdown agrees with the untyped stats the bus always keeps.
+        assert_eq!(
+            m.cycles.total() - m.cycles.get(Component::BusArbitration),
+            bus.stats().busy
+        );
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //! data values, the timing model only needs to know where the freshest copy
 //! of each block lives.
 
+use nisim_engine::metrics::{Component, ComponentCycles};
+use nisim_engine::Dur;
+
 use crate::addr::{Addr, BlockAddr, BlockGeometry};
 use crate::moesi::MoesiState;
 
@@ -118,6 +121,18 @@ pub struct Cache {
     /// only; the static-vs-dynamic agreement test compares it against
     /// the model checker's reachable-state set.
     visited: u8,
+    metrics: Option<Box<CacheMetrics>>,
+}
+
+/// Cycle accounting for one cache: processor stall time attributed to
+/// miss fills and ownership upgrades. The cache itself only tracks tags,
+/// so the *durations* are charged by the caller that computed them (the
+/// node's coherent access primitives) through these typed handles;
+/// collected only when [`Cache::enable_metrics`] was called.
+#[derive(Clone, Debug, Default)]
+pub struct CacheMetrics {
+    /// Miss-fill and upgrade stall cycles.
+    pub cycles: ComponentCycles,
 }
 
 impl Cache {
@@ -148,6 +163,7 @@ impl Cache {
             clock: 0,
             stats: CacheStats::default(),
             visited: 0,
+            metrics: None,
         };
         // Every line starts Invalid, so Invalid is visited by construction.
         cache.note_visit(MoesiState::Invalid);
@@ -181,6 +197,34 @@ impl Cache {
     /// Hit/miss statistics so far.
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// Turns on stall-cycle accounting. Observational only.
+    pub fn enable_metrics(&mut self) {
+        self.metrics = Some(Box::default());
+    }
+
+    /// The accumulated stall accounting, if enabled.
+    pub fn metrics(&self) -> Option<&CacheMetrics> {
+        self.metrics.as_deref()
+    }
+
+    /// Charges a miss-fill stall of `dur` (the responder time the caller
+    /// computed for the fill). No-op unless metrics are enabled.
+    #[inline]
+    pub fn charge_miss_stall(&mut self, dur: Dur) {
+        if let Some(m) = &mut self.metrics {
+            m.cycles.charge(Component::CacheMissStall, dur);
+        }
+    }
+
+    /// Charges an ownership-upgrade stall of `dur`. No-op unless metrics
+    /// are enabled.
+    #[inline]
+    pub fn charge_upgrade_stall(&mut self, dur: Dur) {
+        if let Some(m) = &mut self.metrics {
+            m.cycles.charge(Component::CacheUpgradeStall, dur);
+        }
     }
 
     fn set_index(&self, block: BlockAddr) -> usize {
@@ -342,6 +386,20 @@ mod tests {
 
     fn block(c: &Cache, addr: u64) -> BlockAddr {
         c.geometry().block_of(Addr::new(addr))
+    }
+
+    #[test]
+    fn stall_charges_require_enablement() {
+        let mut c = small();
+        c.charge_miss_stall(Dur::ns(120)); // silently dropped while off
+        assert!(c.metrics().is_none());
+        c.enable_metrics();
+        c.charge_miss_stall(Dur::ns(120));
+        c.charge_upgrade_stall(Dur::ns(8));
+        let m = c.metrics().unwrap();
+        assert_eq!(m.cycles.get(Component::CacheMissStall), Dur::ns(120));
+        assert_eq!(m.cycles.get(Component::CacheUpgradeStall), Dur::ns(8));
+        assert_eq!(m.cycles.total(), Dur::ns(128));
     }
 
     #[test]

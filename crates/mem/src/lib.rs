@@ -42,8 +42,8 @@ pub mod memory;
 pub mod moesi;
 
 pub use addr::{Addr, BlockAddr, BlockGeometry};
-pub use bus::{Bus, BusConfig, BusGrant, BusOp, BusStats};
-pub use cache::{Cache, CacheConfig, CacheStats, Eviction};
+pub use bus::{Bus, BusConfig, BusGrant, BusMetrics, BusOp, BusStats};
+pub use cache::{Cache, CacheConfig, CacheMetrics, CacheStats, Eviction};
 pub use memory::{MemoryDevice, MemoryKind};
 pub use moesi::{
     read_fill_state, snoop_transition, write_hit_transition, MoesiState, SnoopAction, SnoopKind,

@@ -40,5 +40,7 @@ pub use fault::{Delivery, DownWindow, FaultConfig, FaultPlan, FaultStats};
 pub use flow::{BufferCount, FlowControlEndpoint, FlowStats};
 pub use link::Link;
 pub use msg::{fragment_payload, Fragment, MsgId, NetConfig, NodeId};
-pub use reliability::{ReceiverDedup, RelStats, ReliabilityConfig, SenderReliability, SeqNo};
+pub use reliability::{
+    ReceiverDedup, RelMetrics, RelStats, ReliabilityConfig, SenderReliability, SeqNo,
+};
 pub use topology::{Fabric, Topology};

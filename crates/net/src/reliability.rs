@@ -23,6 +23,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
+use nisim_engine::metrics::{Component, ComponentCycles};
 use nisim_engine::Dur;
 
 use crate::msg::NodeId;
@@ -195,6 +196,26 @@ impl RelStats {
         self.dup_discards += other.dup_discards;
         self.corrupt_discards += other.corrupt_discards;
         self.gave_up += other.gave_up;
+    }
+}
+
+/// Cycle accounting for the reliability layer: wire time consumed by
+/// ack-timeout retransmissions (charged to
+/// [`Component::Retransmit`] so the occupancy breakdown separates
+/// recovery traffic from first-attempt serialization). Collected only
+/// when the machine's metrics are enabled; mutation goes through the
+/// typed [`charge_retransmit`](RelMetrics::charge_retransmit) handle.
+#[derive(Clone, Debug, Default)]
+pub struct RelMetrics {
+    /// Retransmission wire cycles.
+    pub cycles: ComponentCycles,
+}
+
+impl RelMetrics {
+    /// Charges the serialization span of one retransmitted fragment.
+    #[inline]
+    pub fn charge_retransmit(&mut self, dur: Dur) {
+        self.cycles.charge(Component::Retransmit, dur);
     }
 }
 

@@ -13,9 +13,9 @@
 
 use nisim_bench::record::{lookup, parse_document, RunRecord};
 use nisim_bench::{
-    default_jobs, fault_study_from_records, fig1_differential_from_records, fig1_from_records,
-    fig3a_sweep, fig3b_from_records, fig4_from_records, golden_document, golden_path,
-    table5_from_records,
+    breakdown_document, breakdown_from_records, breakdown_golden_path, default_jobs,
+    fault_study_from_records, fig1_differential_from_records, fig1_from_records, fig3a_sweep,
+    fig3b_from_records, fig4_from_records, golden_document, golden_path, table5_from_records,
 };
 use nisim_core::{NiKind, TimeCategory};
 use nisim_workloads::apps::MacroApp;
@@ -379,6 +379,78 @@ fn golden_fault_recovery_shapes() {
         (0.9..=1.5).contains(&lossy.normalized),
         "5% loss moved elapsed time out of bounds: {}",
         lossy.normalized
+    );
+}
+
+/// Cycle-occupancy breakdown claims, from the committed
+/// `golden_breakdown.json`: the CM-5-style designs pay the most
+/// processor overhead per accounted cycle, and the coherent CNI designs
+/// shift that time off the processor and into NI buffer residency.
+#[test]
+fn golden_breakdown_occupancy_shapes() {
+    let text = std::fs::read_to_string(breakdown_golden_path()).unwrap_or_else(|e| {
+        panic!(
+            "cannot read the committed breakdown golden ({e}); regenerate it with\n\
+             `cargo run --release -p nisim-bench --bin breakdown -- --update-goldens`"
+        )
+    });
+    let doc = parse_document(&text).expect("breakdown golden parses");
+    let rows = breakdown_from_records(section(&doc, "breakdown"));
+    assert_eq!(rows.len(), NiKind::TABLE2.len());
+    let by = |k: NiKind| rows.iter().find(|r| r.ni == k).expect("row");
+    for r in &rows {
+        assert!(r.total_ns > 0, "{:?} accounted nothing", r.ni);
+        let sum = r.proc_share + r.bus_share + r.stall_share + r.ni_share + r.wire_share;
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "{:?}: shares sum to {sum} (a component escaped the grouping)",
+            r.ni
+        );
+    }
+    // CM-5: every word crosses the processor, so it pays the largest
+    // processor-overhead share (UDMA ties it below the DMA threshold).
+    let cm5 = by(NiKind::Cm5);
+    for r in &rows {
+        assert!(
+            cm5.proc_share >= r.proc_share * 0.999,
+            "{:?} out-paid CM-5 on processor overhead ({} vs {})",
+            r.ni,
+            r.proc_share,
+            cm5.proc_share
+        );
+    }
+    // The coherent CNI designs move data with block transfers instead of
+    // programmed I/O: processor share collapses (well under half of
+    // CM-5's) while the cycles shift into NI buffer residency.
+    for k in [NiKind::Cni512Q, NiKind::Cni32Qm] {
+        let cni = by(k);
+        assert!(
+            cni.proc_share < 0.5 * cm5.proc_share,
+            "{k:?} proc share {} vs cm5 {}",
+            cni.proc_share,
+            cm5.proc_share
+        );
+        assert!(
+            cni.ni_share > cm5.ni_share,
+            "{k:?} ni share {} vs cm5 {}",
+            cni.ni_share,
+            cm5.ni_share
+        );
+    }
+}
+
+/// The breakdown golden's own drift tripwire: a fresh metrics-on rerun
+/// must reproduce the committed file byte for byte.
+#[test]
+fn breakdown_golden_matches_a_fresh_rerun_byte_for_byte() {
+    let committed_text =
+        std::fs::read_to_string(breakdown_golden_path()).expect("committed breakdown golden");
+    let fresh = breakdown_document(default_jobs()).to_pretty();
+    assert!(
+        committed_text == fresh,
+        "the breakdown golden drifted from the simulator's current behaviour;\n\
+         if the change is intended, regenerate with\n\
+         `cargo run --release -p nisim-bench --bin breakdown -- --update-goldens`"
     );
 }
 

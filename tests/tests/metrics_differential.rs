@@ -1,0 +1,101 @@
+//! Differential tests for the observability layer: cycle accounting is
+//! pure observation, so a metrics-on run must agree with the committed
+//! metrics-off golden on every simulation-visible field — same elapsed
+//! time, same counters, same fingerprint — and differ only by the
+//! presence of the `breakdown` payload. A metrics-off run must stay
+//! byte-identical to the seed schema (no `breakdown` key at all).
+
+use nisim_bench::record::{self, RunRecord};
+use nisim_bench::{fig3a_sweep, golden_path, Patch};
+use nisim_workloads::apps::MacroApp;
+
+/// The committed fig3a golden records (metrics off by construction).
+fn golden_fig3a() -> Vec<RunRecord> {
+    let text = std::fs::read_to_string(golden_path()).expect("committed golden grid");
+    let sections = record::parse_document(&text).expect("golden grid parses");
+    sections
+        .into_iter()
+        .find(|(name, _)| name == "fig3a")
+        .expect("golden grid has a fig3a section")
+        .1
+}
+
+fn golden_twin<'a>(golden: &'a [RunRecord], r: &RunRecord) -> &'a RunRecord {
+    record::lookup(golden, &r.work, &r.ni, &r.buffers, &r.patch)
+        .unwrap_or_else(|| panic!("no golden twin for {}/{}/{}", r.work, r.ni, r.buffers))
+}
+
+/// Metrics ON: every simulation-visible field matches the committed
+/// metrics-off golden exactly (including the config fingerprint, which
+/// deliberately excludes the metrics switch), and every record carries
+/// a breakdown whose components sum to its total.
+#[test]
+fn metrics_on_records_match_the_committed_golden_field_for_field() {
+    let golden = golden_fig3a();
+    let on = fig3a_sweep(&[MacroApp::Em3d])
+        .patches(vec![Patch {
+            metrics: true,
+            ..Patch::default()
+        }])
+        .run(2);
+    assert!(!on.is_empty());
+    for r in &on {
+        let b = r
+            .breakdown
+            .as_ref()
+            .expect("metrics-on record has a breakdown");
+        let sum: u64 = b.cycles.iter().map(|(_, ns)| ns).sum();
+        assert_eq!(
+            sum,
+            b.cycles.total().as_ns(),
+            "{}/{}: sum to total",
+            r.ni,
+            r.buffers
+        );
+        assert!(
+            !b.cycles.is_empty(),
+            "{}/{}: accounted nothing",
+            r.ni,
+            r.buffers
+        );
+
+        let mut stripped = r.clone();
+        stripped.breakdown = None;
+        assert_eq!(
+            &stripped,
+            golden_twin(&golden, r),
+            "{}/{}: metrics changed a simulation-visible field",
+            r.ni,
+            r.buffers
+        );
+    }
+}
+
+/// Metrics OFF: records re-run today are byte-identical to the seed
+/// schema — equal to the golden and serialized without any
+/// `breakdown` key.
+#[test]
+fn metrics_off_records_stay_byte_identical_to_the_golden() {
+    let golden = golden_fig3a();
+    let off = fig3a_sweep(&[MacroApp::Em3d]).run(2);
+    assert!(!off.is_empty());
+    for r in &off {
+        assert_eq!(r.breakdown, None);
+        let twin = golden_twin(&golden, r);
+        assert_eq!(r, twin, "{}/{}: drifted from golden", r.ni, r.buffers);
+        let text = r.to_json().to_pretty();
+        assert!(
+            !text.contains("breakdown"),
+            "{}/{}: metrics-off record must not mention breakdown",
+            r.ni,
+            r.buffers
+        );
+        assert_eq!(
+            text,
+            twin.to_json().to_pretty(),
+            "{}/{}: serialization drifted",
+            r.ni,
+            r.buffers
+        );
+    }
+}

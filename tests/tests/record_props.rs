@@ -13,6 +13,7 @@ use nisim_bench::record::{
 use nisim_bench::{Patch, Sweep};
 use nisim_core::{NiKind, TimeCategory};
 use nisim_engine::json::parse;
+use nisim_engine::metrics::{Component, MetricsBreakdown};
 use nisim_engine::Dur;
 use nisim_net::BufferCount;
 use nisim_workloads::apps::{AppParams, MacroApp};
@@ -39,6 +40,23 @@ impl Lcg {
         let sign = if self.below(2) == 0 { 1.0 } else { -1.0 };
         sign * numer / denom
     }
+}
+
+/// A synthetic observability payload, built through the safe
+/// charge/record API so the sum-to-total invariant holds by
+/// construction (as it must for `from_json` to accept it back).
+fn arbitrary_breakdown(rng: &mut Lcg) -> MetricsBreakdown {
+    let mut b = MetricsBreakdown::default();
+    for _ in 0..rng.below(40) {
+        let c = Component::ALL[rng.below(Component::ALL.len() as u64) as usize];
+        b.cycles.charge(c, Dur::ns(rng.next() >> 24));
+    }
+    for _ in 0..rng.below(20) {
+        b.msg_rtt.record(rng.next() >> rng.below(60));
+        b.frag_queue.record(rng.below(1 << 20));
+        b.bus_grant_wait.record(rng.below(4096));
+    }
+    b
 }
 
 fn arbitrary_record(rng: &mut Lcg) -> RunRecord {
@@ -106,6 +124,11 @@ fn arbitrary_record(rng: &mut Lcg) -> RunRecord {
         },
         metrics,
         stall,
+        breakdown: if rng.below(3) == 0 {
+            Some(arbitrary_breakdown(rng))
+        } else {
+            None
+        },
     }
 }
 

@@ -1,0 +1,113 @@
+//! Schema validation for the Chrome-trace JSONL export: every line of a
+//! traced run must parse through the engine's own JSON layer as one
+//! async-span event with the fields Chrome's trace viewer (and any
+//! JSONL consumer) relies on — non-negative monotonic timestamps,
+//! matched "b"/"e" pairs per (name, id), and track names drawn from the
+//! observability layer's component vocabulary.
+
+use std::collections::BTreeMap;
+
+use nisim_core::{MachineConfig, NiKind};
+use nisim_engine::json::{self, Json};
+use nisim_engine::metrics::{Component, MetricsConfig};
+use nisim_workloads::apps::{run_app, MacroApp};
+
+#[test]
+fn traced_run_exports_well_formed_chrome_jsonl() {
+    let app = MacroApp::Em3d;
+    let cfg = MachineConfig::with_ni(NiKind::Cm5).metrics(MetricsConfig::traced());
+    let report = run_app(app, &cfg, &app.default_params());
+    let sink = report.trace.as_ref().expect("traced run returns a sink");
+    assert!(!sink.is_empty(), "traced run recorded no spans");
+
+    let text = sink.to_chrome_jsonl();
+    let mut last_ts = 0u64;
+    let mut open: BTreeMap<(String, u64), u64> = BTreeMap::new();
+    let mut lines = 0u64;
+    for (n, line) in text.lines().enumerate() {
+        let ev = json::parse(line).unwrap_or_else(|e| panic!("line {n}: {e}: {line}"));
+        lines += 1;
+
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("line {n}: no name"));
+        assert!(
+            Component::from_key(name).is_some(),
+            "line {n}: track {name:?} is not a Component key"
+        );
+        assert_eq!(
+            ev.get("cat").and_then(Json::as_str),
+            Some("nisim"),
+            "line {n}"
+        );
+
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("line {n}: no ph"));
+        let ts = ev
+            .get("ts")
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("line {n}: ts must be a non-negative integer"));
+        assert!(
+            ts >= last_ts,
+            "line {n}: ts went backwards ({last_ts} -> {ts})"
+        );
+        last_ts = ts;
+
+        let id = ev
+            .get("id")
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("line {n}: no id"));
+        assert!(
+            ev.get("pid").and_then(Json::as_u64).is_some(),
+            "line {n}: no pid"
+        );
+        let tid = ev
+            .get("tid")
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("line {n}: no tid"));
+        assert!(
+            (tid as usize) < Component::ALL.len(),
+            "line {n}: tid {tid} is not a component track"
+        );
+
+        let key = (name.to_string(), id);
+        match ph {
+            "b" => {
+                assert!(
+                    open.insert(key, ts).is_none(),
+                    "line {n}: duplicate begin for ({name}, {id})"
+                );
+            }
+            "e" => {
+                let begin = open
+                    .remove(&key)
+                    .unwrap_or_else(|| panic!("line {n}: end without begin for ({name}, {id})"));
+                assert!(
+                    begin <= ts,
+                    "line {n}: span ({name}, {id}) ends before it begins"
+                );
+            }
+            other => panic!("line {n}: unexpected ph {other:?}"),
+        }
+    }
+    assert!(open.is_empty(), "unmatched begin events: {open:?}");
+    assert_eq!(
+        lines,
+        2 * sink.len() as u64,
+        "every span exports exactly one begin and one end"
+    );
+}
+
+/// The export is deterministic: the same config renders the same bytes.
+#[test]
+fn trace_export_is_deterministic() {
+    let app = MacroApp::Em3d;
+    let cfg = MachineConfig::with_ni(NiKind::Ap3000).metrics(MetricsConfig::traced());
+    let a = run_app(app, &cfg, &app.default_params());
+    let b = run_app(app, &cfg, &app.default_params());
+    let (ta, tb) = (a.trace.expect("trace"), b.trace.expect("trace"));
+    assert_eq!(ta.to_chrome_jsonl(), tb.to_chrome_jsonl());
+}
