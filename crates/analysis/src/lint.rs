@@ -1,7 +1,7 @@
 //! Determinism and robustness lint for the simulator sources.
 //!
 //! A hand-rolled Rust tokenizer (comments, strings, char-vs-lifetime
-//! disambiguation) feeding five token-level rules:
+//! disambiguation) feeding six token-level rules:
 //!
 //! * `hash-collections` — `HashMap`/`HashSet` are banned in the crates
 //!   whose state feeds sweep records and golden files
@@ -28,6 +28,13 @@
 //!   sum-to-total invariant the observability layer's safe API
 //!   (`charge`/`record`) maintains, and exist only for the metrics
 //!   module's own merge/deserialize paths.
+//! * `fs-write` — filesystem mutation (`fs::write`, `File::create`,
+//!   `OpenOptions`, directory surgery) is banned in the simulation
+//!   crates (`engine`/`mem`/`net`/`core`/`workloads`) outside the two
+//!   sanctioned serialisation exits, the snapshot and trace modules: a
+//!   hidden write is a side channel no golden or record tracks, and a
+//!   re-run that silently appends to one is no longer reproducible.
+//!   (`bench` and `cli` write goldens, records and traces by design.)
 //!
 //! `#[cfg(test)]` items are skipped everywhere: tests may unwrap.
 
@@ -344,6 +351,32 @@ const HOT_PATHS: [&str; 6] = [
 /// Enums whose dispatch matches must stay exhaustive.
 const DISPATCH_ENUMS: [&str; 4] = ["MachineEvent", "BusOp", "MoesiState", "SnoopKind"];
 
+/// Crates whose code must not mutate the filesystem: any state a sim
+/// crate persists must flow through a sanctioned serialisation exit.
+const FS_SCOPE: [&str; 5] = [
+    "crates/engine/src/",
+    "crates/mem/src/",
+    "crates/net/src/",
+    "crates/core/src/",
+    "crates/workloads/src/",
+];
+
+/// The sanctioned serialisation exits: checkpoint files and trace logs.
+const FS_WRITERS: [&str; 2] = ["crates/core/src/snapshot.rs", "crates/engine/src/trace.rs"];
+
+/// `std::fs` functions that mutate the filesystem (reads stay legal).
+const FS_MUTATORS: [&str; 9] = [
+    "write",
+    "create_dir",
+    "create_dir_all",
+    "remove_file",
+    "remove_dir",
+    "remove_dir_all",
+    "rename",
+    "copy",
+    "set_permissions",
+];
+
 fn in_scope(file: &str, scope: &[&str]) -> bool {
     scope.iter().any(|p| file.starts_with(p))
 }
@@ -439,6 +472,39 @@ pub fn lint_source(file: &str, src: &str) -> Vec<Finding> {
                         ),
                     });
                 }
+            }
+        }
+    }
+
+    if in_scope(file, &FS_SCOPE) && !FS_WRITERS.contains(&file) {
+        for (i, t) in toks.iter().enumerate() {
+            let hit = match ident(i) {
+                Some("fs") if punct_at(i + 1, ':') && punct_at(i + 2, ':') => match ident(i + 3) {
+                    Some(name) if FS_MUTATORS.contains(&name) => {
+                        Some(format!("fs::{name} mutates the filesystem"))
+                    }
+                    _ => None,
+                },
+                Some("File")
+                    if punct_at(i + 1, ':')
+                        && punct_at(i + 2, ':')
+                        && matches!(ident(i + 3), Some("create") | Some("options")) =>
+                {
+                    Some("File::create opens a file for writing".to_string())
+                }
+                Some("OpenOptions") => Some("OpenOptions can open files for writing".to_string()),
+                _ => None,
+            };
+            if let Some(message) = hit {
+                findings.push(Finding {
+                    file: file.into(),
+                    line: t.line,
+                    rule: "fs-write",
+                    message: format!(
+                        "{message}; sim crates persist state through the snapshot/trace \
+                         modules only"
+                    ),
+                });
             }
         }
     }
@@ -702,6 +768,58 @@ mod tests {
         )
         .is_empty());
         assert!(lint_source("crates/core/src/machine.rs", "fn raw_add() {}").is_empty());
+    }
+
+    #[test]
+    fn fs_write_rule_fires_outside_the_sanctioned_modules() {
+        let src = "fn f() { std::fs::write(\"x\", b\"y\").ok(); }";
+        for file in [
+            "crates/net/src/x.rs",
+            "crates/core/src/machine.rs",
+            "crates/engine/src/sim.rs",
+            "crates/workloads/src/skeleton.rs",
+        ] {
+            assert!(
+                lint_source(file, src).iter().any(|f| f.rule == "fs-write"),
+                "{file}"
+            );
+        }
+        // The two sanctioned serialisation exits are exempt.
+        assert!(lint_source("crates/core/src/snapshot.rs", src).is_empty());
+        assert!(lint_source("crates/engine/src/trace.rs", src).is_empty());
+        // bench and cli write goldens, records and traces by design.
+        assert!(lint_source("crates/bench/src/bin/goldens.rs", src).is_empty());
+        assert!(lint_source("crates/cli/src/lib.rs", src).is_empty());
+        // Reads stay legal everywhere.
+        assert!(lint_source(
+            "crates/core/src/x.rs",
+            "fn f() { let _ = std::fs::read_to_string(\"x\"); }"
+        )
+        .is_empty());
+        // File::create and OpenOptions are writes too.
+        assert!(lint_source(
+            "crates/net/src/x.rs",
+            "fn f() { let _ = std::fs::File::create(\"x\"); }"
+        )
+        .iter()
+        .any(|f| f.rule == "fs-write"));
+        assert!(
+            lint_source("crates/mem/src/x.rs", "use std::fs::OpenOptions;")
+                .iter()
+                .any(|f| f.rule == "fs-write")
+        );
+        // `write` without the fs:: path (fmt::Write, io buffers) is fine.
+        assert!(lint_source(
+            "crates/net/src/x.rs",
+            "fn f(w: &mut String) { w.write_str(\"x\").ok(); }"
+        )
+        .is_empty());
+        // Tests may write scratch files.
+        assert!(lint_source(
+            "crates/net/src/x.rs",
+            "#[cfg(test)]\nmod tests { fn t() { std::fs::write(\"x\", b\"y\").ok(); } }"
+        )
+        .is_empty());
     }
 
     #[test]

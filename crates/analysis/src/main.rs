@@ -121,6 +121,18 @@ fn run_selftest() -> bool {
         println!("selftest: FAIL — seeded metrics-raw violation went undetected");
         ok = false;
     }
+    // And a sim-crate filesystem write smuggled outside the sanctioned
+    // snapshot/trace serialisation modules.
+    let seeded = lint::lint_source(
+        "crates/net/src/reliability.rs",
+        "fn sneak() { let _ = std::fs::write(\"/tmp/x\", b\"state\"); }",
+    );
+    if seeded.iter().any(|f| f.rule == "fs-write") {
+        println!("selftest: seeded sim-crate filesystem write caught by fs-write lint");
+    } else {
+        println!("selftest: FAIL — seeded fs-write violation went undetected");
+        ok = false;
+    }
     ok
 }
 

@@ -21,6 +21,7 @@
 //! cargo run --release -p nisim-bench --bin ablations
 //! ```
 
+pub mod chaos;
 pub mod experiments;
 pub mod fmt;
 pub mod harness;

@@ -4,11 +4,12 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use nisim_core::{MachineConfig, NiKind, TimeCategory};
+use nisim_core::snapshot::{load_from_file, restore, save_to_file};
+use nisim_core::{Machine, MachineConfig, MachineReport, MachineSim, NiKind, TimeCategory};
 use nisim_engine::metrics::MetricsConfig;
-use nisim_engine::{Dur, Time};
-use nisim_net::{BufferCount, DownWindow, NodeId, Topology};
-use nisim_workloads::apps::{run_app, MacroApp};
+use nisim_engine::{Dur, SimStatus, Time};
+use nisim_net::{BufferCount, CrashWindow, DownWindow, NodeId, Topology};
+use nisim_workloads::apps::{factory, run_app, MacroApp};
 use nisim_workloads::micro::bandwidth::measure_bandwidth;
 use nisim_workloads::micro::pingpong::measure_round_trip;
 
@@ -51,6 +52,14 @@ usage:
               [--topology ideal|ring|mesh] [--seed <n>] [--json <path>]
   nisim sweep --app <app> [--buffers <n|inf>] [--jobs <n>] [--json <path>]
 
+checkpoint/restore (run only):
+  --checkpoint <path>        write a snapshot of the live machine here,
+                             refreshed every --checkpoint-every events
+  --checkpoint-every <n>     checkpoint cadence, in fired events
+  --resume <path>            restore from a snapshot instead of starting
+                             fresh (the config flags must match the
+                             checkpointed run exactly)
+
 observability (any command that builds a machine):
   --metrics <on|off>   per-component cycle accounting (default: off;
                        pure observation — timing is unchanged)
@@ -63,6 +72,9 @@ fault injection (any command that builds a machine):
   --fault-corrupt <p>  corruption probability, 0..=1
   --fault-jitter <ns>  max extra delivery latency, ns
   --fault-down <a-b[@node][,..]>  outage window(s), ns since start
+  --crash <a-b@node[,..]>  node-crash window(s), ns since start: the
+                       node's in-flight NI state is wiped at a and it
+                       warm-restarts at b
   --fault-seed <n>     fault-stream seed
   --reliable <on|off>  retransmission layer (default: on iff faults on)
   --rel-timeout <ns>   initial ack timeout before retransmit
@@ -187,6 +199,31 @@ pub fn parse_down(value: &str) -> Result<Vec<DownWindow>, CliError> {
         .collect()
 }
 
+/// Parses node-crash windows: comma-separated `start-end@node` triples
+/// in nanoseconds (e.g. `0-4000@1`). Unlike an outage window the node is
+/// mandatory — a crash wipes one node's volatile NI state.
+pub fn parse_crash(value: &str) -> Result<Vec<CrashWindow>, CliError> {
+    let bad = || err(format!("bad --crash {value:?} (want a-b@node[,..])"));
+    value
+        .split(',')
+        .map(|w| {
+            let (range, node) = w.split_once('@').ok_or_else(bad)?;
+            let node = NodeId(node.parse().map_err(|_| bad())?);
+            let (a, b) = range.split_once('-').ok_or_else(bad)?;
+            let start: u64 = a.parse().map_err(|_| bad())?;
+            let end: u64 = b.parse().map_err(|_| bad())?;
+            if start >= end {
+                return Err(bad());
+            }
+            Ok(CrashWindow {
+                start: Time::from_ns(start),
+                end: Time::from_ns(end),
+                node,
+            })
+        })
+        .collect()
+}
+
 fn fault_config_from(
     flags: &HashMap<String, String>,
     cfg: &mut MachineConfig,
@@ -208,6 +245,16 @@ fn fault_config_from(
     }
     if let Some(v) = flags.get("fault-down") {
         cfg.fault.down = parse_down(v)?;
+    }
+    if let Some(v) = flags.get("crash") {
+        let windows = parse_crash(v)?;
+        if let Some(w) = windows.iter().find(|w| w.node.0 >= cfg.nodes) {
+            return Err(err(format!(
+                "--crash node {} is out of range (machine has {} nodes)",
+                w.node.0, cfg.nodes
+            )));
+        }
+        cfg.fault.crash = windows;
     }
     if let Some(v) = flags.get("fault-seed") {
         cfg.fault.seed = v
@@ -289,6 +336,77 @@ fn required<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a St
         .ok_or_else(|| err(format!("--{name} is required")))
 }
 
+/// The safety bounds [`Machine::run`] applies, mirrored here so sliced
+/// (checkpointing) runs report the same outcome as uninterrupted ones.
+const RUN_HORIZON_NS: u64 = 10_000_000_000;
+const RUN_MAX_EVENTS: u64 = 500_000_000;
+
+/// Extracts the periodic-checkpoint request, insisting the two flags
+/// arrive together (a path with no cadence — or vice versa — is a typo).
+fn checkpoint_plan(flags: &HashMap<String, String>) -> Result<Option<(String, u64)>, CliError> {
+    match (flags.get("checkpoint"), flags.get("checkpoint-every")) {
+        (None, None) => Ok(None),
+        (Some(_), None) => Err(err("--checkpoint needs --checkpoint-every <events>")),
+        (None, Some(_)) => Err(err("--checkpoint-every needs --checkpoint <path>")),
+        (Some(path), Some(v)) => {
+            let every = v.parse::<u64>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                err(format!(
+                    "bad --checkpoint-every {v:?} (want a positive event count)"
+                ))
+            })?;
+            Ok(Some((path.clone(), every)))
+        }
+    }
+}
+
+/// Runs `app` driving the machine/scheduler pair explicitly: optionally
+/// restored from a snapshot, optionally writing a refreshed checkpoint
+/// every `every` fired events. Returns the report plus the number of
+/// checkpoints written.
+///
+/// Healthy runs report exactly what [`run_app`] would: slicing only
+/// pauses the event loop, and the watchdog never fires on a run that is
+/// making progress.
+fn run_app_driven(
+    app: MacroApp,
+    cfg: &MachineConfig,
+    resume: Option<&str>,
+    ckpt: Option<&(String, u64)>,
+) -> Result<(MachineReport, u64), CliError> {
+    let params = app.default_params();
+    let mk = || factory(app, cfg.nodes, cfg.seed, params);
+    let (mut machine, mut sim) = match resume {
+        Some(path) => {
+            let snap = load_from_file(std::path::Path::new(path))
+                .map_err(|e| err(format!("--resume {path}: {e}")))?;
+            restore(cfg.clone(), mk(), &snap).map_err(|e| err(format!("--resume {path}: {e}")))?
+        }
+        None => {
+            let mut m = Machine::new(cfg.clone(), mk());
+            let mut sim = MachineSim::new();
+            m.start(&mut sim);
+            (m, sim)
+        }
+    };
+    let horizon = Time::from_ns(RUN_HORIZON_NS);
+    let mut written = 0u64;
+    let status = loop {
+        let slice = match ckpt {
+            Some(&(_, every)) => every,
+            None => RUN_MAX_EVENTS,
+        };
+        let status = machine.run_slice(&mut sim, horizon, slice);
+        if status != SimStatus::EventBudgetExhausted || sim.events_fired() >= RUN_MAX_EVENTS {
+            break status;
+        }
+        let Some((path, _)) = ckpt else { break status };
+        save_to_file(&machine, &mut sim, std::path::Path::new(path))
+            .map_err(|e| err(format!("--checkpoint {path}: {e}")))?;
+        written += 1;
+    };
+    Ok((machine.report(&sim, status), written))
+}
+
 fn payload_from(flags: &HashMap<String, String>) -> Result<u64, CliError> {
     match flags.get("payload") {
         None => Ok(64),
@@ -345,7 +463,15 @@ pub fn main_with_args(args: &[String]) -> Result<String, CliError> {
             let ni = parse_ni(required(&flags, "ni")?)?;
             let app = parse_app(required(&flags, "app")?)?;
             let cfg = config_from(&flags, ni)?;
-            let r = run_app(app, &cfg, &app.default_params());
+            let ckpt = checkpoint_plan(&flags)?;
+            let resume = flags.get("resume");
+            let (r, checkpoints) = if ckpt.is_some() || resume.is_some() {
+                let (r, written) =
+                    run_app_driven(app, &cfg, resume.map(String::as_str), ckpt.as_ref())?;
+                (r, Some(written))
+            } else {
+                (run_app(app, &cfg, &app.default_params()), None)
+            };
             let mut out = format!(
                 "{app} on {} ({} nodes, buffers {}):\n\
                  \x20 elapsed        {} us\n\
@@ -387,6 +513,14 @@ pub fn main_with_args(args: &[String]) -> Result<String, CliError> {
             }
             if let Some(stall) = &r.stall {
                 out.push_str(&format!("{stall}"));
+            }
+            if let Some(path) = resume {
+                out.push_str(&format!("  resumed from {path}\n"));
+            }
+            if let (Some((path, every)), Some(written)) = (&ckpt, checkpoints) {
+                out.push_str(&format!(
+                    "  wrote {written} checkpoints to {path} (every {every} events)\n"
+                ));
             }
             if let Some(b) = &r.breakdown {
                 out.push_str(&format!(
@@ -717,6 +851,129 @@ mod tests {
         let first = text.lines().next().expect("trace must be non-empty");
         let ev = nisim_engine::json::parse(first).unwrap();
         assert!(ev.get("ph").is_some() && ev.get("ts").is_some(), "{first}");
+    }
+
+    #[test]
+    fn crash_flag_configures_node_crash_windows() {
+        let flags = |pairs: &[(&str, &str)]| {
+            pairs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect::<HashMap<_, _>>()
+        };
+        let cfg = config_from(
+            &flags(&[("nodes", "4"), ("crash", "0-4000@1")]),
+            NiKind::Cm5,
+        )
+        .unwrap();
+        assert_eq!(cfg.fault.crash.len(), 1);
+        assert_eq!(cfg.fault.crash[0].node, NodeId(1));
+        assert_eq!(cfg.fault.crash[0].start, Time::ZERO);
+        assert_eq!(cfg.fault.crash[0].end, Time::from_ns(4000));
+        assert!(cfg.reliability.enabled, "a crash implies reliability");
+
+        assert!(parse_crash("4000-0@1").is_err(), "inverted window");
+        assert!(parse_crash("0-4000").is_err(), "node is mandatory");
+        assert!(parse_crash("nonsense").is_err());
+        let out_of_range = config_from(
+            &flags(&[("nodes", "4"), ("crash", "0-4000@9")]),
+            NiKind::Cm5,
+        );
+        assert!(out_of_range.unwrap_err().0.contains("out of range"));
+    }
+
+    #[test]
+    fn run_command_recovers_from_a_node_crash() {
+        let out = run(&[
+            "run", "--app", "em3d", "--ni", "cm5", "--nodes", "4", "--crash", "0-4000@1",
+        ])
+        .unwrap();
+        assert!(out.contains("faults"), "{out}");
+        assert!(out.contains("reliability"), "{out}");
+        assert!(!out.contains("STALLED"), "{out}");
+    }
+
+    #[test]
+    fn checkpoint_flags_must_be_paired_and_positive() {
+        let base = ["run", "--app", "em3d", "--ni", "cm5", "--nodes", "4"];
+        let with = |extra: &[&str]| {
+            let mut v = base.to_vec();
+            v.extend_from_slice(extra);
+            run(&v)
+        };
+        assert!(with(&["--checkpoint", "/tmp/ck.json"])
+            .unwrap_err()
+            .0
+            .contains("--checkpoint-every"));
+        assert!(with(&["--checkpoint-every", "100"])
+            .unwrap_err()
+            .0
+            .contains("--checkpoint"));
+        assert!(with(&["--checkpoint", "/tmp/ck.json", "--checkpoint-every", "0"]).is_err());
+        assert!(with(&["--checkpoint", "/tmp/ck.json", "--checkpoint-every", "lots"]).is_err());
+    }
+
+    #[test]
+    fn checkpoint_and_resume_reproduce_the_uninterrupted_run() {
+        let dir = std::env::temp_dir().join("nisim-cli-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ck = dir.join("ck.json");
+        let ck_str = ck.to_str().unwrap();
+
+        let base = ["run", "--app", "em3d", "--ni", "cm5", "--nodes", "4"];
+        let golden = run(&base).unwrap();
+
+        let mut ckpt_args = base.to_vec();
+        ckpt_args.extend(["--checkpoint", ck_str, "--checkpoint-every", "200"]);
+        let ckpt_out = run(&ckpt_args).unwrap();
+        assert!(ckpt_out.contains("checkpoints to"), "{ckpt_out}");
+        assert!(
+            !ckpt_out.contains("wrote 0 checkpoints"),
+            "the run must be long enough to checkpoint: {ckpt_out}"
+        );
+
+        // Slicing the run for checkpoints must not perturb it.
+        let line = |s: &str, key: &str| {
+            s.lines()
+                .find(|l| l.trim_start().starts_with(key))
+                .map(str::to_string)
+                .unwrap_or_else(|| panic!("no {key} line in {s}"))
+        };
+        for key in ["elapsed", "events", "messages", "bus"] {
+            assert_eq!(line(&golden, key), line(&ckpt_out, key));
+        }
+
+        // Resuming from the last mid-run checkpoint finishes the same run.
+        let mut resume_args = base.to_vec();
+        resume_args.extend(["--resume", ck_str]);
+        let resumed = run(&resume_args).unwrap();
+        assert!(resumed.contains("resumed from"), "{resumed}");
+        for key in ["elapsed", "events", "messages", "bus"] {
+            assert_eq!(line(&golden, key), line(&resumed, key));
+        }
+
+        // The same snapshot against a different config is rejected.
+        let mut wrong = resume_args.clone();
+        wrong.extend(["--buffers", "2"]);
+        let e = run(&wrong).unwrap_err();
+        assert!(e.0.contains("config"), "{e}");
+
+        // Apps whose skeleton cannot snapshot fail with a typed error.
+        let barnes = [
+            "run",
+            "--app",
+            "barnes",
+            "--ni",
+            "cm5",
+            "--nodes",
+            "4",
+            "--checkpoint",
+            ck_str,
+            "--checkpoint-every",
+            "10",
+        ];
+        let e = run(&barnes).unwrap_err();
+        assert!(e.0.contains("workload"), "{e}");
     }
 
     #[test]

@@ -141,6 +141,18 @@ impl TimeLedger {
             self.totals[c.index()] += other.get(c);
         }
     }
+
+    /// The raw category totals in [`TimeCategory::ALL`] order (for
+    /// checkpointing).
+    pub fn totals(&self) -> [Dur; 4] {
+        self.totals
+    }
+
+    /// Rebuilds a ledger from checkpointed parts: the category totals in
+    /// [`TimeCategory::ALL`] order plus the coverage stamp.
+    pub fn from_parts(totals: [Dur; 4], stamp: Time) -> TimeLedger {
+        TimeLedger { totals, stamp }
+    }
 }
 
 #[cfg(test)]

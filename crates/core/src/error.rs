@@ -192,6 +192,12 @@ pub struct EndpointSnapshot {
     pub flow: FlowStats,
     /// Reliability-layer counters.
     pub rel: RelStats,
+    /// Deliveries the fault layer swallowed for this sender (down or
+    /// crash windows covering either endpoint).
+    pub outage_swallowed: u64,
+    /// Fragments whose retransmission cap ran out (mirror of
+    /// `rel.gave_up`, surfaced per endpoint for the CLI stall summary).
+    pub retries_exhausted: u64,
 }
 
 impl fmt::Display for EndpointSnapshot {
@@ -199,7 +205,8 @@ impl fmt::Display for EndpointSnapshot {
         write!(
             f,
             "{:>7}  {:<12} done={:<5} send-bufs={:<3} recv-bufs={:<3} \
-             outstanding={:<3} gave-up={:<3} rx={:<3} resends={:<3} queued={:<3} | {}",
+             outstanding={:<3} gave-up={:<3} rx={:<3} resends={:<3} queued={:<3} \
+             swallowed={:<3} exhausted={:<3} | {}",
             self.node.to_string(),
             self.phase,
             self.program_done,
@@ -210,6 +217,8 @@ impl fmt::Display for EndpointSnapshot {
             self.rx_queued,
             self.pending_resends,
             self.queued_sends,
+            self.outage_swallowed,
+            self.retries_exhausted,
             self.rel,
         )
     }
@@ -282,6 +291,8 @@ mod tests {
             queued_sends: 0,
             flow: FlowStats::default(),
             rel: RelStats::default(),
+            outage_swallowed: 0,
+            retries_exhausted: 0,
         }
     }
 

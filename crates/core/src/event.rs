@@ -74,6 +74,14 @@ pub enum MachineEvent {
         /// The fragment to retry.
         msg: MsgId,
     },
+    /// A crash window opens on `node` (fault injection): the node's
+    /// in-flight receive state is wiped as if the OS had rebooted the NI.
+    /// Sender-side retransmission plus receiver dedup recover delivery
+    /// exactly once — or surface the loss as `gave_up`.
+    NodeCrash {
+        /// Node index.
+        node: usize,
+    },
 }
 
 impl Event<Machine> for MachineEvent {
@@ -90,6 +98,7 @@ impl Event<Machine> for MachineEvent {
             }
             MachineEvent::ReturnArrival { wire } => Machine::return_arrival(m, sim, wire),
             MachineEvent::Retry { src, msg } => Machine::retry(m, sim, src, msg),
+            MachineEvent::NodeCrash { node } => Machine::node_crash(m, sim, node),
         }
     }
 }

@@ -74,6 +74,7 @@ pub mod ni;
 pub mod node;
 pub mod process;
 pub mod processor;
+pub mod snapshot;
 pub mod taxonomy;
 
 pub use accounting::{TimeCategory, TimeLedger};
@@ -85,4 +86,5 @@ pub use machine::{Machine, MachineReport, MachineSim, NodeSummary, TraceEvent, T
 pub use ni::{NiKind, NiModel, NiUnit};
 pub use node::{Node, NodeHw};
 pub use process::{Action, AppMessage, HandlerSpec, Process, SendSpec};
+pub use snapshot::{config_fingerprint, SnapshotError, SNAPSHOT_VERSION};
 pub use taxonomy::NiDescriptor;

@@ -90,38 +90,38 @@ pub struct Machine {
     pub cfg: MachineConfig,
     /// The nodes.
     pub nodes: Vec<Node>,
-    next_msg_id: u64,
-    next_transfer_id: u64,
+    pub(crate) next_msg_id: u64,
+    pub(crate) next_transfer_id: u64,
     /// Application message sizes seen so far (payload + 8 B header), the
     /// data behind Table 4.
     pub msg_size_hist: Histogram,
     /// Fragments drained so far per (dst, src, transfer).
-    assembling: BTreeMap<(u32, u32, u64), u32>,
+    pub(crate) assembling: BTreeMap<(u32, u32, u64), u32>,
     /// When each in-flight transfer's send began (for latency stats).
-    transfer_started: BTreeMap<u64, Time>,
-    app_messages: u64,
+    pub(crate) transfer_started: BTreeMap<u64, Time>,
+    pub(crate) app_messages: u64,
     /// End-to-end application message latency (send start to handler
     /// dispatch), in nanoseconds.
-    msg_latency: Summary,
+    pub(crate) msg_latency: Summary,
     /// Message-lifecycle trace, when enabled.
-    trace: Option<Vec<TraceEvent>>,
+    pub(crate) trace: Option<Vec<TraceEvent>>,
     /// The network fabric carrying data messages (ideal by default;
     /// ring/mesh fabrics add hop latency and link contention).
-    fabric: Fabric,
+    pub(crate) fabric: Fabric,
     /// The fault injector, present only when [`MachineConfig::fault`] is
     /// active — so default runs never consult it.
-    fault: Option<FaultPlan>,
+    pub(crate) fault: Option<FaultPlan>,
     /// Protocol violations recorded instead of panicking.
-    violations: Vec<Violation>,
+    pub(crate) violations: Vec<Violation>,
     /// Forward-progress counter sampled by the no-progress watchdog.
     /// Bumped on accepts, drains, known acks, program steps and fragment
     /// injections — NOT on returns, retries or retransmissions, so a
     /// retry storm that delivers nothing trips the watchdog.
-    progress: u64,
+    pub(crate) progress: u64,
     /// Cycle-accounting state, present only when
     /// [`MachineConfig::metrics`] requests collection — so default runs
     /// pay a single branch per charge site.
-    metrics: Option<Box<MachineMetrics>>,
+    pub(crate) metrics: Option<Box<MachineMetrics>>,
 }
 
 /// Observability state of a metrics-enabled machine: the machine-level
@@ -129,12 +129,12 @@ pub struct Machine {
 /// retransmit-cycle handle, and the optional span trace sink. Per-node
 /// bus and cache counters live on the node hardware and are merged into
 /// the [`MetricsBreakdown`] at report time.
-struct MachineMetrics {
-    cycles: ComponentCycles,
-    msg_rtt: Log2Hist,
-    frag_queue: Log2Hist,
-    rel: RelMetrics,
-    sink: Option<TraceSink>,
+pub(crate) struct MachineMetrics {
+    pub(crate) cycles: ComponentCycles,
+    pub(crate) msg_rtt: Log2Hist,
+    pub(crate) frag_queue: Log2Hist,
+    pub(crate) rel: RelMetrics,
+    pub(crate) sink: Option<TraceSink>,
 }
 
 /// Per-node summary within a [`MachineReport`].
@@ -410,10 +410,33 @@ impl Machine {
         machine.report(&sim, status)
     }
 
-    /// Schedules the initial processor step on every node.
+    /// Runs up to `max_events` further events with the no-progress
+    /// watchdog armed — the same loop [`Machine::run`] uses, for callers
+    /// driving an explicit machine/scheduler pair (checkpoint slicing,
+    /// kill-and-resume).
+    pub fn run_slice(&mut self, sim: &mut MachineSim, horizon: Time, max_events: u64) -> SimStatus {
+        let window = self.cfg.watchdog_window;
+        sim.run_watched(self, horizon, max_events, window, |m| m.progress)
+    }
+
+    /// Schedules the initial processor step on every node, plus one
+    /// [`MachineEvent::NodeCrash`] per configured crash window. Crash-free
+    /// configurations schedule nothing extra, so their event streams (and
+    /// goldens) are untouched.
     pub fn start(&mut self, sim: &mut MachineSim) {
         for i in 0..self.nodes.len() {
             Machine::sched(self, sim, Time::ZERO, MachineEvent::ProcRun { node: i });
+        }
+        let crashes: Vec<(Time, usize)> = self
+            .cfg
+            .fault
+            .crash
+            .iter()
+            .filter(|w| w.node.index() < self.nodes.len())
+            .map(|w| (w.start, w.node.index()))
+            .collect();
+        for (at, node) in crashes {
+            Machine::sched(self, sim, at, MachineEvent::NodeCrash { node });
         }
     }
 
@@ -581,6 +604,12 @@ impl Machine {
                 queued_sends: n.proc.queued_sends.len(),
                 flow: n.ni.fc.stats(),
                 rel: n.ni.rel_stats,
+                outage_swallowed: self
+                    .fault
+                    .as_ref()
+                    .map(|p| p.swallowed_from(n.id))
+                    .unwrap_or(0),
+                retries_exhausted: n.ni.rel_stats.gave_up,
             })
             .collect();
         StallReport {
@@ -1053,6 +1082,48 @@ impl Machine {
             m.nodes[dst].ni.fc.free_recv();
         }
         Machine::try_wake(m, sim, dst);
+    }
+
+    /// A crash window opens on `node` (fault injection): the NI warm-
+    /// restarts, losing every deposited-but-undrained fragment and every
+    /// partial message assembly addressed to the node. The wire-side
+    /// blackhole for the window's span is enforced by the fault plan
+    /// (`CrashWindow::swallows`); this handler models the state loss at
+    /// the window's opening edge.
+    ///
+    /// Sender-side state everywhere (outstanding fragments, ack timers,
+    /// sequence allocation) and the receiver's dedup memory survive — the
+    /// reliability layer's retransmissions re-deliver what the crash ate
+    /// off the wire, dedup suppresses re-deliveries of fragments that had
+    /// already been accepted, and anything unrecoverable is surfaced in
+    /// [`RelStats::crash_lost`] rather than silently dropped.
+    pub(crate) fn node_crash(m: &mut Machine, _sim: &mut MachineSim, nid: usize) {
+        let node = &mut m.nodes[nid];
+        let wiped = std::mem::take(&mut node.ni.rx_ready);
+        for e in &wiped {
+            node.ni.rel_stats.crash_lost += 1;
+            // Processor-managed buffering holds the flow-control buffer
+            // until drain; the reboot releases it. NI-managed entries
+            // free theirs via their (still pending or already fired)
+            // DepositDone event, so freeing here would double-release.
+            if e.frees_buffer_at_drain {
+                node.ni.fc.free_recv();
+            }
+        }
+        // Partial assemblies lived in the crashed node's memory: the
+        // drained fragments are gone, and their seqs are already in the
+        // dedup window, so the transfer can never complete. Count each
+        // abandoned transfer as crash-lost.
+        let dst = nid as u32;
+        let keys: Vec<(u32, u32, u64)> = m
+            .assembling
+            .range((dst, 0, 0)..(dst + 1, 0, 0))
+            .map(|(&k, _)| k)
+            .collect();
+        for k in keys {
+            m.assembling.remove(&k);
+            m.nodes[nid].ni.rel_stats.crash_lost += 1;
+        }
     }
 
     /// An ack arrives back at the sender: release the outgoing buffer.

@@ -18,7 +18,7 @@
 //! benches. The `+Throttle` variant adds a fixed inter-send delay that
 //! paces the sender to the receiver's consumption rate (Table 5).
 
-use nisim_engine::{Dur, Time};
+use nisim_engine::{Dur, Json, Time};
 use nisim_mem::{BlockAddr, BlockGeometry, BusOp};
 
 use crate::config::MachineConfig;
@@ -280,6 +280,51 @@ impl NiModel for Cni32QmNi {
 
     fn throttle(&self) -> Option<Dur> {
         self.throttle
+    }
+
+    fn snapshot(&self) -> Option<Json> {
+        Some(
+            Json::obj()
+                .set("send_cursor", self.send_q.cursor())
+                .set("recv_cursor", self.recv_q.cursor())
+                .set("rx_cache_used", self.rx_cache_used)
+                .set("displaced_blocks", self.displaced_blocks)
+                .set("dead_blocks_pending", self.dead_blocks_pending)
+                .set("rx_backlog_blocks", self.rx_backlog_blocks),
+        )
+    }
+
+    fn restore(&mut self, state: &Json) -> bool {
+        let field = |key: &str| state.get(key).and_then(Json::as_u64);
+        let (
+            Some(send_cursor),
+            Some(recv_cursor),
+            Some(rx_cache_used),
+            Some(displaced_blocks),
+            Some(dead_blocks_pending),
+            Some(rx_backlog_blocks),
+        ) = (
+            field("send_cursor"),
+            field("recv_cursor"),
+            field("rx_cache_used"),
+            field("displaced_blocks"),
+            field("dead_blocks_pending"),
+            field("rx_backlog_blocks"),
+        )
+        else {
+            return false;
+        };
+        if rx_cache_used > self.rx_cache_capacity
+            || !self.send_q.set_cursor(send_cursor)
+            || !self.recv_q.set_cursor(recv_cursor)
+        {
+            return false;
+        }
+        self.rx_cache_used = rx_cache_used;
+        self.displaced_blocks = displaced_blocks;
+        self.dead_blocks_pending = dead_blocks_pending;
+        self.rx_backlog_blocks = rx_backlog_blocks;
+        true
     }
 }
 

@@ -81,6 +81,21 @@ impl QueueRegion {
         let first = self.geo.block_of(self.base);
         (0..self.blocks).map(move |i| self.geo.block_at(first, i))
     }
+
+    /// The circular allocation cursor (for checkpointing).
+    pub fn cursor(&self) -> u64 {
+        self.next
+    }
+
+    /// Restores the circular allocation cursor. Returns `false` if the
+    /// cursor lies outside the region.
+    pub fn set_cursor(&mut self, next: u64) -> bool {
+        if next > self.blocks {
+            return false;
+        }
+        self.next = next;
+        true
+    }
 }
 
 /// Queue slot size in blocks: one maximum-size network message (256 B)

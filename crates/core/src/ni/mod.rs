@@ -28,7 +28,7 @@ pub mod udma;
 use std::collections::{BTreeMap, VecDeque};
 
 use nisim_engine::stats::Counter;
-use nisim_engine::{Dur, Time};
+use nisim_engine::{Dur, Json, Time};
 use nisim_mem::BlockAddr;
 use nisim_net::{
     BufferCount, FlowControlEndpoint, Fragment, MsgId, NodeId, ReceiverDedup, RelStats,
@@ -276,6 +276,22 @@ pub trait NiModel {
     /// first message.
     fn prewarm(&self, hw: &mut NodeHw) {
         let _ = hw;
+    }
+
+    /// Serialises the model's dynamic state for checkpointing. `None`
+    /// (the default) marks the design as unsnapshotable — machine
+    /// snapshots then fail with a typed error instead of silently
+    /// forgetting queue cursors or cache occupancy.
+    fn snapshot(&self) -> Option<Json> {
+        None
+    }
+
+    /// Restores state captured by [`NiModel::snapshot`] into a freshly
+    /// built model (same configuration). Returns `false` on shape
+    /// mismatch or if the design is unsnapshotable (the default).
+    fn restore(&mut self, state: &Json) -> bool {
+        let _ = state;
+        false
     }
 }
 

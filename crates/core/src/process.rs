@@ -7,7 +7,7 @@
 //! paper's macrobenchmarks use (message-passing codes use handlers
 //! directly; shared-memory codes use request/response handler pairs).
 
-use nisim_engine::{Dur, Time};
+use nisim_engine::{Dur, Json, Time};
 use nisim_net::NodeId;
 
 /// A message send request from the application level.
@@ -107,6 +107,22 @@ pub trait Process {
     /// True once the process has returned [`Action::Done`] — used for
     /// deadlock/quiescence reporting. Implementations should track this.
     fn is_done(&self) -> bool;
+
+    /// Serialises the process's dynamic state for checkpointing. `None`
+    /// (the default) marks the workload as unsnapshotable — machine
+    /// snapshots then fail with a typed error instead of silently
+    /// dropping program state.
+    fn snapshot(&self) -> Option<Json> {
+        None
+    }
+
+    /// Restores state captured by [`Process::snapshot`] into a freshly
+    /// built process (same node, same parameters). Returns `false` on
+    /// shape mismatch or if the process is unsnapshotable (the default).
+    fn restore(&mut self, state: &Json) -> bool {
+        let _ = state;
+        false
+    }
 }
 
 /// A process that does nothing (a passive node, e.g. a pure server that
@@ -123,6 +139,14 @@ impl Process for IdleProcess {
     }
 
     fn is_done(&self) -> bool {
+        true
+    }
+
+    fn snapshot(&self) -> Option<Json> {
+        Some(Json::obj())
+    }
+
+    fn restore(&mut self, _state: &Json) -> bool {
         true
     }
 }

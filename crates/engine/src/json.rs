@@ -180,6 +180,37 @@ impl From<Vec<Json>> for Json {
 /// Largest integer exactly representable in an `f64`.
 const MAX_SAFE_INT: f64 = 9_007_199_254_740_992.0; // 2^53
 
+/// Encodes a `u64` as a fixed-width hex string.
+///
+/// JSON numbers here are `f64`-backed and therefore capped at 2^53;
+/// checkpoints use this for full-range values (RNG state, config
+/// fingerprints) that must round-trip bit-exactly.
+pub fn u64_hex(x: u64) -> String {
+    format!("{x:016x}")
+}
+
+/// Parses a [`u64_hex`] string back. Rejects anything that is not
+/// exactly 16 hex digits, so the encoding stays canonical.
+pub fn u64_from_hex(s: &str) -> Option<u64> {
+    if s.len() != 16 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
+/// Encodes an `f64` as the hex bit pattern of its IEEE-754
+/// representation. The serializer rejects non-finite numbers, and a
+/// decimal rendering would lose the ±∞ sentinels and exact accumulator
+/// values checkpoints must preserve — the bit pattern loses nothing.
+pub fn f64_bits_hex(x: f64) -> String {
+    u64_hex(x.to_bits())
+}
+
+/// Parses an [`f64_bits_hex`] string back, bit-exactly.
+pub fn f64_from_bits_hex(s: &str) -> Option<f64> {
+    u64_from_hex(s).map(f64::from_bits)
+}
+
 fn write_number(out: &mut String, x: f64) {
     assert!(x.is_finite(), "JSON cannot represent {x}");
     if x.fract() == 0.0 && x.abs() <= MAX_SAFE_INT {
@@ -570,5 +601,19 @@ mod tests {
     #[should_panic(expected = "JSON cannot represent")]
     fn non_finite_numbers_panic() {
         let _ = Json::Num(f64::NAN).to_compact();
+    }
+
+    #[test]
+    fn hex_codecs_round_trip_bit_exactly() {
+        for x in [0u64, 1, u64::MAX, 0x5eed, 1 << 63] {
+            assert_eq!(u64_from_hex(&u64_hex(x)), Some(x));
+        }
+        for f in [0.0, -0.0, 1.5, f64::INFINITY, f64::NEG_INFINITY, 1e-300] {
+            let back = f64_from_bits_hex(&f64_bits_hex(f)).unwrap();
+            assert_eq!(back.to_bits(), f.to_bits());
+        }
+        assert_eq!(u64_from_hex("abc"), None, "short strings rejected");
+        assert_eq!(u64_from_hex("00000000000000zz"), None);
+        assert_eq!(u64_from_hex("+000000000000001"), None, "signs rejected");
     }
 }

@@ -291,6 +291,31 @@ impl ComponentCycles {
             self.raw_add(c, ns);
         }
     }
+
+    /// Serialises the breakdown as `{component_key: ns, ...}` (zeros
+    /// omitted) for checkpointing.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(
+            self.iter()
+                .filter(|&(_, ns)| ns > 0)
+                .map(|(c, ns)| (c.key().to_string(), Json::Num(ns as f64)))
+                .collect(),
+        )
+    }
+
+    /// Rebuilds a breakdown from [`ComponentCycles::to_json`] output.
+    /// Returns `None` on unknown keys or schema mismatch.
+    pub fn from_json(v: &Json) -> Option<ComponentCycles> {
+        let mut cycles = ComponentCycles::new();
+        let pairs = match v {
+            Json::Obj(pairs) => pairs,
+            _ => return None,
+        };
+        for (key, ns) in pairs {
+            cycles.raw_add(Component::from_key(key)?, ns.as_u64()?);
+        }
+        Some(cycles)
+    }
 }
 
 /// A fixed-bucket power-of-two latency histogram over `u64` nanoseconds.
@@ -411,6 +436,49 @@ impl Log2Hist {
             self.raw_record(i, c);
         }
     }
+
+    /// Serialises the histogram: `{"count": n, "buckets": [[i,c]..]}`.
+    /// Shared by breakdown records and checkpoints.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("count".to_string(), Json::Num(self.count() as f64)),
+            (
+                "buckets".to_string(),
+                Json::Arr(
+                    self.nonzero()
+                        .map(|(i, c)| Json::Arr(vec![Json::Num(i as f64), Json::Num(c as f64)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses [`Log2Hist::to_json`] output back, re-checking that the
+    /// bucket sum matches the recorded count. `None` on any mismatch.
+    pub fn from_json(v: &Json) -> Option<Log2Hist> {
+        let mut h = Log2Hist::new();
+        let buckets = match v.get("buckets") {
+            Some(Json::Arr(items)) => items,
+            _ => return None,
+        };
+        for item in buckets {
+            let pair = match item {
+                Json::Arr(pair) if pair.len() == 2 => pair,
+                _ => return None,
+            };
+            let i = pair[0].as_u64()? as usize;
+            let c = pair[1].as_u64()?;
+            if i >= LOG2_BUCKETS {
+                return None;
+            }
+            h.raw_record(i, c);
+        }
+        let count = v.get("count")?.as_u64()?;
+        if h.count() != count {
+            return None;
+        }
+        Some(h)
+    }
 }
 
 /// The full observability payload of one run: the component cycle
@@ -436,47 +504,6 @@ impl MetricsBreakdown {
         self.bus_grant_wait.merge(&other.bus_grant_wait);
     }
 
-    /// JSON rendering of one histogram: `{"count": n, "buckets": [[i,c]..]}`.
-    fn hist_json(h: &Log2Hist) -> Json {
-        Json::Obj(vec![
-            ("count".to_string(), Json::Num(h.count() as f64)),
-            (
-                "buckets".to_string(),
-                Json::Arr(
-                    h.nonzero()
-                        .map(|(i, c)| Json::Arr(vec![Json::Num(i as f64), Json::Num(c as f64)]))
-                        .collect(),
-                ),
-            ),
-        ])
-    }
-
-    /// Parses [`hist_json`](MetricsBreakdown::hist_json) output back.
-    fn hist_from_json(v: &Json) -> Option<Log2Hist> {
-        let mut h = Log2Hist::new();
-        let buckets = match v.get("buckets") {
-            Some(Json::Arr(items)) => items,
-            _ => return None,
-        };
-        for item in buckets {
-            let pair = match item {
-                Json::Arr(pair) if pair.len() == 2 => pair,
-                _ => return None,
-            };
-            let i = pair[0].as_u64()? as usize;
-            let c = pair[1].as_u64()?;
-            if i >= LOG2_BUCKETS {
-                return None;
-            }
-            h.raw_record(i, c);
-        }
-        let count = v.get("count")?.as_u64()?;
-        if h.count() != count {
-            return None;
-        }
-        Some(h)
-    }
-
     /// Serializes the breakdown with a stable key order: total first,
     /// then every component (zeros included) in [`Component::ALL`] order,
     /// then the three histograms.
@@ -493,12 +520,9 @@ impl MetricsBreakdown {
                 Json::Num(self.cycles.total().as_ns() as f64),
             ),
             ("components".to_string(), components),
-            ("msg_rtt".to_string(), Self::hist_json(&self.msg_rtt)),
-            ("frag_queue".to_string(), Self::hist_json(&self.frag_queue)),
-            (
-                "bus_grant_wait".to_string(),
-                Self::hist_json(&self.bus_grant_wait),
-            ),
+            ("msg_rtt".to_string(), self.msg_rtt.to_json()),
+            ("frag_queue".to_string(), self.frag_queue.to_json()),
+            ("bus_grant_wait".to_string(), self.bus_grant_wait.to_json()),
         ])
     }
 
@@ -521,9 +545,9 @@ impl MetricsBreakdown {
         }
         Some(MetricsBreakdown {
             cycles,
-            msg_rtt: Self::hist_from_json(v.get("msg_rtt")?)?,
-            frag_queue: Self::hist_from_json(v.get("frag_queue")?)?,
-            bus_grant_wait: Self::hist_from_json(v.get("bus_grant_wait")?)?,
+            msg_rtt: Log2Hist::from_json(v.get("msg_rtt")?)?,
+            frag_queue: Log2Hist::from_json(v.get("frag_queue")?)?,
+            bus_grant_wait: Log2Hist::from_json(v.get("bus_grant_wait")?)?,
         })
     }
 }

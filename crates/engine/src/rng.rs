@@ -29,6 +29,18 @@ impl SplitMix64 {
         SplitMix64 { state: seed }
     }
 
+    /// The current internal state, for checkpointing. Feeding it back
+    /// through [`SplitMix64::from_state`] resumes the exact stream.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuilds a generator mid-stream from a captured
+    /// [`state`](SplitMix64::state).
+    pub fn from_state(state: u64) -> Self {
+        SplitMix64 { state }
+    }
+
     /// Returns the next 64 random bits.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);

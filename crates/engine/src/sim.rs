@@ -177,6 +177,50 @@ impl<M, E: Event<M>> Sim<M, E> {
         self.queue.len()
     }
 
+    /// The next sequence number the scheduler would assign. Part of a
+    /// checkpoint: restoring it keeps same-instant FIFO order stable
+    /// across a save/resume boundary.
+    #[inline]
+    pub fn next_seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Removes every pending event, returning `(at, seq, event)` triples
+    /// in canonical pop order (ascending time, FIFO within an instant).
+    ///
+    /// Snapshotting uses this destructively: serialise the triples, then
+    /// hand them back through [`Sim::restore_entries`] to keep the live
+    /// run going, or [`Sim::from_parts`] to rebuild a run later.
+    pub fn drain_entries(&mut self) -> Vec<(Time, u64, E)> {
+        let mut out = Vec::with_capacity(self.queue.len());
+        while let Some(entry) = self.queue.pop() {
+            out.push(entry);
+        }
+        out
+    }
+
+    /// Re-queues entries drained by [`Sim::drain_entries`] with their
+    /// original sequence numbers, preserving same-instant order.
+    pub fn restore_entries(&mut self, entries: Vec<(Time, u64, E)>) {
+        for (at, seq, event) in entries {
+            self.queue.push(at, seq, event);
+        }
+    }
+
+    /// Rebuilds a scheduler from checkpointed parts: the saved clock, the
+    /// sequence counter, the fired-event count and the pending entries.
+    pub fn from_parts(now: Time, seq: u64, fired: u64, entries: Vec<(Time, u64, E)>) -> Self {
+        let mut sim = Sim {
+            now,
+            seq,
+            fired,
+            queue: TimerWheel::new(),
+            _model: PhantomData,
+        };
+        sim.restore_entries(entries);
+        sim
+    }
+
     /// Schedules `event` to fire at absolute time `at`.
     ///
     /// Returns a [`ScheduleError`] (and queues nothing) if `at` is before

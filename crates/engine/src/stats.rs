@@ -11,6 +11,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use crate::json::{f64_bits_hex, f64_from_bits_hex, Json};
+
 /// A monotonically increasing event counter.
 ///
 /// # Example
@@ -145,6 +147,33 @@ impl Summary {
     /// Largest sample (−∞ if empty).
     pub fn max(&self) -> f64 {
         self.max
+    }
+
+    /// Serialises the exact internal state for checkpointing. Floats are
+    /// encoded as IEEE-754 bit patterns so the ±∞ min/max sentinels and
+    /// the Welford `m2` accumulator survive byte-exactly.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("count", self.count)
+            .set("mean", f64_bits_hex(self.mean))
+            .set("m2", f64_bits_hex(self.m2))
+            .set("min", f64_bits_hex(self.min))
+            .set("max", f64_bits_hex(self.max))
+            .set("sum", f64_bits_hex(self.sum))
+    }
+
+    /// Rebuilds a summary from [`Summary::to_json`] output. Returns
+    /// `None` on any schema mismatch.
+    pub fn from_json(v: &Json) -> Option<Summary> {
+        let bits = |key: &str| f64_from_bits_hex(v.get(key)?.as_str()?);
+        Some(Summary {
+            count: v.get("count")?.as_u64()?,
+            mean: bits("mean")?,
+            m2: bits("m2")?,
+            min: bits("min")?,
+            max: bits("max")?,
+            sum: bits("sum")?,
+        })
     }
 
     /// Merges another summary into this one.
@@ -298,6 +327,30 @@ impl Histogram {
             self.record_n(v, c);
         }
     }
+
+    /// Serialises the histogram as `[[value, count], ...]` for
+    /// checkpointing; totals are rebuilt on restore.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(
+            self.iter()
+                .map(|(v, c)| Json::Arr(vec![Json::from(v), Json::from(c)]))
+                .collect(),
+        )
+    }
+
+    /// Rebuilds a histogram from [`Histogram::to_json`] output. Returns
+    /// `None` on any schema mismatch.
+    pub fn from_json(v: &Json) -> Option<Histogram> {
+        let mut h = Histogram::new();
+        for item in v.as_arr()? {
+            let pair = item.as_arr()?;
+            if pair.len() != 2 {
+                return None;
+            }
+            h.record_n(pair[0].as_u64()?, pair[1].as_u64()?);
+        }
+        Some(h)
+    }
 }
 
 #[cfg(test)]
@@ -399,6 +452,35 @@ mod tests {
         assert_eq!(h.percentile(0.999), 1000);
         assert_eq!(h.percentile(0.0), 10);
         assert_eq!(Histogram::new().percentile(0.5), 0);
+    }
+
+    #[test]
+    fn summary_json_round_trips_exactly() {
+        let mut s = Summary::new();
+        for x in [1.0, 5.5, -2.25, 1e300] {
+            s.record(x);
+        }
+        let back = Summary::from_json(&s.to_json()).expect("parses");
+        assert_eq!(back, s);
+        // The empty summary's ±∞ sentinels survive the round trip.
+        let empty = Summary::from_json(&Summary::new().to_json()).expect("parses");
+        assert_eq!(empty, Summary::new());
+        assert_eq!(empty.min(), f64::INFINITY);
+        assert!(Summary::from_json(&Json::obj()).is_none());
+    }
+
+    #[test]
+    fn histogram_json_round_trips() {
+        let mut h = Histogram::new();
+        h.record_n(12, 67);
+        h.record_n(32, 32);
+        h.record(999);
+        assert_eq!(Histogram::from_json(&h.to_json()), Some(h));
+        assert_eq!(
+            Histogram::from_json(&Json::Arr(vec![])),
+            Some(Histogram::new())
+        );
+        assert!(Histogram::from_json(&Json::Num(1.0)).is_none());
     }
 
     #[test]

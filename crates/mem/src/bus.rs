@@ -24,7 +24,7 @@
 
 use nisim_engine::metrics::{Component, ComponentCycles, Log2Hist};
 use nisim_engine::stats::{Counter, Summary};
-use nisim_engine::{Dur, Time};
+use nisim_engine::{Dur, Json, Time};
 
 /// The transaction types the study's NIs generate.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -315,6 +315,80 @@ impl Bus {
             self.stats.busy.as_ns() as f64 / elapsed.as_ns() as f64
         }
     }
+
+    /// Serialises the dynamic state (free time, per-class counts, busy
+    /// time, queueing summary, data bytes, metrics when enabled) for
+    /// checkpointing. The configuration is not included.
+    pub fn snapshot(&self) -> Json {
+        let counts = Json::Arr(
+            self.stats
+                .counts
+                .iter()
+                .map(|c| Json::from(c.get()))
+                .collect(),
+        );
+        let mut v = Json::obj()
+            .set("free_at", self.free_at.as_ns())
+            .set("counts", counts)
+            .set("busy", self.stats.busy.as_ns())
+            .set("queueing", self.stats.queueing.to_json())
+            .set("data_bytes", self.stats.data_bytes.get());
+        if let Some(m) = &self.metrics {
+            v = v.set("cycles", m.cycles.to_json());
+            v = v.set("grant_wait", m.grant_wait.to_json());
+        }
+        v
+    }
+
+    /// Restores state captured by [`Bus::snapshot`] into a bus built with
+    /// the same configuration (and metrics enablement). Returns `false`
+    /// on any shape mismatch.
+    pub fn restore(&mut self, v: &Json) -> bool {
+        let Some(counts) = v.get("counts").and_then(Json::as_arr) else {
+            return false;
+        };
+        if counts.len() != self.stats.counts.len() {
+            return false;
+        }
+        let mut restored = [Counter::new(); 6];
+        for (slot, count) in restored.iter_mut().zip(counts) {
+            let Some(n) = count.as_u64() else {
+                return false;
+            };
+            slot.add(n);
+        }
+        let (Some(free_at), Some(busy), Some(data_bytes), Some(queueing)) = (
+            v.get("free_at").and_then(Json::as_u64),
+            v.get("busy").and_then(Json::as_u64),
+            v.get("data_bytes").and_then(Json::as_u64),
+            v.get("queueing").and_then(Summary::from_json),
+        ) else {
+            return false;
+        };
+        self.free_at = Time::from_ns(free_at);
+        self.stats.counts = restored;
+        self.stats.busy = Dur::ns(busy);
+        self.stats.queueing = queueing;
+        self.stats.data_bytes = Counter::new();
+        self.stats.data_bytes.add(data_bytes);
+        match (&mut self.metrics, v.get("cycles"), v.get("grant_wait")) {
+            (Some(m), Some(cycles), Some(grant_wait)) => {
+                match (
+                    ComponentCycles::from_json(cycles),
+                    Log2Hist::from_json(grant_wait),
+                ) {
+                    (Some(cycles), Some(grant_wait)) => {
+                        m.cycles = cycles;
+                        m.grant_wait = grant_wait;
+                    }
+                    _ => return false,
+                }
+            }
+            (None, None, None) => {}
+            _ => return false,
+        }
+        true
+    }
 }
 
 #[cfg(test)]
@@ -401,6 +475,36 @@ mod tests {
             m.cycles.total() - m.cycles.get(Component::BusArbitration),
             bus.stats().busy
         );
+    }
+
+    #[test]
+    fn snapshot_round_trips_with_metrics() {
+        let mut bus = Bus::new(BusConfig::default());
+        bus.enable_metrics();
+        bus.acquire(Time::ZERO, BusOp::BlockRead);
+        bus.acquire(Time::ZERO, BusOp::WordWrite);
+        bus.acquire(Time::from_ns(5), BusOp::Upgrade);
+        let snap = bus.snapshot();
+
+        let mut fresh = Bus::new(BusConfig::default());
+        fresh.enable_metrics();
+        assert!(fresh.restore(&snap));
+        assert_eq!(fresh.free_at(), bus.free_at());
+        assert_eq!(fresh.stats().count(BusOp::BlockRead), 1);
+        assert_eq!(fresh.stats().busy, bus.stats().busy);
+        assert_eq!(fresh.stats().data_bytes.get(), bus.stats().data_bytes.get());
+        assert_eq!(fresh.stats().queueing, bus.stats().queueing);
+        let (m, fm) = (bus.metrics().unwrap(), fresh.metrics().unwrap());
+        assert_eq!(fm.cycles.total(), m.cycles.total());
+        assert_eq!(fm.grant_wait.count(), m.grant_wait.count());
+        // Re-serialising reproduces the same bytes.
+        assert_eq!(fresh.snapshot().to_compact(), snap.to_compact());
+        // Metrics-enablement mismatch is rejected both ways.
+        let mut plain = Bus::new(BusConfig::default());
+        assert!(!plain.restore(&snap));
+        let mut with = Bus::new(BusConfig::default());
+        with.enable_metrics();
+        assert!(!with.restore(&plain.snapshot()));
     }
 
     #[test]

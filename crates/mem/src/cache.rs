@@ -11,7 +11,7 @@
 //! of each block lives.
 
 use nisim_engine::metrics::{Component, ComponentCycles};
-use nisim_engine::Dur;
+use nisim_engine::{Dur, Json};
 
 use crate::addr::{Addr, BlockAddr, BlockGeometry};
 use crate::moesi::MoesiState;
@@ -369,6 +369,97 @@ impl Cache {
             l.state = MoesiState::Invalid;
         }
     }
+
+    /// Serialises the dynamic state — every slot's `(tag, state, lru)`
+    /// raw (the public [`Cache::iter`] loses LRU order), the LRU clock,
+    /// the stats, the visit bitmap and, when enabled, the stall metrics.
+    /// Geometry is derived from the config and not included.
+    pub fn snapshot(&self) -> Json {
+        let lines = Json::Arr(
+            self.sets
+                .iter()
+                .map(|l| {
+                    Json::Arr(vec![
+                        Json::from(l.tag),
+                        Json::from(l.state.index()),
+                        Json::from(l.lru),
+                    ])
+                })
+                .collect(),
+        );
+        let mut v = Json::obj()
+            .set("lines", lines)
+            .set("clock", self.clock)
+            .set("hits", self.stats.hits)
+            .set("misses", self.stats.misses)
+            .set("dirty_evictions", self.stats.dirty_evictions)
+            .set("snoop_invalidations", self.stats.snoop_invalidations)
+            .set("visited", self.visited as u64);
+        if let Some(m) = &self.metrics {
+            v = v.set("metrics", m.cycles.to_json());
+        }
+        v
+    }
+
+    /// Restores state captured by [`Cache::snapshot`] into a cache built
+    /// with the same configuration (and the same metrics enablement).
+    /// Returns `false` on any shape mismatch; the cache contents are
+    /// unspecified afterwards and the caller must discard it.
+    pub fn restore(&mut self, v: &Json) -> bool {
+        let Some(lines) = v.get("lines").and_then(Json::as_arr) else {
+            return false;
+        };
+        if lines.len() != self.sets.len() {
+            return false;
+        }
+        for (slot, line) in self.sets.iter_mut().zip(lines) {
+            let Some(parts) = line.as_arr() else {
+                return false;
+            };
+            let [tag, state, lru] = parts else {
+                return false;
+            };
+            let (Some(tag), Some(idx), Some(lru)) = (tag.as_u64(), state.as_u64(), lru.as_u64())
+            else {
+                return false;
+            };
+            let Some(&state) = MoesiState::ALL.get(idx as usize) else {
+                return false;
+            };
+            *slot = Line { tag, state, lru };
+        }
+        let field = |key: &str| v.get(key).and_then(Json::as_u64);
+        let (Some(clock), Some(hits), Some(misses), Some(dirty), Some(snoops), Some(visited)) = (
+            field("clock"),
+            field("hits"),
+            field("misses"),
+            field("dirty_evictions"),
+            field("snoop_invalidations"),
+            field("visited"),
+        ) else {
+            return false;
+        };
+        if visited > u8::MAX as u64 {
+            return false;
+        }
+        self.clock = clock;
+        self.stats = CacheStats {
+            hits,
+            misses,
+            dirty_evictions: dirty,
+            snoop_invalidations: snoops,
+        };
+        self.visited = visited as u8;
+        match (&mut self.metrics, v.get("metrics")) {
+            (Some(m), Some(j)) => match ComponentCycles::from_json(j) {
+                Some(cycles) => m.cycles = cycles,
+                None => return false,
+            },
+            (None, None) => {}
+            _ => return false,
+        }
+        true
+    }
 }
 
 #[cfg(test)]
@@ -400,6 +491,35 @@ mod tests {
         assert_eq!(m.cycles.get(Component::CacheMissStall), Dur::ns(120));
         assert_eq!(m.cycles.get(Component::CacheUpgradeStall), Dur::ns(8));
         assert_eq!(m.cycles.total(), Dur::ns(128));
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_lru_order() {
+        let mut c = Cache::new(CacheConfig::fully_associative(2, 64));
+        let b0 = block(&c, 0x00);
+        let b1 = block(&c, 0x40);
+        let b2 = block(&c, 0x80);
+        c.insert(b0, MoesiState::Modified);
+        c.insert(b1, MoesiState::Shared);
+        c.lookup(b0); // b1 becomes LRU
+        let snap = c.snapshot();
+
+        let mut fresh = Cache::new(CacheConfig::fully_associative(2, 64));
+        assert!(fresh.restore(&snap));
+        assert_eq!(fresh.stats(), c.stats());
+        assert_eq!(fresh.visited_mask(), c.visited_mask());
+        assert_eq!(fresh.lookup(b0), MoesiState::Modified);
+        assert_eq!(fresh.lookup(b1), MoesiState::Shared);
+        // LRU order survived: the next conflict insert must evict b1.
+        let mut replay = Cache::new(CacheConfig::fully_associative(2, 64));
+        assert!(replay.restore(&snap));
+        let ev = replay.insert(b2, MoesiState::Exclusive).unwrap();
+        assert_eq!(ev.block, b1);
+        // Mismatched geometry and truncated snapshots are rejected.
+        let mut wrong = Cache::new(CacheConfig::fully_associative(4, 64));
+        assert!(!wrong.restore(&snap));
+        let mut again = Cache::new(CacheConfig::fully_associative(2, 64));
+        assert!(!again.restore(&Json::obj().set("clock", 1u64)));
     }
 
     #[test]

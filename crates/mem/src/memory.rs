@@ -9,7 +9,7 @@
 //!   would be built from commodity DRAM).
 
 use nisim_engine::stats::Counter;
-use nisim_engine::Dur;
+use nisim_engine::{Dur, Json};
 
 /// What a memory device models; affects the default latency.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -107,6 +107,30 @@ impl MemoryDevice {
     pub fn writes(&self) -> u64 {
         self.writes.get()
     }
+
+    /// Serialises the access counters for checkpointing. Kind and latency
+    /// come from the configuration and are not included.
+    pub fn snapshot(&self) -> Json {
+        Json::obj()
+            .set("reads", self.reads.get())
+            .set("writes", self.writes.get())
+    }
+
+    /// Restores counters captured by [`MemoryDevice::snapshot`]. Returns
+    /// `false` on shape mismatch.
+    pub fn restore(&mut self, v: &Json) -> bool {
+        let (Some(reads), Some(writes)) = (
+            v.get("reads").and_then(Json::as_u64),
+            v.get("writes").and_then(Json::as_u64),
+        ) else {
+            return false;
+        };
+        self.reads = Counter::new();
+        self.reads.add(reads);
+        self.writes = Counter::new();
+        self.writes.add(writes);
+        true
+    }
 }
 
 #[cfg(test)]
@@ -135,6 +159,20 @@ mod tests {
         m.record_write();
         assert_eq!(m.reads(), 2);
         assert_eq!(m.writes(), 1);
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let mut m = MemoryDevice::new(MemoryKind::Main);
+        m.record_read();
+        m.record_read();
+        m.record_write();
+        let snap = m.snapshot();
+        let mut fresh = MemoryDevice::new(MemoryKind::Main);
+        assert!(fresh.restore(&snap));
+        assert_eq!(fresh.reads(), 2);
+        assert_eq!(fresh.writes(), 1);
+        assert!(!fresh.restore(&Json::obj().set("reads", 1u64)));
     }
 
     #[test]

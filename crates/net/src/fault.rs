@@ -15,7 +15,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use nisim_engine::{Dur, SplitMix64, Time};
+use nisim_engine::json::{u64_from_hex, u64_hex};
+use nisim_engine::{Dur, Json, SplitMix64, Time};
 
 use crate::msg::NodeId;
 
@@ -57,9 +58,33 @@ impl DownWindow {
     }
 }
 
+/// A scheduled node crash: over `[start, end)` the node is dead — all
+/// traffic touching it is lost, and at `start` the machine discards the
+/// node's in-flight NI state (receive queue, partially assembled
+/// transfers). Unlike a [`DownWindow`], which only silences the wire, a
+/// crash also wipes volatile state, so recovery exercises the
+/// retransmit/dedup path end to end.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashWindow {
+    /// First instant of the crash (inclusive).
+    pub start: Time,
+    /// End of the crash — the node warm-restarts here (exclusive).
+    pub end: Time,
+    /// The node that crashes.
+    pub node: NodeId,
+}
+
+impl CrashWindow {
+    /// True if a message from `src` to `dst` injected at `now` is lost
+    /// because one endpoint is crashed.
+    pub fn swallows(&self, now: Time, src: NodeId, dst: NodeId) -> bool {
+        now >= self.start && now < self.end && (self.node == src || self.node == dst)
+    }
+}
+
 /// Knobs of the fault model. All default to "off": the default config
 /// injects no faults and perturbs nothing.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, PartialEq)]
 pub struct FaultConfig {
     /// Probability that a message vanishes in flight.
     pub drop_p: f64,
@@ -78,6 +103,8 @@ pub struct FaultConfig {
     /// Per-link drop probability overrides, keyed by `(src, dst)`. Links
     /// without an entry use [`drop_p`](FaultConfig::drop_p).
     pub link_drop: BTreeMap<(NodeId, NodeId), f64>,
+    /// Scheduled node crashes.
+    pub crash: Vec<CrashWindow>,
     /// Seed of the fault stream.
     pub seed: u64,
 }
@@ -91,8 +118,30 @@ impl Default for FaultConfig {
             jitter_max: Dur::ZERO,
             down: Vec::new(),
             link_drop: BTreeMap::new(),
+            crash: Vec::new(),
             seed: 0xFA_17,
         }
+    }
+}
+
+impl fmt::Debug for FaultConfig {
+    /// Hand-rolled so the representation — which feeds the config
+    /// fingerprint guarding checkpoints and golden records — is stable:
+    /// the `crash` field only appears when crashes are scheduled, keeping
+    /// crash-free configs byte-identical to those of builds that predate
+    /// the field.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_struct("FaultConfig");
+        d.field("drop_p", &self.drop_p)
+            .field("dup_p", &self.dup_p)
+            .field("corrupt_p", &self.corrupt_p)
+            .field("jitter_max", &self.jitter_max)
+            .field("down", &self.down)
+            .field("link_drop", &self.link_drop);
+        if !self.crash.is_empty() {
+            d.field("crash", &self.crash);
+        }
+        d.field("seed", &self.seed).finish()
     }
 }
 
@@ -107,6 +156,7 @@ impl FaultConfig {
             || self.corrupt_p > 0.0
             || self.jitter_max > Dur::ZERO
             || !self.down.is_empty()
+            || !self.crash.is_empty()
             || self.link_drop.values().any(|&p| p > 0.0)
     }
 
@@ -177,6 +227,9 @@ pub struct FaultPlan {
     cfg: FaultConfig,
     rng: SplitMix64,
     stats: FaultStats,
+    /// Messages swallowed by a scheduled outage or crash, per source
+    /// node — lets the stall report say *whose* traffic an outage ate.
+    swallowed: BTreeMap<NodeId, u64>,
 }
 
 impl FaultPlan {
@@ -187,6 +240,7 @@ impl FaultPlan {
             cfg,
             rng,
             stats: FaultStats::default(),
+            swallowed: BTreeMap::new(),
         }
     }
 
@@ -205,6 +259,20 @@ impl FaultPlan {
         self.cfg.is_active()
     }
 
+    /// Messages from `src` swallowed by scheduled outages or crashes
+    /// so far.
+    pub fn swallowed_from(&self, src: NodeId) -> u64 {
+        self.swallowed.get(&src).copied().unwrap_or(0)
+    }
+
+    /// True if `node` is crashed at `now`.
+    pub fn crashed_at(&self, now: Time, node: NodeId) -> bool {
+        self.cfg
+            .crash
+            .iter()
+            .any(|c| c.node == node && now >= c.start && now < c.end)
+    }
+
     /// Decides the fate of a message injected at `now` on `src -> dst`.
     ///
     /// Returns the physical deliveries the wire should perform: an empty
@@ -216,8 +284,11 @@ impl FaultPlan {
         if !self.cfg.is_active() {
             return vec![Delivery::default()];
         }
-        if self.cfg.down.iter().any(|w| w.swallows(now, src, dst)) {
+        if self.cfg.down.iter().any(|w| w.swallows(now, src, dst))
+            || self.cfg.crash.iter().any(|c| c.swallows(now, src, dst))
+        {
             self.stats.blackholed += 1;
+            *self.swallowed.entry(src).or_insert(0) += 1;
             return Vec::new();
         }
         let drop_p = self.cfg.drop_p_for(src, dst);
@@ -252,6 +323,73 @@ impl FaultPlan {
             extra_delay,
             corrupted,
         }
+    }
+
+    /// Serialises the PRNG position, the counters and the per-source
+    /// swallow map for checkpointing. The config is not included — the
+    /// restoring side must build the plan from the same [`FaultConfig`].
+    pub fn snapshot(&self) -> Json {
+        let swallowed = Json::Arr(
+            self.swallowed
+                .iter()
+                .map(|(src, n)| Json::Arr(vec![Json::from(src.0 as u64), Json::from(*n)]))
+                .collect(),
+        );
+        Json::obj()
+            .set("rng", u64_hex(self.rng.state()))
+            .set("offered", self.stats.offered)
+            .set("dropped", self.stats.dropped)
+            .set("blackholed", self.stats.blackholed)
+            .set("duplicated", self.stats.duplicated)
+            .set("corrupted", self.stats.corrupted)
+            .set("jittered", self.stats.jittered)
+            .set("swallowed", swallowed)
+    }
+
+    /// Restores state captured by [`FaultPlan::snapshot`]. Returns
+    /// `false` on shape mismatch.
+    pub fn restore(&mut self, v: &Json) -> bool {
+        let Some(rng) = v.get("rng").and_then(Json::as_str).and_then(u64_from_hex) else {
+            return false;
+        };
+        let field = |key: &str| v.get(key).and_then(Json::as_u64);
+        let (Some(offered), Some(dropped), Some(blackholed)) =
+            (field("offered"), field("dropped"), field("blackholed"))
+        else {
+            return false;
+        };
+        let (Some(duplicated), Some(corrupted), Some(jittered)) =
+            (field("duplicated"), field("corrupted"), field("jittered"))
+        else {
+            return false;
+        };
+        let Some(pairs) = v.get("swallowed").and_then(Json::as_arr) else {
+            return false;
+        };
+        let mut swallowed = BTreeMap::new();
+        for pair in pairs {
+            let Some([src, n]) = pair.as_arr().and_then(|p| <&[Json; 2]>::try_from(p).ok()) else {
+                return false;
+            };
+            let (Some(src), Some(n)) = (src.as_u64(), n.as_u64()) else {
+                return false;
+            };
+            if src > u32::MAX as u64 {
+                return false;
+            }
+            swallowed.insert(NodeId(src as u32), n);
+        }
+        self.rng = SplitMix64::from_state(rng);
+        self.stats = FaultStats {
+            offered,
+            dropped,
+            blackholed,
+            duplicated,
+            corrupted,
+            jittered,
+        };
+        self.swallowed = swallowed;
+        true
     }
 }
 
@@ -379,6 +517,82 @@ mod tests {
             }
         }
         assert!(plan.stats().jittered > 0);
+    }
+
+    #[test]
+    fn crash_window_swallows_and_counts_per_source() {
+        let cfg = FaultConfig {
+            crash: vec![CrashWindow {
+                start: Time::from_ns(100),
+                end: Time::from_ns(200),
+                node: B,
+            }],
+            ..FaultConfig::default()
+        };
+        assert!(cfg.is_active());
+        let mut plan = FaultPlan::new(cfg);
+        assert!(!plan.deliveries(Time::from_ns(99), A, B).is_empty());
+        assert!(plan.deliveries(Time::from_ns(100), A, B).is_empty());
+        assert!(plan.deliveries(Time::from_ns(150), B, A).is_empty());
+        assert!(!plan.deliveries(Time::from_ns(150), A, NodeId(2)).is_empty());
+        assert!(!plan.deliveries(Time::from_ns(200), A, B).is_empty());
+        assert_eq!(plan.stats().blackholed, 2);
+        assert_eq!(plan.swallowed_from(A), 1);
+        assert_eq!(plan.swallowed_from(B), 1);
+        assert!(plan.crashed_at(Time::from_ns(150), B));
+        assert!(!plan.crashed_at(Time::from_ns(150), A));
+        assert!(!plan.crashed_at(Time::from_ns(200), B));
+    }
+
+    #[test]
+    fn debug_repr_omits_empty_crash_list() {
+        // The Debug form feeds the config fingerprint; a crash-free
+        // config must render exactly as it did before the field existed.
+        let plain = format!("{:?}", FaultConfig::default());
+        assert!(!plain.contains("crash"));
+        let crashing = format!(
+            "{:?}",
+            FaultConfig {
+                crash: vec![CrashWindow {
+                    start: Time::ZERO,
+                    end: Time::from_ns(1),
+                    node: A,
+                }],
+                ..FaultConfig::default()
+            }
+        );
+        assert!(crashing.contains("crash"));
+        assert_ne!(plain, crashing);
+    }
+
+    #[test]
+    fn plan_snapshot_resumes_rng_stream() {
+        let cfg = FaultConfig {
+            drop_p: 0.3,
+            dup_p: 0.2,
+            corrupt_p: 0.1,
+            jitter_max: Dur::ns(50),
+            down: vec![DownWindow::fabric(Time::from_ns(40), Time::from_ns(80))],
+            ..FaultConfig::default()
+        };
+        let mut golden = FaultPlan::new(cfg.clone());
+        let mut cut = FaultPlan::new(cfg.clone());
+        for i in 0..200 {
+            let now = Time::from_ns(i * 7);
+            golden.deliveries(now, A, B);
+            cut.deliveries(now, A, B);
+        }
+        let snap = cut.snapshot();
+        let mut resumed = FaultPlan::new(cfg);
+        assert!(resumed.restore(&snap));
+        assert_eq!(resumed.stats(), cut.stats());
+        for i in 200..400 {
+            let now = Time::from_ns(i * 7);
+            assert_eq!(golden.deliveries(now, A, B), resumed.deliveries(now, A, B));
+        }
+        assert_eq!(golden.stats(), resumed.stats());
+        assert_eq!(golden.swallowed_from(A), resumed.swallowed_from(A));
+        assert!(!resumed.restore(&Json::obj().set("rng", "xyz")));
     }
 
     #[test]

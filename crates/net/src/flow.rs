@@ -23,6 +23,8 @@
 
 use std::fmt;
 
+use nisim_engine::Json;
+
 /// Number of flow-control buffers in each direction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum BufferCount {
@@ -219,6 +221,68 @@ impl FlowControlEndpoint {
         self.recv_in_use -= 1;
     }
 
+    /// Serialises the held-buffer counts and statistics for
+    /// checkpointing. The capacity comes from the configuration and is
+    /// not included.
+    pub fn snapshot(&self) -> Json {
+        Json::obj()
+            .set("send_in_use", self.send_in_use as u64)
+            .set("recv_in_use", self.recv_in_use as u64)
+            .set("send_allocs", self.stats.send_allocs)
+            .set("send_alloc_failures", self.stats.send_alloc_failures)
+            .set("recv_allocs", self.stats.recv_allocs)
+            .set("recv_rejects", self.stats.recv_rejects)
+            .set("acks", self.stats.acks)
+            .set("returns_absorbed", self.stats.returns_absorbed)
+            .set("retries", self.stats.retries)
+    }
+
+    /// Restores state captured by [`FlowControlEndpoint::snapshot`] into
+    /// an endpoint built with the same capacity. Returns `false` on
+    /// shape mismatch or counts over capacity.
+    pub fn restore(&mut self, v: &Json) -> bool {
+        let field = |key: &str| v.get(key).and_then(Json::as_u64);
+        let (Some(send_in_use), Some(recv_in_use)) = (field("send_in_use"), field("recv_in_use"))
+        else {
+            return false;
+        };
+        if send_in_use > u32::MAX as u64 || recv_in_use > u32::MAX as u64 {
+            return false;
+        }
+        if let BufferCount::Finite(cap) = self.buffers {
+            if send_in_use > cap as u64 || recv_in_use > cap as u64 {
+                return false;
+            }
+        }
+        let (Some(send_allocs), Some(send_alloc_failures), Some(recv_allocs)) = (
+            field("send_allocs"),
+            field("send_alloc_failures"),
+            field("recv_allocs"),
+        ) else {
+            return false;
+        };
+        let (Some(recv_rejects), Some(acks), Some(returns_absorbed), Some(retries)) = (
+            field("recv_rejects"),
+            field("acks"),
+            field("returns_absorbed"),
+            field("retries"),
+        ) else {
+            return false;
+        };
+        self.send_in_use = send_in_use as u32;
+        self.recv_in_use = recv_in_use as u32;
+        self.stats = FlowStats {
+            send_allocs,
+            send_alloc_failures,
+            recv_allocs,
+            recv_rejects,
+            acks,
+            returns_absorbed,
+            retries,
+        };
+        true
+    }
+
     /// Checks the conservation invariant: every allocation is matched by
     /// at most one release, and holds never exceed capacity.
     pub fn check_invariants(&self) {
@@ -303,6 +367,34 @@ mod tests {
     #[should_panic(expected = "at least one buffer")]
     fn zero_buffers_panics() {
         FlowControlEndpoint::new(BufferCount::Finite(0));
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_rejects_over_capacity() {
+        let mut fc = FlowControlEndpoint::new(BufferCount::Finite(2));
+        fc.try_alloc_send();
+        fc.try_alloc_send();
+        fc.try_alloc_send(); // failure
+        fc.try_alloc_recv();
+        fc.ack_received();
+        fc.return_absorbed();
+        fc.retried();
+        let snap = fc.snapshot();
+
+        let mut fresh = FlowControlEndpoint::new(BufferCount::Finite(2));
+        assert!(fresh.restore(&snap));
+        assert_eq!(fresh.send_in_use(), fc.send_in_use());
+        assert_eq!(fresh.recv_in_use(), fc.recv_in_use());
+        assert_eq!(fresh.stats(), fc.stats());
+        fresh.check_invariants();
+        // Counts over the endpoint's capacity are rejected.
+        let mut crowded = FlowControlEndpoint::new(BufferCount::Finite(4));
+        for _ in 0..3 {
+            crowded.try_alloc_send();
+        }
+        let over = crowded.snapshot();
+        assert!(!FlowControlEndpoint::new(BufferCount::Finite(2)).restore(&over));
+        assert!(FlowControlEndpoint::new(BufferCount::Finite(4)).restore(&over));
     }
 
     #[test]

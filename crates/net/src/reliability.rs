@@ -24,7 +24,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use nisim_engine::metrics::{Component, ComponentCycles};
-use nisim_engine::Dur;
+use nisim_engine::{Dur, Json};
 
 use crate::msg::NodeId;
 
@@ -126,6 +126,39 @@ impl SenderReliability {
     pub fn issued(&self, dst: NodeId) -> u64 {
         self.next.get(&dst).copied().unwrap_or(0)
     }
+
+    /// Serialises the per-destination counters for checkpointing.
+    pub fn snapshot(&self) -> Json {
+        Json::Arr(
+            self.next
+                .iter()
+                .map(|(dst, n)| Json::Arr(vec![Json::from(dst.0 as u64), Json::from(*n)]))
+                .collect(),
+        )
+    }
+
+    /// Restores counters captured by [`SenderReliability::snapshot`].
+    /// Returns `false` on shape mismatch.
+    pub fn restore(&mut self, v: &Json) -> bool {
+        let Some(pairs) = v.as_arr() else {
+            return false;
+        };
+        let mut next = BTreeMap::new();
+        for pair in pairs {
+            let Some([dst, n]) = pair.as_arr().and_then(|p| <&[Json; 2]>::try_from(p).ok()) else {
+                return false;
+            };
+            let (Some(dst), Some(n)) = (dst.as_u64(), n.as_u64()) else {
+                return false;
+            };
+            if dst > u32::MAX as u64 {
+                return false;
+            }
+            next.insert(NodeId(dst as u32), n);
+        }
+        self.next = next;
+        true
+    }
 }
 
 /// Receiver-side duplicate suppression, one window per sender.
@@ -173,6 +206,54 @@ impl ReceiverDedup {
     pub fn pending_window(&self, src: NodeId) -> usize {
         self.windows.get(&src).map_or(0, |w| w.seen.len())
     }
+
+    /// Serialises every window — floor plus the sparse accepted set —
+    /// for checkpointing.
+    pub fn snapshot(&self) -> Json {
+        Json::Arr(
+            self.windows
+                .iter()
+                .map(|(src, w)| {
+                    let seen = Json::Arr(w.seen.iter().map(|&s| Json::from(s)).collect());
+                    Json::Arr(vec![Json::from(src.0 as u64), Json::from(w.floor), seen])
+                })
+                .collect(),
+        )
+    }
+
+    /// Restores windows captured by [`ReceiverDedup::snapshot`]. Returns
+    /// `false` on shape mismatch.
+    pub fn restore(&mut self, v: &Json) -> bool {
+        let Some(entries) = v.as_arr() else {
+            return false;
+        };
+        let mut windows = BTreeMap::new();
+        for entry in entries {
+            let Some([src, floor, seen]) =
+                entry.as_arr().and_then(|p| <&[Json; 3]>::try_from(p).ok())
+            else {
+                return false;
+            };
+            let (Some(src), Some(floor), Some(seen)) =
+                (src.as_u64(), floor.as_u64(), seen.as_arr())
+            else {
+                return false;
+            };
+            if src > u32::MAX as u64 {
+                return false;
+            }
+            let mut set = BTreeSet::new();
+            for s in seen {
+                let Some(s) = s.as_u64() else {
+                    return false;
+                };
+                set.insert(s);
+            }
+            windows.insert(NodeId(src as u32), SeqWindow { floor, seen: set });
+        }
+        self.windows = windows;
+        true
+    }
 }
 
 /// Counters of the reliability layer's activity.
@@ -187,6 +268,10 @@ pub struct RelStats {
     pub corrupt_discards: u64,
     /// Fragments abandoned after the retry cap.
     pub gave_up: u64,
+    /// In-flight receive state (queued arrivals, partial reassemblies)
+    /// wiped by a node crash. Each wiped fragment is recovered by the
+    /// sender's retransmit timer or ends up in `gave_up` — never both.
+    pub crash_lost: u64,
 }
 
 impl RelStats {
@@ -196,6 +281,7 @@ impl RelStats {
         self.dup_discards += other.dup_discards;
         self.corrupt_discards += other.corrupt_discards;
         self.gave_up += other.gave_up;
+        self.crash_lost += other.crash_lost;
     }
 }
 
@@ -223,8 +309,12 @@ impl fmt::Display for RelStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "retransmits {} dup-discards {} corrupt-discards {} gave-up {}",
-            self.retransmits, self.dup_discards, self.corrupt_discards, self.gave_up
+            "retransmits {} dup-discards {} corrupt-discards {} gave-up {} crash-lost {}",
+            self.retransmits,
+            self.dup_discards,
+            self.corrupt_discards,
+            self.gave_up,
+            self.crash_lost
         )
     }
 }
@@ -363,16 +453,56 @@ mod tests {
             dup_discards: 2,
             corrupt_discards: 3,
             gave_up: 4,
+            crash_lost: 5,
         };
         a.absorb(RelStats {
             retransmits: 10,
             dup_discards: 20,
             corrupt_discards: 30,
             gave_up: 40,
+            crash_lost: 50,
         });
         assert_eq!(a.retransmits, 11);
         assert_eq!(a.dup_discards, 22);
         assert_eq!(a.corrupt_discards, 33);
         assert_eq!(a.gave_up, 44);
+        assert_eq!(a.crash_lost, 55);
+    }
+
+    #[test]
+    fn dedup_snapshot_round_trips_mid_reorder() {
+        let mut rx = ReceiverDedup::default();
+        rx.accept(A, SeqNo(0));
+        rx.accept(A, SeqNo(2));
+        rx.accept(A, SeqNo(5)); // floor 1, seen {2, 5}
+        rx.accept(B, SeqNo(0));
+        let snap = rx.snapshot();
+
+        let mut fresh = ReceiverDedup::default();
+        assert!(fresh.restore(&snap));
+        assert_eq!(fresh.pending_window(A), 2);
+        assert!(fresh.already_seen(A, SeqNo(0)));
+        assert!(fresh.already_seen(A, SeqNo(2)));
+        assert!(!fresh.already_seen(A, SeqNo(1)));
+        // The restored window keeps deduplicating exactly like the
+        // original.
+        assert!(!fresh.accept(A, SeqNo(2)));
+        assert!(fresh.accept(A, SeqNo(1))); // floor compacts past 2
+        assert_eq!(fresh.pending_window(A), 1);
+        assert!(!fresh.restore(&Json::from(3u64)));
+    }
+
+    #[test]
+    fn sender_snapshot_round_trips() {
+        let mut tx = SenderReliability::default();
+        tx.next_seq(A);
+        tx.next_seq(B);
+        tx.next_seq(B);
+        let snap = tx.snapshot();
+        let mut fresh = SenderReliability::default();
+        assert!(fresh.restore(&snap));
+        assert_eq!(fresh.issued(A), 1);
+        assert_eq!(fresh.issued(B), 2);
+        assert_eq!(fresh.next_seq(B), SeqNo(2));
     }
 }

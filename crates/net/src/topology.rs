@@ -12,7 +12,7 @@
 
 use std::collections::BTreeMap;
 
-use nisim_engine::{Dur, Time};
+use nisim_engine::{Dur, Json, Time};
 
 use crate::link::Link;
 use crate::msg::{NetConfig, NodeId};
@@ -170,6 +170,52 @@ impl Fabric {
         v.sort_unstable();
         v
     }
+
+    /// Serialises every materialised link for checkpointing. Empty for
+    /// the ideal topology, which holds no link state.
+    pub fn snapshot(&self) -> Json {
+        Json::Arr(
+            self.links
+                .iter()
+                .map(|(&(from, to), link)| {
+                    Json::Arr(vec![
+                        Json::from(from as u64),
+                        Json::from(to as u64),
+                        link.snapshot(),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    /// Restores links captured by [`Fabric::snapshot`]. Returns `false`
+    /// on shape mismatch.
+    pub fn restore(&mut self, v: &Json) -> bool {
+        let Some(entries) = v.as_arr() else {
+            return false;
+        };
+        let mut links = BTreeMap::new();
+        for entry in entries {
+            let Some([from, to, state]) =
+                entry.as_arr().and_then(|p| <&[Json; 3]>::try_from(p).ok())
+            else {
+                return false;
+            };
+            let (Some(from), Some(to)) = (from.as_u64(), to.as_u64()) else {
+                return false;
+            };
+            if from > u32::MAX as u64 || to > u32::MAX as u64 {
+                return false;
+            }
+            let mut link = Link::new();
+            if !link.restore(state) {
+                return false;
+            }
+            links.insert((from as u32, to as u32), link);
+        }
+        self.links = links;
+        true
+    }
 }
 
 #[cfg(test)]
@@ -234,6 +280,27 @@ mod tests {
         // A disjoint link is unaffected.
         let c = f.transit(&cfg, Time::ZERO, NodeId(3), NodeId(4), 100);
         assert_eq!(c.as_ns(), 140);
+    }
+
+    #[test]
+    fn fabric_snapshot_round_trips_contention_state() {
+        let cfg = NetConfig::default();
+        let mut f = Fabric::new(Topology::Ring, 8, Dur::ns(40));
+        f.transit(&cfg, Time::ZERO, NodeId(0), NodeId(2), 100);
+        let snap = f.snapshot();
+
+        let mut fresh = Fabric::new(Topology::Ring, 8, Dur::ns(40));
+        assert!(fresh.restore(&snap));
+        assert_eq!(fresh.link_loads(), f.link_loads());
+        // The restored links carry their reservation horizon: a message
+        // over the same first hop queues exactly as it would have.
+        let a = f.transit(&cfg, Time::ZERO, NodeId(0), NodeId(1), 100);
+        let b = fresh.transit(&cfg, Time::ZERO, NodeId(0), NodeId(1), 100);
+        assert_eq!(a, b);
+        // Ideal fabrics snapshot to an empty list.
+        let ideal = Fabric::new(Topology::Ideal, 8, Dur::ns(40));
+        assert_eq!(ideal.snapshot(), Json::Arr(Vec::new()));
+        assert!(!fresh.restore(&Json::from(1u64)));
     }
 
     #[test]

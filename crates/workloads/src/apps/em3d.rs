@@ -15,11 +15,11 @@
 use std::collections::VecDeque;
 
 use nisim_core::process::{AppMessage, HandlerSpec, Process, SendSpec};
-use nisim_engine::{Dur, SplitMix64, Time};
+use nisim_engine::{Dur, Json, SplitMix64, Time};
 use nisim_net::NodeId;
 
 use super::AppParams;
-use crate::skeleton::{Skeleton, SkeletonProcess, Step};
+use crate::skeleton::{step_from_json, step_to_json, Skeleton, SkeletonProcess, Step};
 
 /// Tag of an edge-update message (12 B payload -> 20 B wire).
 pub const TAG_UPDATE: u32 = 40;
@@ -93,6 +93,38 @@ impl Skeleton for Em3d {
         debug_assert_eq!(msg.tag, TAG_UPDATE);
         // Apply the two-integer update to the local graph node.
         HandlerSpec::compute(Dur::ns(120))
+    }
+
+    // The neighbour set is a pure function of (node, nodes, seed), so
+    // only the program counter state needs to cross a checkpoint.
+    fn snapshot(&self) -> Option<Json> {
+        Some(
+            Json::obj()
+                .set("iters_left", u64::from(self.iters_left))
+                .set(
+                    "steps",
+                    Json::Arr(self.steps.iter().map(step_to_json).collect()),
+                ),
+        )
+    }
+
+    fn restore(&mut self, state: &Json) -> bool {
+        let Some(iters_left) = state.get("iters_left").and_then(Json::as_u64) else {
+            return false;
+        };
+        let Some(steps) = state.get("steps").and_then(Json::as_arr).and_then(|a| {
+            a.iter()
+                .map(step_from_json)
+                .collect::<Option<VecDeque<_>>>()
+        }) else {
+            return false;
+        };
+        if iters_left > u64::from(self.params.iterations) {
+            return false;
+        }
+        self.iters_left = iters_left as u32;
+        self.steps = steps;
+        true
     }
 }
 

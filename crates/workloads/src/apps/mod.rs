@@ -18,8 +18,10 @@ pub mod moldyn;
 pub mod spsolve;
 pub mod unstructured;
 
+use nisim_core::process::Process;
 use nisim_core::{Machine, MachineConfig, MachineReport};
 use nisim_engine::{Dur, SimStatus};
+use nisim_net::NodeId;
 
 /// Which macrobenchmark to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -135,21 +137,33 @@ pub struct AppParams {
     pub compute: Dur,
 }
 
+/// The machine factory for `app`, boxed — for callers that drive the
+/// machine themselves (checkpoint slicing, kill-and-resume) and so need
+/// to rebuild the identical factory on restore.
+pub fn factory(
+    app: MacroApp,
+    nodes: u32,
+    seed: u64,
+    params: AppParams,
+) -> Box<dyn FnMut(NodeId) -> Box<dyn Process>> {
+    match app {
+        MacroApp::Appbt => Box::new(appbt::factory(nodes, seed, params)),
+        MacroApp::Barnes => Box::new(barnes::factory(nodes, seed, params)),
+        MacroApp::Dsmc => Box::new(dsmc::factory(nodes, seed, params)),
+        MacroApp::Em3d => Box::new(em3d::factory(nodes, seed, params)),
+        MacroApp::Moldyn => Box::new(moldyn::factory(nodes, seed, params)),
+        MacroApp::Spsolve => Box::new(spsolve::factory(nodes, seed, params)),
+        MacroApp::Unstructured => Box::new(unstructured::factory(nodes, seed, params)),
+    }
+}
+
 /// Runs `app` on the machine described by `cfg` and returns the report.
 pub fn run_app(app: MacroApp, cfg: &MachineConfig, params: &AppParams) -> MachineReport {
     let cfg = cfg.clone();
     let nodes = cfg.nodes;
     let seed = cfg.seed;
     let params = *params;
-    let report = match app {
-        MacroApp::Appbt => Machine::run(cfg, appbt::factory(nodes, seed, params)),
-        MacroApp::Barnes => Machine::run(cfg, barnes::factory(nodes, seed, params)),
-        MacroApp::Dsmc => Machine::run(cfg, dsmc::factory(nodes, seed, params)),
-        MacroApp::Em3d => Machine::run(cfg, em3d::factory(nodes, seed, params)),
-        MacroApp::Moldyn => Machine::run(cfg, moldyn::factory(nodes, seed, params)),
-        MacroApp::Spsolve => Machine::run(cfg, spsolve::factory(nodes, seed, params)),
-        MacroApp::Unstructured => Machine::run(cfg, unstructured::factory(nodes, seed, params)),
-    };
+    let report = Machine::run(cfg, factory(app, nodes, seed, params));
     // A watchdog-stalled run carries its own diagnostics (the caller
     // inspects `status`/`stall`); anything else short of quiescence is
     // a simulator bug.
@@ -164,7 +178,64 @@ pub fn run_app(app: MacroApp, cfg: &MachineConfig, params: &AppParams) -> Machin
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nisim_core::NiKind;
+    use nisim_core::snapshot::{restore, save, SnapshotError};
+    use nisim_core::{MachineSim, NiKind};
+    use nisim_engine::Time;
+
+    fn run_to_end(m: &mut Machine, sim: &mut MachineSim) -> String {
+        let status = m.run_slice(sim, Time::from_ns(60_000_000_000), 500_000_000);
+        format!("{:?}", m.report(sim, status))
+    }
+
+    #[test]
+    fn em3d_and_spsolve_checkpoints_resume_identically() {
+        let params = AppParams {
+            iterations: 2,
+            intensity: 4,
+            compute: Dur::us(1),
+        };
+        for app in [MacroApp::Em3d, MacroApp::Spsolve] {
+            let cfg = MachineConfig::with_ni(NiKind::Cni32Qm).nodes(4);
+            let mk = || factory(app, 4, cfg.seed, params);
+            let mut golden = Machine::new(cfg.clone(), mk());
+            let mut gsim = MachineSim::new();
+            golden.start(&mut gsim);
+            let golden_report = run_to_end(&mut golden, &mut gsim);
+            for cut in [3u64, 50, 400] {
+                let mut m = Machine::new(cfg.clone(), mk());
+                let mut sim = MachineSim::new();
+                m.start(&mut sim);
+                m.run_slice(&mut sim, Time::from_ns(60_000_000_000), cut);
+                let snap = save(&m, &mut sim).expect("snapshot");
+                let (mut resumed, mut rsim) = restore(cfg.clone(), mk(), &snap).expect("restore");
+                let resumed_report = run_to_end(&mut resumed, &mut rsim);
+                assert_eq!(
+                    resumed_report, golden_report,
+                    "{app}: cut at {cut} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apps_without_snapshot_support_fail_typed() {
+        let cfg = MachineConfig::with_ni(NiKind::Cm5).nodes(4);
+        let mut m = Machine::new(
+            cfg.clone(),
+            factory(
+                MacroApp::Barnes,
+                4,
+                cfg.seed,
+                MacroApp::Barnes.default_params(),
+            ),
+        );
+        let mut sim = MachineSim::new();
+        m.start(&mut sim);
+        assert_eq!(
+            save(&m, &mut sim).err(),
+            Some(SnapshotError::UnsupportedWorkload { node: 0 })
+        );
+    }
 
     #[test]
     fn every_app_completes_on_the_reference_ni() {

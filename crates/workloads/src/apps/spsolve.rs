@@ -14,11 +14,11 @@
 use std::collections::VecDeque;
 
 use nisim_core::process::{AppMessage, HandlerSpec, Process, SendSpec};
-use nisim_engine::{Dur, Time};
+use nisim_engine::{Dur, Json, Time};
 use nisim_net::NodeId;
 
 use super::AppParams;
-use crate::skeleton::{Skeleton, SkeletonProcess, Step};
+use crate::skeleton::{step_from_json, step_to_json, Skeleton, SkeletonProcess, Step};
 
 /// Sparks carry their remaining hop budget in the tag above this base.
 pub const TAG_SPARK_BASE: u32 = 600;
@@ -146,6 +146,59 @@ impl Skeleton for Spsolve {
             TAG_NOTICE => HandlerSpec::compute(Dur::ns(10)),
             other => unreachable!("spsolve got unexpected tag {other}"),
         }
+    }
+
+    fn snapshot(&self) -> Option<Json> {
+        let levels = |v: &[u32]| Json::Arr(v.iter().map(|&x| Json::from(x)).collect());
+        Some(
+            Json::obj()
+                .set("iters_left", u64::from(self.iters_left))
+                .set(
+                    "steps",
+                    Json::Arr(self.steps.iter().map(step_to_json).collect()),
+                )
+                .set("acc", levels(&self.acc))
+                .set("fired", levels(&self.fired)),
+        )
+    }
+
+    fn restore(&mut self, state: &Json) -> bool {
+        let levels = |v: &Json| -> Option<Vec<u32>> {
+            v.as_arr()?
+                .iter()
+                .map(|x| {
+                    let x = x.as_u64()?;
+                    (x <= u32::MAX as u64).then_some(x as u32)
+                })
+                .collect()
+        };
+        let Some(iters_left) = state.get("iters_left").and_then(Json::as_u64) else {
+            return false;
+        };
+        let Some(steps) = state.get("steps").and_then(Json::as_arr).and_then(|a| {
+            a.iter()
+                .map(step_from_json)
+                .collect::<Option<VecDeque<_>>>()
+        }) else {
+            return false;
+        };
+        let (Some(acc), Some(fired)) = (
+            state.get("acc").and_then(&levels),
+            state.get("fired").and_then(&levels),
+        ) else {
+            return false;
+        };
+        if iters_left > u64::from(self.params.iterations)
+            || acc.len() != self.acc.len()
+            || fired.len() != self.fired.len()
+        {
+            return false;
+        }
+        self.iters_left = iters_left as u32;
+        self.steps = steps;
+        self.acc = acc;
+        self.fired = fired;
+        true
     }
 }
 

@@ -9,7 +9,7 @@
 //! the paper's runs do the same through Tempest.
 
 use nisim_core::process::{Action, AppMessage, HandlerSpec, Process, SendSpec};
-use nisim_engine::{Dur, Time};
+use nisim_engine::{Dur, Json, Time};
 use nisim_net::NodeId;
 
 /// Application tags at or above this value are reserved for the barrier.
@@ -38,6 +38,55 @@ pub enum Step {
     Done,
 }
 
+/// Serialises a [`SendSpec`] for checkpointing (shared by skeletons that
+/// queue sends in their dynamic state).
+pub fn spec_to_json(s: &SendSpec) -> Json {
+    Json::Arr(vec![
+        Json::from(s.dst.0),
+        Json::from(s.payload_bytes),
+        Json::from(s.tag),
+    ])
+}
+
+/// Inverse of [`spec_to_json`].
+pub fn spec_from_json(v: &Json) -> Option<SendSpec> {
+    let [dst, payload, tag] = v.as_arr().and_then(|a| <&[Json; 3]>::try_from(a).ok())?;
+    let dst = dst.as_u64()?;
+    let tag = tag.as_u64()?;
+    if dst > u32::MAX as u64 || tag > u32::MAX as u64 {
+        return None;
+    }
+    Some(SendSpec {
+        dst: NodeId(dst as u32),
+        payload_bytes: payload.as_u64()?,
+        tag: tag as u32,
+    })
+}
+
+/// Serialises a program [`Step`] for checkpointing.
+pub fn step_to_json(s: &Step) -> Json {
+    match s {
+        Step::Compute(d) => Json::Arr(vec![Json::from("compute"), Json::from(d.as_ns())]),
+        Step::Send(spec) => Json::Arr(vec![Json::from("send"), spec_to_json(spec)]),
+        Step::WaitUntilReady => Json::Arr(vec![Json::from("wait")]),
+        Step::Barrier => Json::Arr(vec![Json::from("barrier")]),
+        Step::Done => Json::Arr(vec![Json::from("done")]),
+    }
+}
+
+/// Inverse of [`step_to_json`].
+pub fn step_from_json(v: &Json) -> Option<Step> {
+    let arr = v.as_arr()?;
+    match (arr.first()?.as_str()?, arr.len()) {
+        ("compute", 2) => Some(Step::Compute(Dur::ns(arr[1].as_u64()?))),
+        ("send", 2) => Some(Step::Send(spec_from_json(&arr[1])?)),
+        ("wait", 1) => Some(Step::WaitUntilReady),
+        ("barrier", 1) => Some(Step::Barrier),
+        ("done", 1) => Some(Step::Done),
+        _other => None,
+    }
+}
+
 /// A macrobenchmark communication skeleton for one node.
 pub trait Skeleton {
     /// The next program step. Called when the previous step completed
@@ -51,6 +100,21 @@ pub trait Skeleton {
     /// after every handled message.
     fn ready_to_proceed(&self) -> bool {
         true
+    }
+
+    /// Serialises the skeleton's dynamic state for checkpointing. `None`
+    /// (the default) marks the workload unsnapshotable; machine
+    /// checkpoints then fail with a typed error.
+    fn snapshot(&self) -> Option<Json> {
+        None
+    }
+
+    /// Restores state captured by [`Skeleton::snapshot`] into a freshly
+    /// constructed skeleton (same node, same parameters). Returns `false`
+    /// on shape mismatch or if unsnapshotable (the default).
+    fn restore(&mut self, state: &Json) -> bool {
+        let _ = state;
+        false
     }
 }
 
@@ -206,6 +270,63 @@ impl<S: Skeleton> Process for SkeletonProcess<S> {
 
     fn is_done(&self) -> bool {
         self.mode == Mode::Finished
+    }
+
+    fn snapshot(&self) -> Option<Json> {
+        let skeleton = self.skeleton.snapshot()?;
+        Some(
+            Json::obj()
+                .set(
+                    "mode",
+                    match self.mode {
+                        Mode::Stepping => "stepping",
+                        Mode::Waiting => "waiting",
+                        Mode::InBarrier => "in-barrier",
+                        Mode::Finished => "finished",
+                    },
+                )
+                .set(
+                    "barrier_sends",
+                    Json::Arr(self.barrier_sends.iter().map(spec_to_json).collect()),
+                )
+                .set("barrier_arrivals", u64::from(self.barrier_arrivals))
+                .set("barrier_released", self.barrier_released)
+                .set("skeleton", skeleton),
+        )
+    }
+
+    fn restore(&mut self, state: &Json) -> bool {
+        let mode = match state.get("mode").and_then(Json::as_str) {
+            Some("stepping") => Mode::Stepping,
+            Some("waiting") => Mode::Waiting,
+            Some("in-barrier") => Mode::InBarrier,
+            Some("finished") => Mode::Finished,
+            _other => return false,
+        };
+        let Some(sends) = state
+            .get("barrier_sends")
+            .and_then(Json::as_arr)
+            .and_then(|a| a.iter().map(spec_from_json).collect::<Option<Vec<_>>>())
+        else {
+            return false;
+        };
+        let Some(arrivals) = state.get("barrier_arrivals").and_then(Json::as_u64) else {
+            return false;
+        };
+        let Some(Json::Bool(released)) = state.get("barrier_released") else {
+            return false;
+        };
+        let Some(inner) = state.get("skeleton") else {
+            return false;
+        };
+        if arrivals > u64::from(self.nodes) || !self.skeleton.restore(inner) {
+            return false;
+        }
+        self.mode = mode;
+        self.barrier_sends = sends;
+        self.barrier_arrivals = arrivals as u32;
+        self.barrier_released = *released;
+        true
     }
 }
 

@@ -1,0 +1,162 @@
+//! Cross-crate property tests for the snapshot subsystem: the
+//! reliability layer's dedup windows must survive the checkpoint file
+//! round trip with their *behaviour* (not just their bytes) intact, and
+//! a snapshot must never restore into a machine whose configuration
+//! fingerprint differs — whichever knob was turned.
+//!
+//! The container is offline (no proptest), so the generator is a small
+//! hand-rolled LCG — deterministic, so failures reproduce exactly.
+
+use nisim_core::snapshot::{restore, save, SnapshotError};
+use nisim_core::{Machine, MachineConfig, MachineSim, NiKind};
+use nisim_engine::{json, Dur, Time};
+use nisim_net::{BufferCount, NodeId, ReceiverDedup, ReliabilityConfig, SeqNo};
+use nisim_workloads::apps::{factory, AppParams, MacroApp};
+
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Feeds a dedup window a random arrival pattern — in-order runs,
+/// reorderings, and duplicates — then round-trips it through its JSON
+/// codec (via printed text, as a checkpoint file would) and checks the
+/// copy gives byte-identical snapshots *and* identical accept verdicts
+/// on a shared tail of further arrivals.
+#[test]
+fn receiver_dedup_behaviour_survives_the_file_round_trip() {
+    let mut rng = Lcg(0x5eed_3001);
+    for case in 0..60 {
+        let mut dedup = ReceiverDedup::default();
+        for _ in 0..rng.below(200) {
+            let src = NodeId(rng.below(4) as u32);
+            // Mostly-advancing sequences with frequent repeats and gaps.
+            let seq = SeqNo(rng.below(40));
+            dedup.accept(src, seq);
+        }
+
+        let text = dedup.snapshot().to_compact();
+        let parsed = json::parse(&text).unwrap();
+        let mut copy = ReceiverDedup::default();
+        assert!(copy.restore(&parsed), "case {case}: restore rejected");
+        assert_eq!(
+            copy.snapshot().to_compact(),
+            text,
+            "case {case}: snapshot not idempotent"
+        );
+
+        for i in 0..100 {
+            let src = NodeId(rng.below(4) as u32);
+            let seq = SeqNo(rng.below(60));
+            assert_eq!(
+                dedup.already_seen(src, seq),
+                copy.already_seen(src, seq),
+                "case {case}@{i}: seen-set diverged"
+            );
+            assert_eq!(
+                dedup.accept(src, seq),
+                copy.accept(src, seq),
+                "case {case}@{i}: accept verdicts diverged"
+            );
+        }
+    }
+}
+
+fn base_config() -> MachineConfig {
+    MachineConfig::with_ni(NiKind::Cm5)
+        .nodes(4)
+        .flow_buffers(BufferCount::Finite(4))
+}
+
+fn snap_params() -> AppParams {
+    AppParams {
+        iterations: 2,
+        intensity: 4,
+        compute: Dur::us(1),
+    }
+}
+
+fn mid_run_snapshot(cfg: &MachineConfig) -> nisim_engine::Json {
+    let mut m = Machine::new(
+        cfg.clone(),
+        factory(MacroApp::Em3d, cfg.nodes, cfg.seed, snap_params()),
+    );
+    let mut sim = MachineSim::new();
+    m.start(&mut sim);
+    m.run_slice(&mut sim, Time::from_ns(60_000_000_000), 25);
+    save(&m, &mut sim).expect("snapshot")
+}
+
+/// Every configuration knob that feeds the fingerprint — seed, buffer
+/// budget, NI kind, node count, watchdog window, reliability — must make
+/// restore fail with [`SnapshotError::ConfigMismatch`], never silently
+/// reinterpret the state. The unchanged config must keep restoring.
+#[test]
+fn any_config_perturbation_is_rejected_at_restore() {
+    let cfg = base_config();
+    let snap = mid_run_snapshot(&cfg);
+
+    // Control: the honest config restores.
+    let mk = |c: &MachineConfig| factory(MacroApp::Em3d, c.nodes, c.seed, snap_params());
+    assert!(restore(cfg.clone(), mk(&cfg), &snap).is_ok());
+
+    let mut rng = Lcg(0x5eed_3002);
+    type Perturb = Box<dyn Fn(&mut MachineConfig, &mut Lcg)>;
+    let perturbations: Vec<Perturb> = vec![
+        Box::new(|c, r| c.seed = c.seed.wrapping_add(1 + r.below(100))),
+        Box::new(|c, _| c.flow_buffers = BufferCount::Finite(5)),
+        Box::new(|c, _| c.flow_buffers = BufferCount::Infinite),
+        Box::new(|c, _| c.ni = NiKind::Cni32Qm),
+        Box::new(|c, _| c.nodes += 1),
+        Box::new(|c, r| c.watchdog_window = Dur::us(1000 + r.below(1000))),
+        Box::new(|c, _| c.reliability = ReliabilityConfig::on()),
+    ];
+    for (i, perturb) in perturbations.iter().enumerate() {
+        for round in 0..5 {
+            let mut wrong = cfg.clone();
+            perturb(&mut wrong, &mut rng);
+            let got = restore(wrong.clone(), mk(&wrong), &snap);
+            match got {
+                Err(SnapshotError::ConfigMismatch { .. }) => {}
+                other => panic!(
+                    "perturbation {i} round {round}: wanted ConfigMismatch, got {:?}",
+                    other.map(|_| "Ok(machine)")
+                ),
+            }
+        }
+    }
+}
+
+/// The fingerprint binds the snapshot to a *semantic* configuration, not
+/// to observability settings: toggling metrics must not invalidate a
+/// checkpoint taken without them.
+#[test]
+fn metrics_toggle_does_not_invalidate_a_snapshot() {
+    let cfg = base_config();
+    let snap = mid_run_snapshot(&cfg);
+    let mut with_metrics = cfg.clone();
+    with_metrics.metrics = nisim_engine::metrics::MetricsConfig::enabled();
+    let got = restore(
+        with_metrics.clone(),
+        factory(MacroApp::Em3d, cfg.nodes, cfg.seed, snap_params()),
+        &snap,
+    );
+    // Same fingerprint — but the snapshot has no metrics section while
+    // the config demands one, so this is a *shape* error, not a
+    // fingerprint rejection.
+    assert!(
+        !matches!(got, Err(SnapshotError::ConfigMismatch { .. })),
+        "metrics must not change the fingerprint"
+    );
+}
