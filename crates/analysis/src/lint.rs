@@ -1,7 +1,7 @@
 //! Determinism and robustness lint for the simulator sources.
 //!
 //! A hand-rolled Rust tokenizer (comments, strings, char-vs-lifetime
-//! disambiguation) feeding six token-level rules:
+//! disambiguation) feeding seven token-level rules:
 //!
 //! * `hash-collections` — `HashMap`/`HashSet` are banned in the crates
 //!   whose state feeds sweep records and golden files
@@ -35,6 +35,16 @@
 //!   hidden write is a side channel no golden or record tracks, and a
 //!   re-run that silently appends to one is no longer reproducible.
 //!   (`bench` and `cli` write goldens, records and traces by design.)
+//! * `sync-primitives` — `std::sync` locks, atomics, channels and
+//!   lazy-init cells are banned in the sim-state crates
+//!   (`engine`/`mem`/`net`/`core`) outside `crates/core/src/epoch.rs`:
+//!   the epoch driver is the single sanctioned concurrency boundary,
+//!   and it only parallelizes windows it can replay back into the
+//!   exact serial order. A lock or atomic anywhere else lets
+//!   thread-timing-ordered state leak into records and goldens.
+//!   (`workloads` and `bench` may use `Arc<Mutex<...>>` for collecting
+//!   results after a run; that data never feeds back into the
+//!   simulation.)
 //!
 //! `#[cfg(test)]` items are skipped everywhere: tests may unwrap.
 
@@ -364,6 +374,25 @@ const FS_SCOPE: [&str; 5] = [
 /// The sanctioned serialisation exits: checkpoint files and trace logs.
 const FS_WRITERS: [&str; 2] = ["crates/core/src/snapshot.rs", "crates/engine/src/trace.rs"];
 
+/// Crates whose state drives the simulation and therefore must not hold
+/// thread-synchronization primitives: any cross-thread choreography
+/// belongs to the epoch driver, which replays it deterministically.
+const SYNC_SCOPE: [&str; 4] = [
+    "crates/engine/src/",
+    "crates/mem/src/",
+    "crates/net/src/",
+    "crates/core/src/",
+];
+
+/// The single sanctioned concurrency boundary.
+const SYNC_MODULE: &str = "crates/core/src/epoch.rs";
+
+/// `std::sync` types whose mere presence in sim state is a
+/// nondeterminism hazard. Atomics are caught by prefix (`Atomic*`).
+const SYNC_PRIMITIVES: [&str; 7] = [
+    "Mutex", "RwLock", "Condvar", "Barrier", "OnceLock", "LazyLock", "mpsc",
+];
+
 /// `std::fs` functions that mutate the filesystem (reads stay legal).
 const FS_MUTATORS: [&str; 9] = [
     "write",
@@ -505,6 +534,26 @@ pub fn lint_source(file: &str, src: &str) -> Vec<Finding> {
                          modules only"
                     ),
                 });
+            }
+        }
+    }
+
+    if in_scope(file, &SYNC_SCOPE) && file != SYNC_MODULE {
+        for (i, t) in toks.iter().enumerate() {
+            if let Some(name) = ident(i) {
+                if SYNC_PRIMITIVES.contains(&name)
+                    || (name.starts_with("Atomic") && name.len() > "Atomic".len())
+                {
+                    findings.push(Finding {
+                        file: file.into(),
+                        line: t.line,
+                        rule: "sync-primitives",
+                        message: format!(
+                            "{name} in sim state orders events by thread timing; cross-thread \
+                             choreography lives in {SYNC_MODULE} only"
+                        ),
+                    });
+                }
             }
         }
     }
@@ -818,6 +867,55 @@ mod tests {
         assert!(lint_source(
             "crates/net/src/x.rs",
             "#[cfg(test)]\nmod tests { fn t() { std::fs::write(\"x\", b\"y\").ok(); } }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn sync_rule_fires_in_sim_state_crates_outside_the_epoch_module() {
+        // Seeded violations: each primitive smuggled into a sim-state
+        // crate must fire.
+        for src in [
+            "use std::sync::Mutex;\nstruct S { m: Mutex<u32> }",
+            "use std::sync::RwLock;",
+            "use std::sync::atomic::AtomicU64;\nstatic N: AtomicU64 = AtomicU64::new(0);",
+            "use std::sync::atomic::AtomicBool;",
+            "use std::sync::mpsc;",
+            "use std::sync::{Condvar, OnceLock};",
+        ] {
+            for file in [
+                "crates/engine/src/sim.rs",
+                "crates/mem/src/cache.rs",
+                "crates/net/src/fabric.rs",
+                "crates/core/src/machine.rs",
+            ] {
+                assert!(
+                    lint_source(file, src)
+                        .iter()
+                        .any(|f| f.rule == "sync-primitives"),
+                    "{file}: {src}"
+                );
+            }
+        }
+        // The epoch driver is the sanctioned concurrency boundary.
+        assert!(lint_source(
+            "crates/core/src/epoch.rs",
+            "use std::sync::{Mutex, RwLock};\nuse std::sync::atomic::AtomicUsize;"
+        )
+        .is_empty());
+        // workloads/bench collect results through Arc<Mutex> by design.
+        assert!(lint_source("crates/workloads/src/x.rs", "use std::sync::Mutex;").is_empty());
+        assert!(lint_source("crates/bench/src/harness.rs", "use std::sync::Mutex;").is_empty());
+        // `Ordering` (cmp or atomic) and bare `Arc` sharing are fine.
+        assert!(lint_source(
+            "crates/core/src/machine.rs",
+            "use std::sync::Arc;\nfn f(a: Ordering) -> Ordering { a }"
+        )
+        .is_empty());
+        // Tests inside sim crates may synchronize however they like.
+        assert!(lint_source(
+            "crates/engine/src/sim.rs",
+            "#[cfg(test)]\nmod tests { use std::sync::Mutex; }"
         )
         .is_empty());
     }

@@ -1,0 +1,369 @@
+//! Self-timing parallel-machine benchmark (`BENCH_7.json`).
+//!
+//! Measures the epoch-stepped parallel intra-run driver against the
+//! monolithic serial event loop on a 16-node fig3a-shaped workload
+//! (em3d: the burstiest fine-grain macrobenchmark, the heaviest event
+//! traffic per simulated nanosecond), plus a timing-wheel anchor stream
+//! so the CI gate is robust to runner speed:
+//!
+//! * **wheel anchor** — the PR 3 bus-link chain stream, scheduler only.
+//!   Machine throughput is gated *relative to this same-host anchor*
+//!   (`machine_vs_wheel`), so a slow CI runner scales both sides.
+//! * **serial machine** — `workers = 0`: the monolithic `run_watched`
+//!   loop, untouched by the epoch driver.
+//! * **workers = 1, 2, 4** — the epoch-stepped driver; workers = 1 runs
+//!   the lane/replay machinery inline (its overhead bound), workers > 1
+//!   add the thread pool.
+//!
+//! Modes:
+//!
+//! * `bench_parallel` — measure, print a table, write `BENCH_7.json` at
+//!   the repo root (`--json <path>` writes elsewhere).
+//! * `bench_parallel --check <path>` — CI perf smoke: re-measure and
+//!   gate (a) the fresh serial machine-vs-wheel ratio at ≥ 0.95× the
+//!   committed ratio (single-thread non-regression vs the PR 3 wheel
+//!   baseline), and (b) when the host has ≥ 4 cores, workers = 4 at
+//!   ≥ 1.3× the fresh serial rate. Hosts with fewer cores print a
+//!   skip notice for (b) — there is nothing to parallelise over.
+
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use nisim_core::MachineConfig;
+use nisim_engine::json::{self, Json};
+use nisim_engine::{Dur, Event, Sim, SplitMix64, Time};
+use nisim_mem::{BusConfig, BusOp};
+use nisim_net::NetConfig;
+use nisim_workloads::apps::{run_app, AppParams, MacroApp};
+
+/// Events fired per wheel-anchor measurement.
+const ANCHOR_EVENTS: u64 = 400_000;
+/// Timed repetitions per measurement; the best rate is kept.
+const REPS: u32 = 3;
+/// Concurrent chains in the anchor stream.
+const CHAINS: u64 = 512;
+/// CI gate: fresh machine-vs-wheel ratio ≥ this × the committed ratio.
+const SERIAL_GATE: f64 = 0.95;
+/// CI gate: workers = 4 rate ≥ this × the fresh serial rate.
+const SPEEDUP_GATE: f64 = 1.3;
+/// BENCH_7.json schema version.
+const SCHEMA: u64 = 1;
+
+fn main() -> ExitCode {
+    let args = match Args::from_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!("usage: bench_parallel [--json <path>] [--check <path>]");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = &args.check {
+        return check(path);
+    }
+
+    let m = Measurements::take();
+    m.print();
+    let doc = m.document();
+    let path = args.json.unwrap_or_else(default_output);
+    std::fs::write(&path, doc.to_pretty())
+        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+    ExitCode::SUCCESS
+}
+
+struct Args {
+    json: Option<PathBuf>,
+    check: Option<PathBuf>,
+}
+
+impl Args {
+    fn from_args(args: impl Iterator<Item = String>) -> Result<Args, String> {
+        let mut out = Args {
+            json: None,
+            check: None,
+        };
+        let mut it = args;
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--json" => {
+                    let v = it.next().ok_or("--json needs a path")?;
+                    out.json = Some(PathBuf::from(v));
+                }
+                "--check" => {
+                    let v = it.next().ok_or("--check needs a path")?;
+                    out.check = Some(PathBuf::from(v));
+                }
+                other => return Err(format!("unknown argument {other:?}")),
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// The committed location: `BENCH_7.json` at the repo root.
+fn default_output() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_7.json")
+}
+
+fn host_cores() -> u64 {
+    std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1)
+}
+
+// ---------------------------------------------------------------------------
+// The fig3a-shaped machine workload
+// ---------------------------------------------------------------------------
+
+/// A 16-node em3d run scaled up from the fig3a grid point so one run
+/// lasts long enough to time: bursty one-way graph updates, the highest
+/// event rate per simulated nanosecond of the seven macrobenchmarks.
+fn workload() -> (MachineConfig, AppParams) {
+    let cfg = MachineConfig::default();
+    let params = AppParams {
+        iterations: 12,
+        intensity: 26,
+        compute: Dur::us(3),
+    };
+    (cfg, params)
+}
+
+/// Runs the workload once at the given worker count and returns
+/// (events fired, wall seconds).
+fn run_machine(workers: u32) -> (u64, f64) {
+    let (cfg, params) = workload();
+    let cfg = cfg.workers(workers);
+    let t0 = Instant::now();
+    let report = run_app(MacroApp::Em3d, &cfg, &params);
+    let wall = t0.elapsed().as_secs_f64();
+    assert!(
+        report.all_quiescent,
+        "bench workload must run to completion: {:?}",
+        report.status
+    );
+    (report.events, wall)
+}
+
+/// Best-of-[`REPS`] events/sec at the given worker count.
+fn machine_rate(workers: u32) -> f64 {
+    let mut best = 0f64;
+    for _ in 0..REPS {
+        let (events, wall) = run_machine(workers);
+        best = best.max(events as f64 / wall);
+    }
+    best
+}
+
+// ---------------------------------------------------------------------------
+// The wheel anchor stream (the PR 3 bus-link chain shape)
+// ---------------------------------------------------------------------------
+
+struct AnchorCtx {
+    rng: SplitMix64,
+    delays: Vec<Dur>,
+    sink: u64,
+}
+
+struct ChainEvent([u64; 4]);
+
+impl Event<AnchorCtx> for ChainEvent {
+    fn fire(self, m: &mut AnchorCtx, sim: &mut Sim<AnchorCtx, ChainEvent>) {
+        let ChainEvent(stamp) = self;
+        m.sink = m
+            .sink
+            .wrapping_add(stamp[0] ^ stamp[1])
+            .wrapping_add(stamp[2]);
+        let d = m.delays[m.rng.gen_range(m.delays.len() as u64) as usize];
+        sim.schedule_event_in(d, ChainEvent([stamp[0] + 1, stamp[1], stamp[2], stamp[3]]));
+    }
+}
+
+/// Fires [`ANCHOR_EVENTS`] self-timed chain events at the machine's real
+/// bus/link delays and returns the wall seconds.
+fn run_anchor() -> f64 {
+    let bus = BusConfig::default();
+    let net = NetConfig::default();
+    let mut delays: Vec<Dur> = BusOp::ALL.iter().map(|&op| bus.occupancy(op)).collect();
+    delays.push(net.serialisation(net.wire_bytes(64)));
+    delays.push(net.wire_latency);
+    let mut ctx = AnchorCtx {
+        rng: SplitMix64::new(0xB175),
+        delays,
+        sink: 0,
+    };
+    let mut sim: Sim<AnchorCtx, ChainEvent> = Sim::new();
+    for i in 0..CHAINS {
+        sim.schedule_event_at(Time::ZERO, ChainEvent([i, i ^ 0x5A5A, 64, 8]))
+            .expect("time zero is never in the past");
+    }
+    let t0 = Instant::now();
+    sim.run_bounded(&mut ctx, Time::MAX, ANCHOR_EVENTS);
+    let wall = t0.elapsed().as_secs_f64();
+    black_box(ctx.sink);
+    wall
+}
+
+fn anchor_rate() -> f64 {
+    let mut best = 0f64;
+    for _ in 0..REPS {
+        best = best.max(ANCHOR_EVENTS as f64 / run_anchor());
+    }
+    best
+}
+
+// ---------------------------------------------------------------------------
+// Measurement + document
+// ---------------------------------------------------------------------------
+
+struct Measurements {
+    cores: u64,
+    wheel_rate: f64,
+    serial_rate: f64,
+    /// (workers, events/sec) for workers = 1, 2, 4.
+    workers: Vec<(u32, f64)>,
+}
+
+impl Measurements {
+    fn take() -> Measurements {
+        let wheel_rate = anchor_rate();
+        let serial_rate = machine_rate(0);
+        let workers = [1u32, 2, 4]
+            .into_iter()
+            .map(|w| (w, machine_rate(w)))
+            .collect();
+        Measurements {
+            cores: host_cores(),
+            wheel_rate,
+            serial_rate,
+            workers,
+        }
+    }
+
+    fn ratio(&self) -> f64 {
+        self.serial_rate / self.wheel_rate
+    }
+
+    fn print(&self) {
+        println!(
+            "parallel intra-run driver: 16-node em3d, {} host cores",
+            self.cores
+        );
+        println!("{:<18} {:>16} {:>9}", "mode", "events/sec", "vs serial");
+        println!(
+            "{:<18} {:>16.0} {:>9}",
+            "wheel anchor", self.wheel_rate, "-"
+        );
+        println!(
+            "{:<18} {:>16.0} {:>8.2}x",
+            "serial (workers=0)", self.serial_rate, 1.0
+        );
+        for &(w, rate) in &self.workers {
+            println!(
+                "{:<18} {:>16.0} {:>8.2}x",
+                format!("workers={w}"),
+                rate,
+                rate / self.serial_rate
+            );
+        }
+        println!("machine-vs-wheel ratio: {:.4}", self.ratio());
+    }
+
+    fn document(&self) -> Json {
+        let workers = self
+            .workers
+            .iter()
+            .map(|&(w, rate)| {
+                Json::obj()
+                    .set("workers", w as u64)
+                    .set("events_per_sec", rate)
+            })
+            .collect();
+        Json::obj()
+            .set("schema", SCHEMA)
+            .set("bench", "parallel intra-run driver, 16-node em3d")
+            .set("host_cores", self.cores)
+            .set("wheel_events_per_sec", self.wheel_rate)
+            .set("serial_events_per_sec", self.serial_rate)
+            .set("machine_vs_wheel", self.ratio())
+            .set("parallel", Json::Arr(workers))
+            .set("serial_gate", SERIAL_GATE)
+            .set("speedup_gate", SPEEDUP_GATE)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CI gate
+// ---------------------------------------------------------------------------
+
+fn check(path: &PathBuf) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("FAIL: reading {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("FAIL: parsing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(committed_ratio) = doc.get("machine_vs_wheel").and_then(Json::as_f64) else {
+        eprintln!("FAIL: {} has no machine_vs_wheel ratio", path.display());
+        return ExitCode::FAILURE;
+    };
+    if doc.get("schema").and_then(Json::as_u64) != Some(SCHEMA) {
+        eprintln!("FAIL: {} has the wrong schema version", path.display());
+        return ExitCode::FAILURE;
+    }
+
+    let mut ok = true;
+
+    // Gate (a): single-thread non-regression, anchored to the same-host
+    // wheel rate so runner speed cancels out.
+    let wheel = anchor_rate();
+    let serial = machine_rate(0);
+    let fresh_ratio = serial / wheel;
+    let floor = SERIAL_GATE * committed_ratio;
+    println!(
+        "serial: {serial:.0} ev/s over wheel {wheel:.0} ev/s -> ratio {fresh_ratio:.4} \
+         (committed {committed_ratio:.4}, floor {floor:.4})"
+    );
+    if fresh_ratio < floor {
+        eprintln!(
+            "FAIL: serial machine-vs-wheel ratio {fresh_ratio:.4} fell below \
+             {SERIAL_GATE} x committed {committed_ratio:.4}"
+        );
+        ok = false;
+    }
+
+    // Gate (b): the parallel speedup floor, only meaningful with enough
+    // real cores to run 4 lane workers.
+    let cores = host_cores();
+    if cores >= 4 {
+        let par = machine_rate(4);
+        let speedup = par / serial;
+        println!("workers=4: {par:.0} ev/s -> {speedup:.2}x serial (floor {SPEEDUP_GATE}x)");
+        if speedup < SPEEDUP_GATE {
+            eprintln!("FAIL: workers=4 speedup {speedup:.2}x fell below {SPEEDUP_GATE}x serial");
+            ok = false;
+        }
+    } else {
+        println!(
+            "workers=4 speedup floor skipped: host has {cores} core(s), \
+             nothing to parallelise over"
+        );
+    }
+
+    if ok {
+        println!("OK: BENCH_7.json gates hold");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -115,6 +115,11 @@ pub struct Patch {
     /// Force the UDMA NI to always use uncached transfers (suppresses
     /// the pure-UDMA cost model the micro works otherwise select).
     pub udma_uncached_fallback: bool,
+    /// Run the simulation on this many epoch workers (`None`/0 =
+    /// serial). Pure execution strategy: results are byte-identical at
+    /// any worker count and the field is excluded from the config
+    /// fingerprint, so patched records stay comparable to serial ones.
+    pub workers: Option<u32>,
     /// Collect the per-component cycle breakdown for this point. Pure
     /// observation: it adds a `breakdown` field to the record but is
     /// excluded from the config fingerprint, so a metrics-on point stays
@@ -170,6 +175,9 @@ impl Patch {
         }
         if self.udma_uncached_fallback {
             cfg.costs.udma_threshold_payload = u64::MAX;
+        }
+        if let Some(w) = self.workers {
+            cfg.workers = w;
         }
         if self.metrics {
             cfg.metrics.enabled = true;
@@ -287,6 +295,21 @@ impl Sweep {
         }
         out.extend(self.extra.iter().cloned());
         out
+    }
+
+    /// Stamps an intra-run epoch worker count into every point (the
+    /// goldens bins rerun their grids at `--workers 4` to prove the
+    /// parallel driver drifts nothing). `None` is the identity.
+    pub fn with_workers(mut self, workers: Option<u32>) -> Sweep {
+        if workers.is_some() {
+            for patch in &mut self.patches {
+                patch.workers = workers;
+            }
+            for point in &mut self.extra {
+                point.patch.workers = workers;
+            }
+        }
+        self
     }
 
     /// Runs every point on `jobs` worker threads and returns the records
@@ -438,6 +461,12 @@ pub fn default_jobs() -> usize {
 pub struct BenchArgs {
     /// Worker threads for sweep execution.
     pub jobs: usize,
+    /// Intra-run epoch workers to stamp into every point
+    /// (`MachineConfig::workers`); `None` leaves the points serial.
+    /// Orthogonal to `jobs`: `jobs` runs grid points concurrently,
+    /// `workers` parallelizes inside each simulation. Neither may change
+    /// a single byte of output.
+    pub workers: Option<u32>,
     /// Where to write the machine-readable results, if anywhere.
     pub json: Option<PathBuf>,
     /// Rewrite the committed golden file (the `goldens` binary).
@@ -451,7 +480,7 @@ impl BenchArgs {
             Ok(args) => args,
             Err(msg) => {
                 eprintln!("{msg}");
-                eprintln!("usage: [--jobs <n>] [--json <path>] [--update-goldens]");
+                eprintln!("usage: [--jobs <n>] [--workers <n>] [--json <path>] [--update-goldens]");
                 std::process::exit(2);
             }
         }
@@ -465,6 +494,7 @@ impl BenchArgs {
     pub fn from_args(args: impl Iterator<Item = String>) -> Result<BenchArgs, String> {
         let mut out = BenchArgs {
             jobs: default_jobs(),
+            workers: None,
             json: None,
             update_goldens: false,
         };
@@ -478,6 +508,13 @@ impl BenchArgs {
                         .ok()
                         .filter(|&n| n >= 1)
                         .ok_or_else(|| format!("bad --jobs {v:?} (want a positive integer)"))?;
+                }
+                "--workers" => {
+                    let v = it.next().ok_or("--workers needs a value")?;
+                    out.workers = Some(
+                        v.parse::<u32>()
+                            .map_err(|_| format!("bad --workers {v:?} (want a count)"))?,
+                    );
                 }
                 "--json" => {
                     let v = it.next().ok_or("--json needs a path")?;

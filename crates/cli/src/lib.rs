@@ -60,6 +60,13 @@ checkpoint/restore (run only):
                              fresh (the config flags must match the
                              checkpointed run exactly)
 
+execution (any command that builds a machine):
+  --workers <n>        epoch-parallel worker threads stepping nodes
+                       concurrently under the wire-latency lookahead
+                       (default 0 = serial; every worker count produces
+                       byte-identical results, so this is purely a
+                       speed knob)
+
 observability (any command that builds a machine):
   --metrics <on|off>   per-component cycle accounting (default: off;
                        pure observation — timing is unchanged)
@@ -315,6 +322,11 @@ fn config_from(flags: &HashMap<String, String>, ni: NiKind) -> Result<MachineCon
     }
     if let Some(s) = flags.get("seed") {
         cfg.seed = s.parse().map_err(|_| err(format!("bad seed {s:?}")))?;
+    }
+    if let Some(w) = flags.get("workers") {
+        cfg.workers = w
+            .parse()
+            .map_err(|_| err(format!("bad --workers {w:?} (want a count; 0 = serial)")))?;
     }
     if let Some(v) = flags.get("metrics") {
         cfg.metrics.enabled = match v.as_str() {
@@ -793,6 +805,35 @@ mod tests {
             "sweep JSON must not depend on --jobs"
         );
         assert!(run(&["sweep", "--app", "em3d", "--jobs", "0"]).is_err());
+
+        // A run's JSON is byte-identical no matter --workers either:
+        // the epoch driver replays parallel windows into serial order.
+        let (w0, w4) = (dir.join("run-w0.json"), dir.join("run-w4.json"));
+        for (p, workers) in [(&w0, "0"), (&w4, "4")] {
+            run(&[
+                "run",
+                "--app",
+                "em3d",
+                "--ni",
+                "cm5",
+                "--nodes",
+                "4",
+                "--workers",
+                workers,
+                "--json",
+                p.to_str().unwrap(),
+            ])
+            .unwrap();
+        }
+        let (a, b) = (
+            std::fs::read_to_string(&w0).unwrap(),
+            std::fs::read_to_string(&w4).unwrap(),
+        );
+        assert!(
+            !a.is_empty() && a == b,
+            "run JSON must not depend on --workers"
+        );
+        assert!(run(&["run", "--app", "em3d", "--ni", "cm5", "--workers", "many"]).is_err());
     }
 
     #[test]

@@ -83,6 +83,13 @@ pub struct MachineConfig {
     /// from the `Debug` rendering so config fingerprints — and therefore
     /// the committed goldens — are unaffected by observability settings.
     pub metrics: MetricsConfig,
+    /// Worker threads for the epoch-stepped intra-run driver. `0` (the
+    /// default) runs the monolithic serial event loop; any other value
+    /// runs the conservative-PDES epoch driver under the 40 ns wire
+    /// lookahead, which produces bit-identical results at every worker
+    /// count. Excluded from the `Debug` rendering for the same reason as
+    /// `metrics`: the worker count must never change a run's identity.
+    pub workers: u32,
 }
 
 impl std::fmt::Debug for MachineConfig {
@@ -148,6 +155,7 @@ impl Default for MachineConfig {
             reliability: ReliabilityConfig::default(),
             watchdog_window: Dur::ms(1),
             metrics: MetricsConfig::default(),
+            workers: 0,
         }
     }
 }
@@ -201,6 +209,13 @@ impl MachineConfig {
     /// Sets the observability switches.
     pub fn metrics(mut self, metrics: MetricsConfig) -> MachineConfig {
         self.metrics = metrics;
+        self
+    }
+
+    /// Sets the worker-thread count for the epoch-stepped driver
+    /// (`0` = the monolithic serial loop).
+    pub fn workers(mut self, workers: u32) -> MachineConfig {
+        self.workers = workers;
         self
     }
 
@@ -263,6 +278,18 @@ mod tests {
         assert!(on.metrics.any());
         assert_eq!(format!("{off:?}"), format!("{on:?}"));
         assert!(!format!("{off:?}").contains("metrics"));
+    }
+
+    #[test]
+    fn debug_rendering_ignores_workers() {
+        // Same invariant for the parallel driver: the worker count is an
+        // execution strategy, not a model parameter, so fingerprints —
+        // and therefore goldens — must not see it.
+        let serial = MachineConfig::default();
+        let parallel = MachineConfig::default().workers(4);
+        assert_eq!(parallel.workers, 4);
+        assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
+        assert!(!format!("{serial:?}").contains("workers"));
     }
 
     #[test]

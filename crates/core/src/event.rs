@@ -15,7 +15,7 @@
 use nisim_engine::Event;
 use nisim_net::{MsgId, NodeId};
 
-use crate::machine::{Machine, MachineSim};
+use crate::machine::{EvCtx, Gmode, Machine, MachineSim};
 use crate::ni::WireMsg;
 
 /// One scheduled occurrence in the simulated machine.
@@ -84,21 +84,36 @@ pub enum MachineEvent {
     },
 }
 
+impl MachineEvent {
+    /// The single node whose state this event's handler touches — the
+    /// partition key of the conservative epoch driver. Every handler is
+    /// single-node by construction: cross-node effects travel only as
+    /// newly scheduled events, never as direct state writes.
+    pub(crate) fn node_of(&self) -> usize {
+        match self {
+            MachineEvent::ProcRun { node } => *node,
+            MachineEvent::Arrival { wire, .. } => wire.dst.index(),
+            MachineEvent::AckArrival { src, .. } => src.index(),
+            MachineEvent::AckTimeout { src, .. } => src.index(),
+            MachineEvent::DepositDone { dst, .. } => *dst,
+            MachineEvent::ReturnArrival { wire } => wire.src.index(),
+            MachineEvent::Retry { src, .. } => src.index(),
+            MachineEvent::NodeCrash { node } => *node,
+        }
+    }
+}
+
 impl Event<Machine> for MachineEvent {
     fn fire(self, m: &mut Machine, sim: &mut MachineSim) {
-        match self {
-            MachineEvent::ProcRun { node } => Machine::proc_run(m, sim, node),
-            MachineEvent::Arrival { wire, corrupted } => Machine::arrival(m, sim, wire, corrupted),
-            MachineEvent::AckArrival { src, msg } => Machine::ack_arrival(m, sim, src, msg),
-            MachineEvent::AckTimeout { src, msg, attempt } => {
-                Machine::ack_timeout(m, sim, src, msg, attempt)
-            }
-            MachineEvent::DepositDone { dst, frees_buffer } => {
-                Machine::deposit_done(m, sim, dst, frees_buffer)
-            }
-            MachineEvent::ReturnArrival { wire } => Machine::return_arrival(m, sim, wire),
-            MachineEvent::Retry { src, msg } => Machine::retry(m, sim, src, msg),
-            MachineEvent::NodeCrash { node } => Machine::node_crash(m, sim, node),
-        }
+        let nid = self.node_of();
+        let mut ctx = EvCtx {
+            now: sim.now(),
+            nid,
+            nodes_len: m.nodes.len(),
+            cfg: &m.cfg,
+            node: &mut m.nodes[nid],
+            g: Gmode::Serial { g: &mut m.g, sim },
+        };
+        Machine::dispatch(&mut ctx, self);
     }
 }

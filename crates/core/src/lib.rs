@@ -67,6 +67,7 @@
 pub mod accounting;
 pub mod config;
 pub mod costs;
+pub(crate) mod epoch;
 pub mod error;
 pub mod event;
 pub mod machine;

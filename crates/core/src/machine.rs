@@ -90,13 +90,20 @@ pub struct Machine {
     pub cfg: MachineConfig,
     /// The nodes.
     pub nodes: Vec<Node>,
-    pub(crate) next_msg_id: u64,
-    pub(crate) next_transfer_id: u64,
+    /// Machine-global mutable state (everything an event handler touches
+    /// that is not owned by the one node the event targets).
+    pub(crate) g: Globals,
+}
+
+/// Machine-global mutable state, split out of [`Machine`] so the epoch
+/// driver (`crate::epoch`) can hand event handlers their target node
+/// concurrently while global effects are replayed in exact serial order
+/// on the coordinator. Every field here is mutated only through
+/// [`EvCtx`] routes (or report/snapshot plumbing between events).
+pub(crate) struct Globals {
     /// Application message sizes seen so far (payload + 8 B header), the
     /// data behind Table 4.
-    pub msg_size_hist: Histogram,
-    /// Fragments drained so far per (dst, src, transfer).
-    pub(crate) assembling: BTreeMap<(u32, u32, u64), u32>,
+    pub(crate) msg_size_hist: Histogram,
     /// When each in-flight transfer's send began (for latency stats).
     pub(crate) transfer_started: BTreeMap<u64, Time>,
     pub(crate) app_messages: u64,
@@ -292,67 +299,38 @@ impl Machine {
                     proc: ProcState::new(),
                     ledger: TimeLedger::new(Time::ZERO),
                     process: factory(id),
+                    next_msg_id: 0,
+                    next_transfer_id: 0,
+                    assembling: BTreeMap::new(),
                 }
             })
             .collect();
         Machine {
             cfg,
             nodes,
-            next_msg_id: 0,
-            next_transfer_id: 0,
-            msg_size_hist: Histogram::new(),
-            assembling: BTreeMap::new(),
-            transfer_started: BTreeMap::new(),
-            app_messages: 0,
-            msg_latency: Summary::new(),
-            trace: if trace_enabled {
-                Some(Vec::new())
-            } else {
-                None
+            g: Globals {
+                msg_size_hist: Histogram::new(),
+                transfer_started: BTreeMap::new(),
+                app_messages: 0,
+                msg_latency: Summary::new(),
+                trace: if trace_enabled {
+                    Some(Vec::new())
+                } else {
+                    None
+                },
+                fabric,
+                fault,
+                violations: Vec::new(),
+                progress: 0,
+                metrics,
             },
-            fabric,
-            fault,
-            violations: Vec::new(),
-            progress: 0,
-            metrics,
-        }
-    }
-
-    /// Charges the closed span `[start, end)` to `component` — and to
-    /// its trace track when tracing. Retransmit wire time routes through
-    /// the reliability layer's [`RelMetrics`] handle so it is never
-    /// conflated with first-transmission serialization. No-op (one
-    /// branch) when metrics are off.
-    fn charge_span(&mut self, component: Component, node: NodeId, start: Time, end: Time) {
-        let Some(mm) = &mut self.metrics else {
-            return;
-        };
-        let dur = end.saturating_since(start);
-        if component == Component::Retransmit {
-            mm.rel.charge_retransmit(dur);
-        } else {
-            mm.cycles.charge(component, dur);
-        }
-        if let Some(sink) = &mut mm.sink {
-            sink.span(component, node.0, start, end);
-        }
-    }
-
-    fn record(&mut self, at: Time, node: NodeId, msg: MsgId, kind: TraceKind) {
-        if let Some(trace) = &mut self.trace {
-            trace.push(TraceEvent {
-                at,
-                node,
-                msg,
-                kind,
-            });
         }
     }
 
     /// The message-lifecycle trace recorded so far (sorted by time), if
     /// tracing was enabled.
     pub fn take_trace(&mut self) -> Option<Vec<TraceEvent>> {
-        let mut t = self.trace.take();
+        let mut t = self.g.trace.take();
         if let Some(t) = &mut t {
             t.sort_by_key(|e| (e.at, e.msg.0));
         }
@@ -382,14 +360,7 @@ impl Machine {
         let mut machine = Machine::new(cfg, factory);
         let mut sim = MachineSim::new();
         machine.start(&mut sim);
-        let window = machine.cfg.watchdog_window;
-        let status = sim.run_watched(
-            &mut machine,
-            Time::from_ns(10_000_000_000),
-            500_000_000,
-            window,
-            |m| m.progress,
-        );
+        let status = machine.drive(&mut sim, Time::from_ns(10_000_000_000), 500_000_000);
         let report = machine.report(&sim, status);
         let trace = machine.take_trace().expect("trace was enabled");
         (report, trace)
@@ -405,8 +376,7 @@ impl Machine {
         let mut machine = Machine::new(cfg, factory);
         let mut sim = MachineSim::new();
         machine.start(&mut sim);
-        let window = machine.cfg.watchdog_window;
-        let status = sim.run_watched(&mut machine, horizon, max_events, window, |m| m.progress);
+        let status = machine.drive(&mut sim, horizon, max_events);
         machine.report(&sim, status)
     }
 
@@ -415,8 +385,22 @@ impl Machine {
     /// driving an explicit machine/scheduler pair (checkpoint slicing,
     /// kill-and-resume).
     pub fn run_slice(&mut self, sim: &mut MachineSim, horizon: Time, max_events: u64) -> SimStatus {
-        let window = self.cfg.watchdog_window;
-        sim.run_watched(self, horizon, max_events, window, |m| m.progress)
+        self.drive(sim, horizon, max_events)
+    }
+
+    /// Drives the scheduler within the given bounds, honouring
+    /// [`MachineConfig::workers`]: 0 is the classic serial watched loop,
+    /// N ≥ 1 is the conservative epoch-parallel driver, which produces
+    /// byte-identical results at any worker count by construction. A
+    /// zero wire latency leaves no lookahead to exploit, so it always
+    /// runs serially.
+    fn drive(&mut self, sim: &mut MachineSim, horizon: Time, max_events: u64) -> SimStatus {
+        if self.cfg.workers == 0 || self.cfg.net.wire_latency.is_zero() {
+            let window = self.cfg.watchdog_window;
+            sim.run_watched(self, horizon, max_events, window, |m| m.g.progress)
+        } else {
+            crate::epoch::run_epochs(self, sim, horizon, max_events)
+        }
     }
 
     /// Schedules the initial processor step on every node, plus one
@@ -444,15 +428,7 @@ impl Machine {
     /// into a recorded [`ProtocolViolation::EventScheduledInPast`] (the
     /// event is dropped) instead of aborting the run.
     fn sched(m: &mut Machine, sim: &mut MachineSim, at: Time, ev: MachineEvent) {
-        if let Err(e) = sim.schedule_event_at(at, ev) {
-            m.violation(
-                e.now,
-                ProtocolViolation::EventScheduledInPast {
-                    at: e.at,
-                    now: e.now,
-                },
-            );
-        }
+        sched_global(&mut m.g, sim, at, ev);
     }
 
     /// Builds the end-of-run report.
@@ -468,7 +444,7 @@ impl Machine {
         };
         if status == SimStatus::Drained
             && !all_quiescent
-            && (self.fault.is_some() || self.cfg.reliability.enabled)
+            && (self.g.fault.is_some() || self.cfg.reliability.enabled)
         {
             status = SimStatus::Stalled;
             stall_reason = StallReason::WedgedNotQuiescent;
@@ -503,7 +479,7 @@ impl Machine {
             bus_busy += bus.busy;
             bus_data_bytes += bus.data_bytes.get();
         }
-        let breakdown = self.metrics.as_ref().map(|mm| {
+        let breakdown = self.g.metrics.as_ref().map(|mm| {
             let mut b = MetricsBreakdown {
                 cycles: mm.cycles.clone(),
                 msg_rtt: mm.msg_rtt.clone(),
@@ -522,7 +498,7 @@ impl Machine {
             }
             b
         });
-        let trace = self.metrics.as_ref().and_then(|mm| mm.sink.clone());
+        let trace = self.g.metrics.as_ref().and_then(|mm| mm.sink.clone());
         let per_node = self
             .nodes
             .iter()
@@ -545,7 +521,7 @@ impl Machine {
             all_quiescent,
             ledgers: self.nodes.iter().map(|n| n.ledger.clone()).collect(),
             per_node,
-            app_messages: self.app_messages,
+            app_messages: self.g.app_messages,
             fragments_sent,
             retries,
             recv_rejects,
@@ -556,13 +532,13 @@ impl Machine {
             bus_block_transactions,
             bus_busy,
             bus_data_bytes,
-            msg_sizes: self.msg_size_hist.clone(),
-            msg_latency: self.msg_latency.clone(),
-            violations: self.violations.clone(),
+            msg_sizes: self.g.msg_size_hist.clone(),
+            msg_latency: self.g.msg_latency.clone(),
+            violations: self.g.violations.clone(),
             stall,
             breakdown,
             trace,
-            fault_stats: self.fault.as_ref().map(|p| p.stats()).unwrap_or_default(),
+            fault_stats: self.g.fault.as_ref().map(|p| p.stats()).unwrap_or_default(),
             rel_stats,
             moesi_visited: self
                 .nodes
@@ -573,11 +549,7 @@ impl Machine {
 
     /// Protocol violations recorded so far.
     pub fn violations(&self) -> &[Violation] {
-        &self.violations
-    }
-
-    fn violation(&mut self, at: Time, kind: ProtocolViolation) {
-        self.violations.push(Violation { at, kind });
+        &self.g.violations
     }
 
     /// Snapshots every endpoint's flow-control and retransmit state for
@@ -605,6 +577,7 @@ impl Machine {
                 flow: n.ni.fc.stats(),
                 rel: n.ni.rel_stats,
                 outage_swallowed: self
+                    .g
                     .fault
                     .as_ref()
                     .map(|p| p.swallowed_from(n.id))
@@ -616,14 +589,28 @@ impl Machine {
             at,
             reason,
             endpoints,
-            violations: self.violations.clone(),
+            violations: self.g.violations.clone(),
         }
     }
 
-    fn alloc_msg_id(&mut self) -> MsgId {
-        let id = MsgId(self.next_msg_id);
-        self.next_msg_id += 1;
-        id
+    /// Runs one event's handler against `ctx`. Callers must hand in
+    /// exactly the node [`MachineEvent::node_of`] names — every handler
+    /// touches only that node's state plus the global effect routes.
+    pub(crate) fn dispatch(ctx: &mut EvCtx<'_>, ev: MachineEvent) {
+        match ev {
+            MachineEvent::ProcRun { .. } => Machine::proc_run(ctx),
+            MachineEvent::Arrival { wire, corrupted } => Machine::arrival(ctx, wire, corrupted),
+            MachineEvent::AckArrival { src, msg } => Machine::ack_arrival(ctx, src, msg),
+            MachineEvent::AckTimeout { src, msg, attempt } => {
+                Machine::ack_timeout(ctx, src, msg, attempt)
+            }
+            MachineEvent::DepositDone { frees_buffer, .. } => {
+                Machine::deposit_done(ctx, frees_buffer)
+            }
+            MachineEvent::ReturnArrival { wire } => Machine::return_arrival(ctx, wire),
+            MachineEvent::Retry { src, msg } => Machine::retry(ctx, src, msg),
+            MachineEvent::NodeCrash { .. } => Machine::node_crash(ctx),
+        }
     }
 
     /// Wakes a waiting processor (idle or blocked on a send buffer). The
@@ -631,22 +618,21 @@ impl Machine {
     /// a sender blocked on flow control has already paid (and been charged
     /// for) its failed status check, so it cannot resume mid-check.
     /// No-op for busy processors; deduplicated.
-    fn try_wake(m: &mut Machine, sim: &mut MachineSim, nid: usize) {
-        let node = &mut m.nodes[nid];
-        let at = sim.now().max(node.ledger.stamp());
-        let proc = &mut node.proc;
+    fn try_wake(ctx: &mut EvCtx<'_>) {
+        let at = ctx.now.max(ctx.node.ledger.stamp());
+        let proc = &mut ctx.node.proc;
         if matches!(proc.phase, ProcPhase::Idle | ProcPhase::BlockedSend) && !proc.wake_pending {
             proc.wake_pending = true;
-            Machine::sched(m, sim, at, MachineEvent::ProcRun { node: nid });
+            ctx.sched(at, MachineEvent::ProcRun { node: ctx.nid });
         }
     }
 
     /// The processor's main dispatch: called when it becomes free or is
     /// woken.
-    pub(crate) fn proc_run(m: &mut Machine, sim: &mut MachineSim, nid: usize) {
-        let now = sim.now();
+    pub(crate) fn proc_run(ctx: &mut EvCtx<'_>) {
+        let now = ctx.now;
         {
-            let node = &mut m.nodes[nid];
+            let node = &mut *ctx.node;
             node.proc.wake_pending = false;
             // Charge the waiting gap since the last stamp, if any.
             let cat = match node.proc.phase {
@@ -660,51 +646,51 @@ impl Machine {
         }
 
         // 1. Handle a consumable received fragment, if any.
-        if m.nodes[nid].ni.peek_ready(now).is_some() {
-            Machine::do_drain(m, sim, nid);
+        if ctx.node.ni.peek_ready(now).is_some() {
+            Machine::do_drain(ctx);
             return;
         }
 
         // 2. Re-send returned fragments (FIFO NIs only).
-        if !m.nodes[nid].proc.pending_resends.is_empty() {
-            Machine::do_resend(m, sim, nid);
+        if !ctx.node.proc.pending_resends.is_empty() {
+            Machine::do_resend(ctx);
             return;
         }
 
         // 3. Continue an in-progress send.
-        if m.nodes[nid].proc.current_send.is_some() {
-            Machine::do_send_step(m, sim, nid);
+        if ctx.node.proc.current_send.is_some() {
+            Machine::do_send_step(ctx);
             return;
         }
 
         // 4. Start a handler-queued send.
-        if let Some(spec) = m.nodes[nid].proc.queued_sends.pop_front() {
-            Machine::start_send(m, sim, nid, spec);
+        if let Some(spec) = ctx.node.proc.queued_sends.pop_front() {
+            Machine::start_send(ctx, spec);
             return;
         }
 
         // 5. Ask the program.
-        if m.nodes[nid].proc.program_done {
-            m.nodes[nid].proc.phase = ProcPhase::Idle;
+        if ctx.node.proc.program_done {
+            ctx.node.proc.phase = ProcPhase::Idle;
             return;
         }
-        m.progress += 1;
-        let action = m.nodes[nid].process.next_action(now);
+        ctx.progress();
+        let action = ctx.node.process.next_action(now);
         match action {
             Action::Compute(d) => {
-                let node = &mut m.nodes[nid];
                 let until = now + d;
+                let node = &mut *ctx.node;
                 node.ledger.charge_to(until, TimeCategory::Compute);
                 node.proc.phase = ProcPhase::Busy;
                 node.proc.busy_until = until;
-                Machine::sched(m, sim, until, MachineEvent::ProcRun { node: nid });
+                ctx.sched(until, MachineEvent::ProcRun { node: ctx.nid });
             }
-            Action::Send(spec) => Machine::start_send(m, sim, nid, spec),
+            Action::Send(spec) => Machine::start_send(ctx, spec),
             Action::Wait => {
-                m.nodes[nid].proc.phase = ProcPhase::Idle;
+                ctx.node.proc.phase = ProcPhase::Idle;
             }
             Action::Done => {
-                let node = &mut m.nodes[nid];
+                let node = &mut *ctx.node;
                 node.proc.program_done = true;
                 node.proc.phase = ProcPhase::Idle;
             }
@@ -713,44 +699,44 @@ impl Machine {
 
     /// Sets up the fragmentation of one application send and injects its
     /// first fragment.
-    fn start_send(m: &mut Machine, sim: &mut MachineSim, nid: usize, spec: SendSpec) {
+    fn start_send(ctx: &mut EvCtx<'_>, spec: SendSpec) {
         assert_ne!(
             spec.dst.index(),
-            nid,
-            "node {nid} attempted to send to itself"
+            ctx.nid,
+            "node {} attempted to send to itself",
+            ctx.nid
         );
         assert!(
-            spec.dst.index() < m.nodes.len(),
+            spec.dst.index() < ctx.nodes_len,
             "send to nonexistent node {:?}",
             spec.dst
         );
-        let transfer_id = m.next_transfer_id;
-        m.next_transfer_id += 1;
-        m.transfer_started.insert(transfer_id, sim.now());
-        m.msg_size_hist
-            .record(spec.payload_bytes + m.cfg.net.header_bytes);
-        let frags = fragment_payload(&m.cfg.net, spec.payload_bytes);
-        m.nodes[nid].proc.current_send = Some(SendInProgress {
+        let transfer_id = ctx.node.alloc_transfer_id();
+        ctx.transfer_start(transfer_id, ctx.now);
+        ctx.msg_size(spec.payload_bytes + ctx.cfg.net.header_bytes);
+        let frags = fragment_payload(&ctx.cfg.net, spec.payload_bytes);
+        ctx.node.proc.current_send = Some(SendInProgress {
             spec,
             transfer_id,
             frags,
             next: 0,
             checked_space: false,
         });
-        Machine::do_send_step(m, sim, nid);
+        Machine::do_send_step(ctx);
     }
 
     /// Injects the next fragment of the current send, or blocks on flow
     /// control.
-    fn do_send_step(m: &mut Machine, sim: &mut MachineSim, nid: usize) {
-        let now = sim.now();
-        let costs = m.cfg.costs;
-        let header = m.cfg.net.header_bytes;
-        let backoff0 = m.cfg.retry_backoff;
-        let rel_on = m.cfg.reliability.enabled;
+    fn do_send_step(ctx: &mut EvCtx<'_>) {
+        let now = ctx.now;
+        let nid = ctx.nid;
+        let costs = ctx.cfg.costs;
+        let header = ctx.cfg.net.header_bytes;
+        let backoff0 = ctx.cfg.retry_backoff;
+        let rel_on = ctx.cfg.reliability.enabled;
 
-        if m.nodes[nid].proc.current_send.is_none() {
-            m.violation(
+        if ctx.node.proc.current_send.is_none() {
+            ctx.violation(
                 now,
                 ProtocolViolation::SendStepWithoutCurrentSend {
                     node: NodeId(nid as u32),
@@ -759,7 +745,7 @@ impl Machine {
             return;
         }
         let (wire, inject_ready, release, proc_release) = {
-            let node = &mut m.nodes[nid];
+            let node = &mut *ctx.node;
             let Some(send) = node.proc.current_send.as_mut() else {
                 return;
             };
@@ -817,10 +803,10 @@ impl Machine {
             )
         };
         let mut wire = wire;
-        wire.id = m.alloc_msg_id();
-        m.charge_span(Component::ProcSend, NodeId(nid as u32), now, proc_release);
-        m.record(now, wire.src, wire.id, TraceKind::SendStart);
-        m.nodes[nid].ni.outstanding.insert(
+        wire.id = ctx.node.alloc_msg_id();
+        ctx.charge_span(Component::ProcSend, NodeId(nid as u32), now, proc_release);
+        ctx.record(now, wire.src, wire.id, TraceKind::SendStart);
+        ctx.node.ni.outstanding.insert(
             wire.id,
             OutstandingFrag {
                 wire,
@@ -829,85 +815,24 @@ impl Machine {
                 gave_up: false,
             },
         );
-        m.progress += 1;
+        ctx.progress();
         if rel_on {
-            Machine::schedule_ack_timer(m, sim, NodeId(nid as u32), wire.id, 0);
+            Machine::schedule_ack_timer(ctx, NodeId(nid as u32), wire.id, 0);
         }
-        Machine::inject(m, sim, wire, inject_ready, Component::LinkSerialization);
+        ctx.inject(wire, inject_ready, Component::LinkSerialization);
 
-        let node = &mut m.nodes[nid];
+        let node = &mut *ctx.node;
         node.proc.phase = ProcPhase::Busy;
         node.proc.busy_until = release;
-        Machine::sched(m, sim, release, MachineEvent::ProcRun { node: nid });
-    }
-
-    /// Puts a fragment on the wire from its source's egress port and
-    /// schedules the arrival(s) — the fault layer may drop, duplicate,
-    /// corrupt or delay the message.
-    ///
-    /// `charge_as` says which component the egress serialization time is
-    /// accounted to: [`Component::LinkSerialization`] for first sends and
-    /// flow-control retries, [`Component::Retransmit`] for
-    /// reliability-layer retransmissions.
-    fn inject(
-        m: &mut Machine,
-        sim: &mut MachineSim,
-        wire: WireMsg,
-        ready: Time,
-        charge_as: Component,
-    ) {
-        let net = m.cfg.net;
-        let bytes = wire.wire_bytes(net.header_bytes);
-        let (start, end) = m.nodes[wire.src.index()]
-            .hw
-            .egress
-            .transmit(&net, ready, bytes);
-        m.charge_span(charge_as, wire.src, start, end);
-        m.record(start, wire.src, wire.id, TraceKind::Inject);
-        let Some(plan) = &mut m.fault else {
-            let arrive = m.fabric.transit(&net, end, wire.src, wire.dst, bytes);
-            Machine::sched(
-                m,
-                sim,
-                arrive,
-                MachineEvent::Arrival {
-                    wire,
-                    corrupted: false,
-                },
-            );
-            return;
-        };
-        let deliveries = plan.deliveries(end, wire.src, wire.dst);
-        if deliveries.is_empty() {
-            m.record(end, wire.src, wire.id, TraceKind::WireDrop);
-            return;
-        }
-        for d in deliveries {
-            let arrive = m.fabric.transit(&net, end, wire.src, wire.dst, bytes) + d.extra_delay;
-            Machine::sched(
-                m,
-                sim,
-                arrive,
-                MachineEvent::Arrival {
-                    wire,
-                    corrupted: d.corrupted,
-                },
-            );
-        }
+        ctx.sched(release, MachineEvent::ProcRun { node: nid });
     }
 
     /// Arms the ack timer for an outstanding fragment's retransmission
     /// attempt (reliability layer).
-    fn schedule_ack_timer(
-        m: &mut Machine,
-        sim: &mut MachineSim,
-        src: NodeId,
-        id: MsgId,
-        attempt: u32,
-    ) {
-        let timeout = m.cfg.reliability.timeout_for(attempt);
-        sim.schedule_event_in(
-            timeout,
+    fn schedule_ack_timer(ctx: &mut EvCtx<'_>, src: NodeId, id: MsgId, attempt: u32) {
+        let timeout = ctx.cfg.reliability.timeout_for(attempt);
+        ctx.sched(
+            ctx.now + timeout,
             MachineEvent::AckTimeout {
                 src,
                 msg: id,
@@ -919,16 +844,9 @@ impl Machine {
     /// An ack timer fired: if the fragment is still unacked and this
     /// timer is current (not superseded by a later retransmission),
     /// retransmit or give up.
-    pub(crate) fn ack_timeout(
-        m: &mut Machine,
-        sim: &mut MachineSim,
-        src: NodeId,
-        id: MsgId,
-        attempt: u32,
-    ) {
-        let rel = m.cfg.reliability;
-        let nid = src.index();
-        let Some(entry) = m.nodes[nid].ni.outstanding.get_mut(&id) else {
+    pub(crate) fn ack_timeout(ctx: &mut EvCtx<'_>, src: NodeId, id: MsgId, attempt: u32) {
+        let rel = ctx.cfg.reliability;
+        let Some(entry) = ctx.node.ni.outstanding.get_mut(&id) else {
             return; // acked in the meantime — stale timer
         };
         if entry.gave_up || entry.attempt != attempt {
@@ -936,9 +854,9 @@ impl Machine {
         }
         if entry.attempt >= rel.max_retries {
             entry.gave_up = true;
-            m.nodes[nid].ni.rel_stats.gave_up += 1;
-            m.violation(
-                sim.now(),
+            ctx.node.ni.rel_stats.gave_up += 1;
+            ctx.violation(
+                ctx.now,
                 ProtocolViolation::RetryCapExhausted {
                     node: src,
                     msg: id,
@@ -950,32 +868,29 @@ impl Machine {
         entry.attempt += 1;
         let next_attempt = entry.attempt;
         let wire = entry.wire;
-        m.nodes[nid].ni.rel_stats.retransmits += 1;
-        m.record(sim.now(), src, id, TraceKind::Retransmit);
-        Machine::inject(m, sim, wire, sim.now(), Component::Retransmit);
-        Machine::schedule_ack_timer(m, sim, src, id, next_attempt);
+        ctx.node.ni.rel_stats.retransmits += 1;
+        ctx.record(ctx.now, src, id, TraceKind::Retransmit);
+        ctx.inject(wire, ctx.now, Component::Retransmit);
+        Machine::schedule_ack_timer(ctx, src, id, next_attempt);
     }
 
     /// A data fragment arrives at its destination NI.
-    pub(crate) fn arrival(m: &mut Machine, sim: &mut MachineSim, wire: WireMsg, corrupted: bool) {
-        let now = sim.now();
-        let net = m.cfg.net;
-        let costs = m.cfg.costs;
-        let dst = wire.dst.index();
+    pub(crate) fn arrival(ctx: &mut EvCtx<'_>, wire: WireMsg, corrupted: bool) {
+        let now = ctx.now;
+        let net = ctx.cfg.net;
+        let costs = ctx.cfg.costs;
         let bytes = wire.wire_bytes(net.header_bytes);
 
-        let node = &mut m.nodes[dst];
-        let (eject_start, ejected) = node.hw.ingress.transmit(&net, now, bytes);
-        m.charge_span(Component::LinkSerialization, wire.dst, eject_start, ejected);
-        let node = &mut m.nodes[dst];
+        let (eject_start, ejected) = ctx.node.hw.ingress.transmit(&net, now, bytes);
+        ctx.charge_span(Component::LinkSerialization, wire.dst, eject_start, ejected);
 
         // A corrupted payload fails the checksum after ejection: it has
         // consumed wire bandwidth but is neither deposited, acked nor
         // returned — end-to-end it behaves like a late drop, and the
         // sender's ack timeout recovers it.
         if corrupted {
-            node.ni.rel_stats.corrupt_discards += 1;
-            m.record(ejected, wire.dst, wire.id, TraceKind::CorruptDiscard);
+            ctx.node.ni.rel_stats.corrupt_discards += 1;
+            ctx.record(ejected, wire.dst, wire.id, TraceKind::CorruptDiscard);
             return;
         }
 
@@ -983,15 +898,16 @@ impl Machine {
         // number is discarded but still acked — the duplicate usually
         // means the original's ack was lost, and the sender needs one.
         if let Some(seq) = wire.seq {
-            if node.ni.rel_rx.already_seen(wire.src, seq) {
-                node.ni.rel_stats.dup_discards += 1;
-                m.record(ejected, wire.dst, wire.id, TraceKind::DupDiscard);
-                let node = &mut m.nodes[dst];
-                let (_, ack_end) = node.hw.egress.transmit(&net, ejected, costs.ack_wire_bytes);
+            if ctx.node.ni.rel_rx.already_seen(wire.src, seq) {
+                ctx.node.ni.rel_stats.dup_discards += 1;
+                ctx.record(ejected, wire.dst, wire.id, TraceKind::DupDiscard);
+                let (_, ack_end) = ctx
+                    .node
+                    .hw
+                    .egress
+                    .transmit(&net, ejected, costs.ack_wire_bytes);
                 let ack_at = ack_end + net.wire_latency;
-                Machine::sched(
-                    m,
-                    sim,
+                ctx.sched(
                     ack_at,
                     MachineEvent::AckArrival {
                         src: wire.src,
@@ -1002,7 +918,7 @@ impl Machine {
             }
         }
 
-        let node = &mut m.nodes[dst];
+        let node = &mut *ctx.node;
         let accepted = node.ni.model.has_room(bytes) && node.ni.fc.try_alloc_recv();
         {
             let kind = if accepted {
@@ -1010,12 +926,12 @@ impl Machine {
             } else {
                 TraceKind::Reject
             };
-            m.record(ejected, wire.dst, wire.id, kind);
+            ctx.record(ejected, wire.dst, wire.id, kind);
         }
         if accepted {
-            m.progress += 1;
+            ctx.progress();
         }
-        let node = &mut m.nodes[dst];
+        let node = &mut *ctx.node;
         if accepted {
             // Commit the sequence number only now: a rejected fragment
             // is returned and retried, and its retry must not be
@@ -1026,9 +942,7 @@ impl Machine {
             // Ack the sender on the (guaranteed) second network.
             let (_, ack_end) = node.hw.egress.transmit(&net, ejected, costs.ack_wire_bytes);
             let ack_at = ack_end + net.wire_latency;
-            Machine::sched(
-                m,
-                sim,
+            ctx.sched(
                 ack_at,
                 MachineEvent::AckArrival {
                     src: wire.src,
@@ -1036,7 +950,7 @@ impl Machine {
                 },
             );
 
-            let node = &mut m.nodes[dst];
+            let node = &mut *ctx.node;
             let dep = node.ni.model.deposit_fragment(
                 &mut node.hw,
                 &costs,
@@ -1057,12 +971,10 @@ impl Machine {
                 frees_buffer_at_drain: !frees_at_deposit,
             });
             node.ni.stats.fragments_received.inc();
-            Machine::sched(
-                m,
-                sim,
+            ctx.sched(
                 dep.done,
                 MachineEvent::DepositDone {
-                    dst,
+                    dst: ctx.nid,
                     frees_buffer: frees_at_deposit,
                 },
             );
@@ -1070,18 +982,18 @@ impl Machine {
             // Return to sender on the guaranteed channel.
             let (_, ret_end) = node.hw.egress.transmit(&net, ejected, bytes);
             let back_at = ret_end + net.wire_latency;
-            Machine::sched(m, sim, back_at, MachineEvent::ReturnArrival { wire });
+            ctx.sched(back_at, MachineEvent::ReturnArrival { wire });
         }
     }
 
     /// The NI finished depositing an accepted fragment: release the
     /// flow-control buffer if this NI frees at deposit, and wake the
     /// receiving processor to drain.
-    pub(crate) fn deposit_done(m: &mut Machine, sim: &mut MachineSim, dst: usize, frees: bool) {
+    pub(crate) fn deposit_done(ctx: &mut EvCtx<'_>, frees: bool) {
         if frees {
-            m.nodes[dst].ni.fc.free_recv();
+            ctx.node.ni.fc.free_recv();
         }
-        Machine::try_wake(m, sim, dst);
+        Machine::try_wake(ctx);
     }
 
     /// A crash window opens on `node` (fault injection): the NI warm-
@@ -1097,8 +1009,8 @@ impl Machine {
     /// off the wire, dedup suppresses re-deliveries of fragments that had
     /// already been accepted, and anything unrecoverable is surfaced in
     /// [`RelStats::crash_lost`] rather than silently dropped.
-    pub(crate) fn node_crash(m: &mut Machine, _sim: &mut MachineSim, nid: usize) {
-        let node = &mut m.nodes[nid];
+    pub(crate) fn node_crash(ctx: &mut EvCtx<'_>) {
+        let node = &mut *ctx.node;
         let wiped = std::mem::take(&mut node.ni.rx_ready);
         for e in &wiped {
             node.ni.rel_stats.crash_lost += 1;
@@ -1114,16 +1026,8 @@ impl Machine {
         // drained fragments are gone, and their seqs are already in the
         // dedup window, so the transfer can never complete. Count each
         // abandoned transfer as crash-lost.
-        let dst = nid as u32;
-        let keys: Vec<(u32, u32, u64)> = m
-            .assembling
-            .range((dst, 0, 0)..(dst + 1, 0, 0))
-            .map(|(&k, _)| k)
-            .collect();
-        for k in keys {
-            m.assembling.remove(&k);
-            m.nodes[nid].ni.rel_stats.crash_lost += 1;
-        }
+        let abandoned = std::mem::take(&mut node.assembling);
+        node.ni.rel_stats.crash_lost += abandoned.len() as u64;
     }
 
     /// An ack arrives back at the sender: release the outgoing buffer.
@@ -1132,21 +1036,20 @@ impl Machine {
     /// with the reliability layer on (a duplicate's re-ack racing the
     /// original ack) and is absorbed; in a loss-free run it is a
     /// protocol violation, recorded instead of panicking.
-    pub(crate) fn ack_arrival(m: &mut Machine, sim: &mut MachineSim, src: NodeId, id: MsgId) {
-        let nid = src.index();
-        if m.nodes[nid].ni.outstanding.remove(&id).is_none() {
-            if !m.cfg.reliability.enabled {
-                m.violation(
-                    sim.now(),
+    pub(crate) fn ack_arrival(ctx: &mut EvCtx<'_>, src: NodeId, id: MsgId) {
+        if ctx.node.ni.outstanding.remove(&id).is_none() {
+            if !ctx.cfg.reliability.enabled {
+                ctx.violation(
+                    ctx.now,
                     ProtocolViolation::AckForUnknownFragment { node: src, msg: id },
                 );
             }
             return;
         }
-        m.nodes[nid].ni.fc.ack_received();
-        m.progress += 1;
-        m.record(sim.now(), src, id, TraceKind::Ack);
-        Machine::try_wake(m, sim, nid);
+        ctx.node.ni.fc.ack_received();
+        ctx.progress();
+        ctx.record(ctx.now, src, id, TraceKind::Ack);
+        Machine::try_wake(ctx);
     }
 
     /// A returned fragment arrives back at the sender: absorb it and
@@ -1156,18 +1059,17 @@ impl Machine {
     /// (processor-involved buffering) hand the returned fragment to the
     /// sending *processor*, which must re-push it through the full send
     /// path — the §3.2 cost of processor-managed buffering.
-    pub(crate) fn return_arrival(m: &mut Machine, sim: &mut MachineSim, wire: WireMsg) {
-        let max_backoff = m.cfg.retry_backoff_max;
-        m.record(sim.now(), wire.src, wire.id, TraceKind::Return);
-        let nid = wire.src.index();
+    pub(crate) fn return_arrival(ctx: &mut EvCtx<'_>, wire: WireMsg) {
+        let max_backoff = ctx.cfg.retry_backoff_max;
+        ctx.record(ctx.now, wire.src, wire.id, TraceKind::Return);
         // Under duplication one copy can be accepted (and acked) while
         // the other is rejected and returned; the late return then finds
         // no outstanding entry and its buffer already released. Absorb
         // it; without the reliability layer it is a recorded violation.
-        if !m.nodes[nid].ni.outstanding.contains_key(&wire.id) {
-            if !m.cfg.reliability.enabled {
-                m.violation(
-                    sim.now(),
+        if !ctx.node.ni.outstanding.contains_key(&wire.id) {
+            if !ctx.cfg.reliability.enabled {
+                ctx.violation(
+                    ctx.now,
                     ProtocolViolation::ReturnForUnknownFragment {
                         node: wire.src,
                         msg: wire.id,
@@ -1176,15 +1078,15 @@ impl Machine {
             }
             return;
         }
-        let node = &mut m.nodes[nid];
+        let node = &mut *ctx.node;
         let Some(entry) = node.ni.outstanding.get_mut(&wire.id) else {
             return;
         };
         node.ni.fc.return_absorbed();
         let backoff = entry.backoff;
         entry.backoff = (backoff * 2).min(max_backoff);
-        sim.schedule_event_in(
-            backoff,
+        ctx.sched(
+            ctx.now + backoff,
             MachineEvent::Retry {
                 src: wire.src,
                 msg: wire.id,
@@ -1193,14 +1095,13 @@ impl Machine {
     }
 
     /// Retries a previously returned fragment once its backoff elapses.
-    pub(crate) fn retry(m: &mut Machine, sim: &mut MachineSim, src: NodeId, id: MsgId) {
-        let nid = src.index();
-        match m.nodes[nid].ni.outstanding.get(&id) {
+    pub(crate) fn retry(ctx: &mut EvCtx<'_>, src: NodeId, id: MsgId) {
+        match ctx.node.ni.outstanding.get(&id) {
             None => {
                 // Acked while the backoff ran (duplicate races).
-                if !m.cfg.reliability.enabled {
-                    m.violation(
-                        sim.now(),
+                if !ctx.cfg.reliability.enabled {
+                    ctx.violation(
+                        ctx.now,
                         ProtocolViolation::RetryForUnknownFragment { node: src, msg: id },
                     );
                 }
@@ -1209,19 +1110,19 @@ impl Machine {
             Some(entry) if entry.gave_up => return,
             Some(_) => {}
         }
-        m.record(sim.now(), src, id, TraceKind::Retry);
-        let node = &mut m.nodes[nid];
+        ctx.record(ctx.now, src, id, TraceKind::Retry);
+        let node = &mut *ctx.node;
         let Some(wire) = node.ni.outstanding.get(&id).map(|e| e.wire) else {
             return;
         };
         node.ni.fc.retried();
         if node.ni.model.frees_buffer_at_deposit() {
             // NI-managed buffering: the NI re-injects on its own.
-            Machine::inject(m, sim, wire, sim.now(), Component::LinkSerialization);
+            ctx.inject(wire, ctx.now, Component::LinkSerialization);
         } else {
             // Processor-managed buffering: queue a software re-send.
             node.proc.pending_resends.push_back(wire);
-            Machine::try_wake(m, sim, nid);
+            Machine::try_wake(ctx);
         }
     }
 
@@ -1231,21 +1132,21 @@ impl Machine {
     /// buffering time (§3.2, §5.1.2: "the sender must consume the
     /// returning message from the network into the previously allocated
     /// buffer and retry the send later").
-    fn do_resend(m: &mut Machine, sim: &mut MachineSim, nid: usize) {
-        let now = sim.now();
-        let costs = m.cfg.costs;
-        let header = m.cfg.net.header_bytes;
-        if m.nodes[nid].proc.pending_resends.is_empty() {
-            m.violation(
+    fn do_resend(ctx: &mut EvCtx<'_>) {
+        let now = ctx.now;
+        let costs = ctx.cfg.costs;
+        let header = ctx.cfg.net.header_bytes;
+        if ctx.node.proc.pending_resends.is_empty() {
+            ctx.violation(
                 now,
                 ProtocolViolation::ResendWithoutPending {
-                    node: NodeId(nid as u32),
+                    node: NodeId(ctx.nid as u32),
                 },
             );
             return;
         }
         let (wire, inject_ready, release) = {
-            let node = &mut m.nodes[nid];
+            let node = &mut *ctx.node;
             let Some(wire) = node.proc.pending_resends.pop_front() else {
                 return;
             };
@@ -1269,22 +1170,23 @@ impl Machine {
                 .charge_to(path.proc_release, TimeCategory::Buffering);
             (wire, path.inject_ready, path.proc_release)
         };
-        Machine::inject(m, sim, wire, inject_ready, Component::LinkSerialization);
-        let node = &mut m.nodes[nid];
+        ctx.inject(wire, inject_ready, Component::LinkSerialization);
+        let node = &mut *ctx.node;
         node.proc.phase = ProcPhase::Busy;
         node.proc.busy_until = release;
-        Machine::sched(m, sim, release, MachineEvent::ProcRun { node: nid });
+        ctx.sched(release, MachineEvent::ProcRun { node: ctx.nid });
     }
 
     /// Drains the oldest consumable fragment and runs the handler if it
     /// completes an application message.
-    fn do_drain(m: &mut Machine, sim: &mut MachineSim, nid: usize) {
-        let now = sim.now();
-        let costs = m.cfg.costs;
-        let header = m.cfg.net.header_bytes;
+    fn do_drain(ctx: &mut EvCtx<'_>) {
+        let now = ctx.now;
+        let nid = ctx.nid;
+        let costs = ctx.cfg.costs;
+        let header = ctx.cfg.net.header_bytes;
 
-        if m.nodes[nid].ni.peek_ready(now).is_none() {
-            m.violation(
+        if ctx.node.ni.peek_ready(now).is_none() {
+            ctx.violation(
                 now,
                 ProtocolViolation::DrainWithoutReady {
                     node: NodeId(nid as u32),
@@ -1292,9 +1194,9 @@ impl Machine {
             );
             return;
         }
-        m.progress += 1;
+        ctx.progress();
         let (entry, drained_at) = {
-            let node = &mut m.nodes[nid];
+            let node = &mut *ctx.node;
             let Some(entry) = node.ni.pop_ready(now) else {
                 return;
             };
@@ -1323,17 +1225,15 @@ impl Machine {
             (entry, t)
         };
 
-        m.charge_span(
+        ctx.charge_span(
             Component::NiResidency,
             NodeId(nid as u32),
             entry.ready_at,
             now,
         );
-        m.charge_span(Component::ProcRecv, NodeId(nid as u32), now, drained_at);
-        if let Some(mm) = &mut m.metrics {
-            mm.frag_queue.record(entry.queueing_delay(now).as_ns());
-        }
-        m.record(
+        ctx.charge_span(Component::ProcRecv, NodeId(nid as u32), now, drained_at);
+        ctx.frag_queue(entry.queueing_delay(now).as_ns());
+        ctx.record(
             drained_at,
             NodeId(nid as u32),
             entry.msg_id,
@@ -1341,21 +1241,20 @@ impl Machine {
         );
 
         // Assembly: the application message completes when all its
-        // fragments are drained.
-        let key = (nid as u32, entry.src.0, entry.transfer_id);
-        let drained = self_entry_increment(&mut m.assembling, key);
+        // fragments are drained. The assembly map is keyed per receiving
+        // node by (source node, transfer id) — transfer ids are unique
+        // per source (node-tagged in the high bits), so the key cannot
+        // collide across senders.
+        let key = (entry.src.0, entry.transfer_id);
+        let drained = self_entry_increment(&mut ctx.node.assembling, key);
         let finish = if drained == entry.frag.of {
-            m.assembling.remove(&key);
-            m.app_messages += 1;
-            if let Some(started) = m.transfer_started.remove(&entry.transfer_id) {
-                m.msg_latency
-                    .record(drained_at.saturating_since(started).as_ns() as f64);
-                if let Some(mm) = &mut m.metrics {
-                    mm.msg_rtt
-                        .record(drained_at.saturating_since(started).as_ns());
-                }
+            ctx.node.assembling.remove(&key);
+            ctx.app_message();
+            if let Some(started) = ctx.transfer_take(entry.transfer_id) {
+                ctx.msg_latency(drained_at.saturating_since(started).as_ns() as f64);
+                ctx.msg_rtt(drained_at.saturating_since(started).as_ns());
             }
-            let node = &mut m.nodes[nid];
+            let node = &mut *ctx.node;
             let dispatch_done = drained_at
                 + node
                     .hw
@@ -1373,13 +1272,13 @@ impl Machine {
             node.proc.queued_sends.extend(handler.sends);
             node.proc.app_messages_handled += 1;
             let msg_id = entry.msg_id;
-            m.charge_span(
+            ctx.charge_span(
                 Component::ProcRecv,
                 NodeId(nid as u32),
                 drained_at,
                 dispatch_done,
             );
-            m.record(
+            ctx.record(
                 dispatch_done,
                 NodeId(nid as u32),
                 msg_id,
@@ -1390,17 +1289,273 @@ impl Machine {
             drained_at
         };
 
-        let node = &mut m.nodes[nid];
+        let node = &mut *ctx.node;
         node.proc.phase = ProcPhase::Busy;
         node.proc.busy_until = finish;
-        Machine::sched(m, sim, finish, MachineEvent::ProcRun { node: nid });
+        ctx.sched(finish, MachineEvent::ProcRun { node: nid });
     }
 }
 
-fn self_entry_increment(map: &mut BTreeMap<(u32, u32, u64), u32>, key: (u32, u32, u64)) -> u32 {
+fn self_entry_increment(map: &mut BTreeMap<(u32, u64), u32>, key: (u32, u64)) -> u32 {
     let v = map.entry(key).or_insert(0);
     *v += 1;
     *v
+}
+
+impl Globals {
+    /// Charges the closed span `[start, end)` to `component` — and to
+    /// its trace track when tracing. Retransmit wire time routes through
+    /// the reliability layer's [`RelMetrics`] handle so it is never
+    /// conflated with first-transmission serialization. No-op (one
+    /// branch) when metrics are off.
+    pub(crate) fn charge_span(
+        &mut self,
+        component: Component,
+        node: NodeId,
+        start: Time,
+        end: Time,
+    ) {
+        let Some(mm) = &mut self.metrics else {
+            return;
+        };
+        let dur = end.saturating_since(start);
+        if component == Component::Retransmit {
+            mm.rel.charge_retransmit(dur);
+        } else {
+            mm.cycles.charge(component, dur);
+        }
+        if let Some(sink) = &mut mm.sink {
+            sink.span(component, node.0, start, end);
+        }
+    }
+
+    pub(crate) fn record(&mut self, at: Time, node: NodeId, msg: MsgId, kind: TraceKind) {
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent {
+                at,
+                node,
+                msg,
+                kind,
+            });
+        }
+    }
+
+    pub(crate) fn violation(&mut self, at: Time, kind: ProtocolViolation) {
+        self.violations.push(Violation { at, kind });
+    }
+}
+
+/// Schedules a machine event, converting a past-timestamp request into a
+/// recorded [`ProtocolViolation::EventScheduledInPast`] (the event is
+/// dropped) instead of aborting the run.
+pub(crate) fn sched_global(g: &mut Globals, sim: &mut MachineSim, at: Time, ev: MachineEvent) {
+    if let Err(e) = sim.schedule_event_at(at, ev) {
+        g.violation(
+            e.now,
+            ProtocolViolation::EventScheduledInPast {
+                at: e.at,
+                now: e.now,
+            },
+        );
+    }
+}
+
+/// The wire-side tail of a fragment injection: fault-plan resolution,
+/// fabric transit and arrival scheduling. Factored out of the egress
+/// handler because the fault plan's RNG draws, the fabric's link state
+/// and the arrival seq numbers are all global serial state — the epoch
+/// driver defers this tail to the serial replay while the egress timing
+/// itself runs concurrently in the sender's lane.
+pub(crate) fn wire_handoff(
+    net: &nisim_net::NetConfig,
+    g: &mut Globals,
+    sim: &mut MachineSim,
+    wire: WireMsg,
+    end: Time,
+) {
+    let bytes = wire.wire_bytes(net.header_bytes);
+    let Some(plan) = &mut g.fault else {
+        let arrive = g.fabric.transit(net, end, wire.src, wire.dst, bytes);
+        sched_global(
+            g,
+            sim,
+            arrive,
+            MachineEvent::Arrival {
+                wire,
+                corrupted: false,
+            },
+        );
+        return;
+    };
+    let deliveries = plan.deliveries(end, wire.src, wire.dst);
+    if deliveries.is_empty() {
+        g.record(end, wire.src, wire.id, TraceKind::WireDrop);
+        return;
+    }
+    for d in deliveries {
+        let arrive = g.fabric.transit(net, end, wire.src, wire.dst, bytes) + d.extra_delay;
+        sched_global(
+            g,
+            sim,
+            arrive,
+            MachineEvent::Arrival {
+                wire,
+                corrupted: d.corrupted,
+            },
+        );
+    }
+}
+
+/// Where an event handler's machine-global effects go.
+pub(crate) enum Gmode<'a> {
+    /// Classic serial execution: effects apply immediately.
+    Serial {
+        g: &'a mut Globals,
+        sim: &'a mut MachineSim,
+    },
+    /// Epoch-parallel lane execution: effects are recorded as ops and
+    /// replayed in exact serial order by the coordinator
+    /// (`crate::epoch`). `started` is the epoch-frozen view of
+    /// [`Globals::transfer_started`] — reads are safe because a transfer
+    /// can only complete a full wire latency after its insert, which the
+    /// lookahead puts in a later epoch.
+    Lane {
+        sink: &'a mut crate::epoch::LaneSink,
+        started: &'a BTreeMap<u64, Time>,
+    },
+}
+
+/// The execution context of one event handler: the single node the event
+/// targets, the config, and a route for machine-global effects. The
+/// handler code is identical in both modes; only the routing differs,
+/// which is what makes the parallel run byte-identical by construction.
+pub(crate) struct EvCtx<'a> {
+    /// The event's firing time (`sim.now()` in serial mode).
+    pub(crate) now: Time,
+    /// The target node's index.
+    pub(crate) nid: usize,
+    /// Total node count (for the send-target bounds assert).
+    pub(crate) nodes_len: usize,
+    pub(crate) cfg: &'a MachineConfig,
+    pub(crate) node: &'a mut Node,
+    pub(crate) g: Gmode<'a>,
+}
+
+impl EvCtx<'_> {
+    fn sched(&mut self, at: Time, ev: MachineEvent) {
+        match &mut self.g {
+            Gmode::Serial { g, sim } => sched_global(g, sim, at, ev),
+            Gmode::Lane { sink, .. } => sink.sched(self.now, self.nid, at, ev),
+        }
+    }
+
+    fn progress(&mut self) {
+        match &mut self.g {
+            Gmode::Serial { g, .. } => g.progress += 1,
+            Gmode::Lane { sink, .. } => sink.progress(),
+        }
+    }
+
+    fn violation(&mut self, at: Time, kind: ProtocolViolation) {
+        match &mut self.g {
+            Gmode::Serial { g, .. } => g.violation(at, kind),
+            Gmode::Lane { sink, .. } => sink.violation(at, kind),
+        }
+    }
+
+    fn record(&mut self, at: Time, node: NodeId, msg: MsgId, kind: TraceKind) {
+        match &mut self.g {
+            Gmode::Serial { g, .. } => g.record(at, node, msg, kind),
+            Gmode::Lane { sink, .. } => sink.record(at, node, msg, kind),
+        }
+    }
+
+    fn charge_span(&mut self, component: Component, node: NodeId, start: Time, end: Time) {
+        match &mut self.g {
+            Gmode::Serial { g, .. } => g.charge_span(component, node, start, end),
+            Gmode::Lane { sink, .. } => sink.span(component, node, start, end),
+        }
+    }
+
+    fn frag_queue(&mut self, ns: u64) {
+        match &mut self.g {
+            Gmode::Serial { g, .. } => {
+                if let Some(mm) = &mut g.metrics {
+                    mm.frag_queue.record(ns);
+                }
+            }
+            Gmode::Lane { sink, .. } => sink.frag_queue(ns),
+        }
+    }
+
+    fn msg_rtt(&mut self, ns: u64) {
+        match &mut self.g {
+            Gmode::Serial { g, .. } => {
+                if let Some(mm) = &mut g.metrics {
+                    mm.msg_rtt.record(ns);
+                }
+            }
+            Gmode::Lane { sink, .. } => sink.msg_rtt(ns),
+        }
+    }
+
+    fn msg_size(&mut self, bytes: u64) {
+        match &mut self.g {
+            Gmode::Serial { g, .. } => g.msg_size_hist.record(bytes),
+            Gmode::Lane { sink, .. } => sink.msg_size(bytes),
+        }
+    }
+
+    fn msg_latency(&mut self, ns: f64) {
+        match &mut self.g {
+            Gmode::Serial { g, .. } => g.msg_latency.record(ns),
+            Gmode::Lane { sink, .. } => sink.msg_latency(ns),
+        }
+    }
+
+    fn app_message(&mut self) {
+        match &mut self.g {
+            Gmode::Serial { g, .. } => g.app_messages += 1,
+            Gmode::Lane { sink, .. } => sink.app_message(),
+        }
+    }
+
+    fn transfer_start(&mut self, tid: u64, at: Time) {
+        match &mut self.g {
+            Gmode::Serial { g, .. } => {
+                g.transfer_started.insert(tid, at);
+            }
+            Gmode::Lane { sink, .. } => sink.transfer_start(tid, at),
+        }
+    }
+
+    fn transfer_take(&mut self, tid: u64) -> Option<Time> {
+        match &mut self.g {
+            Gmode::Serial { g, .. } => g.transfer_started.remove(&tid),
+            Gmode::Lane { sink, started } => sink.transfer_take(started, tid),
+        }
+    }
+
+    /// Puts a fragment on the wire from this node's egress port and
+    /// schedules the arrival(s) — the fault layer may drop, duplicate,
+    /// corrupt or delay the message.
+    ///
+    /// `charge_as` says which component the egress serialization time is
+    /// accounted to: [`Component::LinkSerialization`] for first sends and
+    /// flow-control retries, [`Component::Retransmit`] for
+    /// reliability-layer retransmissions.
+    fn inject(&mut self, wire: WireMsg, ready: Time, charge_as: Component) {
+        debug_assert_eq!(wire.src.index(), self.nid);
+        let net = self.cfg.net;
+        let bytes = wire.wire_bytes(net.header_bytes);
+        let (start, end) = self.node.hw.egress.transmit(&net, ready, bytes);
+        self.charge_span(charge_as, wire.src, start, end);
+        self.record(start, wire.src, wire.id, TraceKind::Inject);
+        match &mut self.g {
+            Gmode::Serial { g, sim } => wire_handoff(&net, g, sim, wire, end),
+            Gmode::Lane { sink, .. } => sink.inject(wire, end),
+        }
+    }
 }
 
 impl std::fmt::Debug for Machine {
@@ -1408,7 +1563,7 @@ impl std::fmt::Debug for Machine {
         f.debug_struct("Machine")
             .field("nodes", &self.nodes.len())
             .field("ni", &self.cfg.ni)
-            .field("app_messages", &self.app_messages)
+            .field("app_messages", &self.g.app_messages)
             .finish_non_exhaustive()
     }
 }

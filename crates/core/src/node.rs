@@ -224,7 +224,23 @@ pub struct Node {
     pub ledger: TimeLedger,
     /// The workload running on this node.
     pub process: Box<dyn Process>,
+    /// Node-local counter behind [`Node::alloc_msg_id`].
+    pub(crate) next_msg_id: u64,
+    /// Node-local counter behind [`Node::alloc_transfer_id`].
+    pub(crate) next_transfer_id: u64,
+    /// Fragments drained so far per incoming `(src, transfer)` — the
+    /// receive-side assembly state of application messages addressed to
+    /// this node. Node-local so a node's event chain (including a crash
+    /// wiping its partial assemblies) touches no shared state.
+    pub(crate) assembling: std::collections::BTreeMap<(u32, u64), u32>,
 }
+
+/// Per-node identifier spaces: ids carry the allocating node in the high
+/// bits so every node can mint message and transfer ids without touching
+/// shared state — a serial run and an epoch-stepped parallel run assign
+/// identical values. 24 bits of node (machines top out far below that)
+/// over 40 bits of local counter.
+const ID_NODE_SHIFT: u32 = 40;
 
 impl Node {
     /// True when this node holds no unfinished work: its program is done
@@ -234,6 +250,20 @@ impl Node {
         self.proc.is_locally_quiescent()
             && self.ni.rx_ready.is_empty()
             && self.ni.outstanding.is_empty()
+    }
+
+    /// Mints the next fragment id from this node's id space.
+    pub(crate) fn alloc_msg_id(&mut self) -> nisim_net::MsgId {
+        let local = self.next_msg_id;
+        self.next_msg_id += 1;
+        nisim_net::MsgId(((self.id.0 as u64) << ID_NODE_SHIFT) | local)
+    }
+
+    /// Mints the next transfer id from this node's id space.
+    pub(crate) fn alloc_transfer_id(&mut self) -> u64 {
+        let local = self.next_transfer_id;
+        self.next_transfer_id += 1;
+        ((self.id.0 as u64) << ID_NODE_SHIFT) | local
     }
 }
 
@@ -380,6 +410,35 @@ mod tests {
     #[test]
     fn cycles_at_1ghz() {
         assert_eq!(hw().cycles(12), Dur::ns(12));
+    }
+
+    #[test]
+    fn id_spaces_are_per_node_and_disjoint() {
+        use crate::process::IdleProcess;
+        use crate::processor::ProcState;
+        let cfg = MachineConfig::default();
+        let mk = |i: u32| Node {
+            id: NodeId(i),
+            hw: NodeHw::new(&cfg, NiKind::Cm5),
+            ni: NiUnit::new(&cfg),
+            proc: ProcState::new(),
+            ledger: TimeLedger::new(Time::ZERO),
+            process: Box::new(IdleProcess),
+            next_msg_id: 0,
+            next_transfer_id: 0,
+            assembling: Default::default(),
+        };
+        let mut n0 = mk(0);
+        let mut n1 = mk(1);
+        // Node 0's first id is 0 (compatible with pre-parallel traces);
+        // other nodes mint from disjoint high ranges, independent of
+        // allocation interleaving.
+        assert_eq!(n0.alloc_msg_id().0, 0);
+        assert_eq!(n0.alloc_msg_id().0, 1);
+        assert_eq!(n1.alloc_msg_id().0, 1 << 40);
+        assert_eq!(n0.alloc_transfer_id(), 0);
+        assert_eq!(n1.alloc_transfer_id(), 1 << 40);
+        assert_eq!(n1.alloc_transfer_id(), (1 << 40) | 1);
     }
 
     #[test]

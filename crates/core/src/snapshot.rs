@@ -43,7 +43,11 @@ use crate::process::{Process, SendSpec};
 use crate::processor::{ProcPhase, SendInProgress};
 
 /// Format version written into (and required of) every snapshot.
-pub const SNAPSHOT_VERSION: u64 = 1;
+///
+/// Version 2: message/transfer id counters and the fragment-assembly
+/// table moved from the machine to the per-node objects (per-node id
+/// spaces for the epoch-parallel driver).
+pub const SNAPSHOT_VERSION: u64 = 2;
 
 /// Why a snapshot could not be saved or restored.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -531,7 +535,7 @@ fn counter_from(v: u64) -> Counter {
 /// workload or NI model does not support checkpointing, or if tracing is
 /// on.
 pub fn save(machine: &Machine, sim: &mut MachineSim) -> Result<Json, SnapshotError> {
-    if machine.cfg.trace || machine.cfg.metrics.trace || machine.trace.is_some() {
+    if machine.cfg.trace || machine.cfg.metrics.trace || machine.g.trace.is_some() {
         return Err(SnapshotError::UnsupportedTrace);
     }
     let entries = sim.drain_entries();
@@ -651,54 +655,52 @@ pub fn save(machine: &Machine, sim: &mut MachineSim) -> Result<Json, SnapshotErr
                 .set("ni", ni)
                 .set("proc", proc)
                 .set("ledger", ledger)
-                .set("process", process),
+                .set("process", process)
+                .set("next_msg_id", n.next_msg_id)
+                .set("next_transfer_id", n.next_transfer_id)
+                .set(
+                    "assembling",
+                    Json::Arr(
+                        n.assembling
+                            .iter()
+                            .map(|(&(src, transfer), &count)| {
+                                Json::Arr(vec![
+                                    Json::from(src),
+                                    Json::from(transfer),
+                                    Json::from(count),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
         );
     }
 
+    let g = &machine.g;
     let mut mach = Json::obj()
-        .set("next_msg_id", machine.next_msg_id)
-        .set("next_transfer_id", machine.next_transfer_id)
-        .set("msg_size_hist", machine.msg_size_hist.to_json())
-        .set(
-            "assembling",
-            Json::Arr(
-                machine
-                    .assembling
-                    .iter()
-                    .map(|(&(dst, src, transfer), &count)| {
-                        Json::Arr(vec![
-                            Json::from(dst),
-                            Json::from(src),
-                            Json::from(transfer),
-                            Json::from(count),
-                        ])
-                    })
-                    .collect(),
-            ),
-        )
+        .set("msg_size_hist", g.msg_size_hist.to_json())
         .set(
             "transfer_started",
             Json::Arr(
-                machine
-                    .transfer_started
+                g.transfer_started
                     .iter()
                     .map(|(&id, &at)| Json::Arr(vec![Json::from(id), Json::from(at.as_ns())]))
                     .collect(),
             ),
         )
-        .set("app_messages", machine.app_messages)
-        .set("msg_latency", machine.msg_latency.to_json())
-        .set("fabric", machine.fabric.snapshot())
+        .set("app_messages", g.app_messages)
+        .set("msg_latency", g.msg_latency.to_json())
+        .set("fabric", g.fabric.snapshot())
         .set(
             "violations",
-            Json::Arr(machine.violations.iter().map(violation_to_json).collect()),
+            Json::Arr(g.violations.iter().map(violation_to_json).collect()),
         )
-        .set("progress", machine.progress)
+        .set("progress", g.progress)
         .set("nodes", Json::Arr(nodes));
-    if let Some(plan) = &machine.fault {
+    if let Some(plan) = &g.fault {
         mach = mach.set("fault", plan.snapshot());
     }
-    if let Some(mm) = &machine.metrics {
+    if let Some(mm) = &g.metrics {
         mach = mach.set(
             "metrics",
             Json::obj()
@@ -769,37 +771,10 @@ pub fn restore(
     let mut machine = Machine::new(cfg, factory);
 
     let m = v.get("machine").ok_or_else(|| mal("missing machine"))?;
-    machine.next_msg_id = get_u64(m, "next_msg_id").ok_or_else(|| mal("next_msg_id"))?;
-    machine.next_transfer_id =
-        get_u64(m, "next_transfer_id").ok_or_else(|| mal("next_transfer_id"))?;
-    machine.msg_size_hist = m
+    machine.g.msg_size_hist = m
         .get("msg_size_hist")
         .and_then(Histogram::from_json)
         .ok_or_else(|| mal("msg_size_hist"))?;
-    let mut assembling = BTreeMap::new();
-    for entry in m
-        .get("assembling")
-        .and_then(Json::as_arr)
-        .ok_or_else(|| mal("assembling"))?
-    {
-        let parts = entry
-            .as_arr()
-            .and_then(|a| <&[Json; 4]>::try_from(a).ok())
-            .ok_or_else(|| mal("assembling entry"))?;
-        let nums = parts
-            .iter()
-            .map(Json::as_u64)
-            .collect::<Option<Vec<_>>>()
-            .ok_or_else(|| mal("assembling entry"))?;
-        let [dst, src, transfer, count] = nums[..] else {
-            return Err(mal("assembling entry"));
-        };
-        if dst > u32::MAX as u64 || src > u32::MAX as u64 || count > u32::MAX as u64 {
-            return Err(mal("assembling entry"));
-        }
-        assembling.insert((dst as u32, src as u32, transfer), count as u32);
-    }
-    machine.assembling = assembling;
     let mut transfer_started = BTreeMap::new();
     for entry in m
         .get("transfer_started")
@@ -815,19 +790,20 @@ pub fn restore(
         };
         transfer_started.insert(id, Time::from_ns(at));
     }
-    machine.transfer_started = transfer_started;
-    machine.app_messages = get_u64(m, "app_messages").ok_or_else(|| mal("app_messages"))?;
-    machine.msg_latency = m
+    machine.g.transfer_started = transfer_started;
+    machine.g.app_messages = get_u64(m, "app_messages").ok_or_else(|| mal("app_messages"))?;
+    machine.g.msg_latency = m
         .get("msg_latency")
         .and_then(Summary::from_json)
         .ok_or_else(|| mal("msg_latency"))?;
     if !machine
+        .g
         .fabric
         .restore(m.get("fabric").ok_or_else(|| mal("fabric"))?)
     {
         return Err(mal("fabric"));
     }
-    machine.violations = m
+    machine.g.violations = m
         .get("violations")
         .and_then(Json::as_arr)
         .ok_or_else(|| mal("violations"))?
@@ -835,8 +811,8 @@ pub fn restore(
         .map(violation_from_json)
         .collect::<Option<Vec<_>>>()
         .ok_or_else(|| mal("violations"))?;
-    machine.progress = get_u64(m, "progress").ok_or_else(|| mal("progress"))?;
-    match (&mut machine.fault, m.get("fault")) {
+    machine.g.progress = get_u64(m, "progress").ok_or_else(|| mal("progress"))?;
+    match (&mut machine.g.fault, m.get("fault")) {
         (Some(plan), Some(fj)) => {
             if !plan.restore(fj) {
                 return Err(mal("fault plan"));
@@ -845,7 +821,7 @@ pub fn restore(
         (None, None) => {}
         _ => return Err(mal("fault presence mismatch")),
     }
-    match (&mut machine.metrics, m.get("metrics")) {
+    match (&mut machine.g.metrics, m.get("metrics")) {
         (Some(mm), Some(mj)) => {
             mm.cycles = mj
                 .get("cycles")
@@ -1011,6 +987,34 @@ pub fn restore(
         if !n.process.restore(process) {
             return Err(SnapshotError::UnsupportedWorkload { node: nid });
         }
+
+        n.next_msg_id = get_u64(nj, "next_msg_id").ok_or_else(|| mal("next_msg_id"))?;
+        n.next_transfer_id =
+            get_u64(nj, "next_transfer_id").ok_or_else(|| mal("next_transfer_id"))?;
+        let mut assembling = BTreeMap::new();
+        for entry in nj
+            .get("assembling")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| mal("assembling"))?
+        {
+            let parts = entry
+                .as_arr()
+                .and_then(|a| <&[Json; 3]>::try_from(a).ok())
+                .ok_or_else(|| mal("assembling entry"))?;
+            let nums = parts
+                .iter()
+                .map(Json::as_u64)
+                .collect::<Option<Vec<_>>>()
+                .ok_or_else(|| mal("assembling entry"))?;
+            let [src, transfer, count] = nums[..] else {
+                return Err(mal("assembling entry"));
+            };
+            if src > u32::MAX as u64 || count > u32::MAX as u64 {
+                return Err(mal("assembling entry"));
+            }
+            assembling.insert((src as u32, transfer), count as u32);
+        }
+        n.assembling = assembling;
     }
 
     let sj = v.get("sim").ok_or_else(|| mal("missing sim"))?;
@@ -1157,7 +1161,7 @@ mod tests {
             Time::from_ns(10_000_000_000),
             500_000_000,
             window,
-            |m| m.progress,
+            |m| m.g.progress,
         );
         machine.report(sim, status)
     }
@@ -1183,7 +1187,7 @@ mod tests {
             m.start(&mut sim);
             let window = m.cfg.watchdog_window;
             sim.run_watched(&mut m, Time::from_ns(10_000_000_000), cut, window, |x| {
-                x.progress
+                x.g.progress
             });
             let snap = save(&m, &mut sim).expect("snapshot");
             // The snapshot itself round-trips through the serializer.
@@ -1242,7 +1246,7 @@ mod tests {
             m.start(&mut sim);
             let window = m.cfg.watchdog_window;
             sim.run_watched(&mut m, Time::from_ns(10_000_000_000), cut, window, |x| {
-                x.progress
+                x.g.progress
             });
             let snap = save(&m, &mut sim).expect("snapshot");
             let (mut resumed, mut rsim) =
@@ -1369,7 +1373,7 @@ mod tests {
         m.start(&mut sim);
         let window = m.cfg.watchdog_window;
         sim.run_watched(&mut m, Time::from_ns(10_000_000_000), 30, window, |x| {
-            x.progress
+            x.g.progress
         });
         let snap = save(&m, &mut sim).expect("snapshot");
         let (mut resumed, mut rsim) = restore(cfg(), snap_factory(4, 200), &snap).expect("restore");

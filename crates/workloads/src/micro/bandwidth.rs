@@ -6,8 +6,7 @@
 //! payload megabytes per second at the *receiver* — the paper's
 //! process-to-process definition.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use nisim_core::process::{Action, AppMessage, HandlerSpec, Process, SendSpec};
 use nisim_core::{Machine, MachineConfig, NiKind};
@@ -59,7 +58,9 @@ struct SinkLog {
 }
 
 struct Sink {
-    log: Rc<RefCell<SinkLog>>,
+    // Arc so the caller can read the log after the run; only the sink
+    // node's process ever touches it during simulation.
+    log: Arc<Mutex<SinkLog>>,
 }
 
 impl Process for Sink {
@@ -69,7 +70,7 @@ impl Process for Sink {
 
     fn on_message(&mut self, msg: &AppMessage, now: Time) -> HandlerSpec {
         debug_assert_eq!(msg.tag, TAG_STREAM);
-        self.log.borrow_mut().times.push(now);
+        self.log.lock().unwrap().times.push(now);
         HandlerSpec::empty()
     }
 
@@ -102,7 +103,7 @@ pub fn measure_bandwidth_with_report(
     // the coherent NIs' queue regions (cold BusRdX fills).
     let count: u32 = 170;
     let warmup: usize = 70;
-    let log = Rc::new(RefCell::new(SinkLog::default()));
+    let log = Arc::new(Mutex::new(SinkLog::default()));
     let log_factory = log.clone();
     let cfg = cfg.clone().nodes(2);
     let payload = payload_bytes;
@@ -120,7 +121,7 @@ pub fn measure_bandwidth_with_report(
         }
     });
     assert!(report.all_quiescent, "stream did not complete: {report:?}");
-    let log = log.borrow();
+    let log = log.lock().unwrap();
     assert_eq!(log.times.len(), count as usize);
     let window = &log.times[warmup..];
     let elapsed = *window.last().expect("window non-empty") - window[0];

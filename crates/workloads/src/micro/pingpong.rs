@@ -7,8 +7,7 @@
 //! are process-to-process) and a few warm-up round trips precede the
 //! measurement so caches and queue laps reach steady state.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use nisim_core::process::{Action, AppMessage, HandlerSpec, Process, SendSpec};
 use nisim_core::{Machine, MachineConfig, NiKind};
@@ -40,7 +39,9 @@ struct Pinger {
     measured_left: u32,
     awaiting_pong: bool,
     sent_at: Time,
-    rtts: Rc<RefCell<Summary>>,
+    // Arc so the caller can read the samples after the run; only the
+    // pinger node's process ever touches it during simulation.
+    rtts: Arc<Mutex<Summary>>,
     done: bool,
 }
 
@@ -66,7 +67,8 @@ impl Process for Pinger {
         } else {
             self.measured_left -= 1;
             self.rtts
-                .borrow_mut()
+                .lock()
+                .unwrap()
                 .record((now - self.sent_at).as_ns() as f64);
         }
         HandlerSpec::empty()
@@ -121,7 +123,7 @@ pub fn measure_round_trip_with_report(
     cfg: &MachineConfig,
     payload_bytes: u64,
 ) -> (RoundTripResult, nisim_core::MachineReport) {
-    let rtts = Rc::new(RefCell::new(Summary::new()));
+    let rtts = Arc::new(Mutex::new(Summary::new()));
     let rtts_factory = rtts.clone();
     let cfg = cfg.clone().nodes(2);
     let payload = payload_bytes;
@@ -146,7 +148,7 @@ pub fn measure_round_trip_with_report(
         report.all_quiescent,
         "ping-pong did not complete: {report:?}"
     );
-    let s = rtts.borrow();
+    let s = rtts.lock().unwrap();
     (
         RoundTripResult {
             payload_bytes,

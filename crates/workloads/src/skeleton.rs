@@ -88,7 +88,10 @@ pub fn step_from_json(v: &Json) -> Option<Step> {
 }
 
 /// A macrobenchmark communication skeleton for one node.
-pub trait Skeleton {
+///
+/// `Send` is required (via [`Process`]) so nodes can be handed to
+/// epoch-driver worker threads.
+pub trait Skeleton: Send {
     /// The next program step. Called when the previous step completed
     /// (for [`Step::WaitUntilReady`]: when readiness was reached).
     fn next_step(&mut self, now: Time) -> Step;
@@ -409,8 +412,8 @@ mod tests {
 
     #[test]
     fn wait_until_ready_blocks_until_message() {
-        use std::cell::Cell;
-        use std::rc::Rc;
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
 
         struct Producer {
             sent: bool,
@@ -429,11 +432,11 @@ mod tests {
             }
         }
         struct Consumer {
-            got: Rc<Cell<bool>>,
+            got: Arc<AtomicBool>,
         }
         impl Skeleton for Consumer {
             fn next_step(&mut self, _now: Time) -> Step {
-                if self.got.get() {
+                if self.got.load(Ordering::Relaxed) {
                     Step::Done
                 } else {
                     Step::WaitUntilReady
@@ -442,15 +445,15 @@ mod tests {
             fn on_app_message(&mut self, msg: &AppMessage, _now: Time) -> HandlerSpec {
                 assert_eq!(msg.tag, 7);
                 assert_eq!(msg.payload_bytes, 64);
-                self.got.set(true);
+                self.got.store(true, Ordering::Relaxed);
                 HandlerSpec::compute(Dur::ns(5))
             }
             fn ready_to_proceed(&self) -> bool {
-                self.got.get()
+                self.got.load(Ordering::Relaxed)
             }
         }
 
-        let got = Rc::new(Cell::new(false));
+        let got = Arc::new(AtomicBool::new(false));
         let got2 = got.clone();
         let cfg = MachineConfig::with_ni(NiKind::Ap3000).nodes(2);
         let report = Machine::run(cfg, move |id| -> Box<dyn Process> {
@@ -461,6 +464,6 @@ mod tests {
             }
         });
         assert!(report.all_quiescent);
-        assert!(got.get());
+        assert!(got.load(Ordering::Relaxed));
     }
 }

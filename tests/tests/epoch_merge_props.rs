@@ -1,0 +1,293 @@
+//! Property tests for the epoch driver's deterministic merge.
+//!
+//! The conservative driver batches the window `[T, T + L)` (L = the
+//! 40 ns wire latency) per node and replays the lanes back into the
+//! serial order. Its hard cases are events *at* the window's seams, so
+//! these properties drive LCG-generated send/compute schedules whose
+//! delays are drawn from exactly those instants — 0 (same-instant
+//! bursts), 39/L−1 (last instant inside a window), 40/L (first instant
+//! of the next window), 41 — across several nodes, and assert that the
+//! parallel runs are byte-identical to serial: same reports, same
+//! message-lifecycle traces, same violation logs.
+//!
+//! A second family checks checkpointing against the epoch structure:
+//! horizon cuts land mid-window (the driver clamps its epoch to the
+//! horizon, so a resumed run re-opens windows at different seams), and
+//! a snapshot taken from a parallel run must resume byte-identically
+//! under any other worker count — including serial.
+
+use nisim_core::process::{Action, AppMessage, HandlerSpec, Process, SendSpec};
+use nisim_core::{snapshot, Machine, MachineConfig, MachineSim, NiKind};
+use nisim_engine::json::{u64_from_hex, u64_hex};
+use nisim_engine::{Dur, Json, SimStatus, Time};
+use nisim_net::{BufferCount, NodeId};
+
+/// Deterministic 64-bit LCG (MMIX constants); the whole schedule is a
+/// pure function of the seed.
+#[derive(Clone, Copy)]
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 16
+    }
+
+    fn pick(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Compute delays biased to the epoch seams of the 40 ns lookahead.
+/// `boundary_bias` makes every delay one of {0, 39, 40} — events landing
+/// exactly at T, T+L−1 and T+L of some window.
+fn seam_delay(rng: &mut Lcg, boundary_bias: bool) -> u64 {
+    if boundary_bias {
+        [0, 39, 40][rng.pick(3) as usize]
+    } else {
+        [0, 0, 1, 39, 39, 40, 40, 41, 80, 200][rng.pick(10) as usize]
+    }
+}
+
+/// An LCG-driven storm: each node alternates seam-biased computes with
+/// sends to LCG-chosen peers, and handlers occasionally reply, so
+/// cross-node fragments keep landing at window seams. Fully
+/// snapshotable — the LCG state and counters are the whole state.
+struct SeamStorm {
+    id: u32,
+    nodes: u32,
+    rng: Lcg,
+    sends_left: u32,
+    replies_left: u32,
+    boundary_bias: bool,
+    compute_next: bool,
+    done: bool,
+}
+
+impl SeamStorm {
+    fn new(id: u32, nodes: u32, seed: u64, boundary_bias: bool) -> SeamStorm {
+        SeamStorm {
+            id,
+            nodes,
+            rng: Lcg(seed ^ (u64::from(id) << 32) | 1),
+            sends_left: 24,
+            replies_left: 12,
+            boundary_bias,
+            compute_next: true,
+            done: false,
+        }
+    }
+
+    fn peer(&mut self) -> NodeId {
+        let other = self.rng.pick(u64::from(self.nodes) - 1) as u32;
+        NodeId(if other >= self.id { other + 1 } else { other })
+    }
+}
+
+impl Process for SeamStorm {
+    fn next_action(&mut self, _now: Time) -> Action {
+        if self.sends_left == 0 {
+            self.done = true;
+            return Action::Done;
+        }
+        if self.compute_next {
+            self.compute_next = false;
+            let d = seam_delay(&mut self.rng, self.boundary_bias);
+            if d > 0 {
+                return Action::Compute(Dur::ns(d));
+            }
+            // Fall through: a zero delay means the send happens at the
+            // same instant the processor freed up.
+        }
+        self.compute_next = true;
+        self.sends_left -= 1;
+        let dst = self.peer();
+        let payload = [16, 64, 248, 1024][self.rng.pick(4) as usize];
+        Action::Send(SendSpec::new(dst, payload, 5))
+    }
+
+    fn on_message(&mut self, msg: &AppMessage, _now: Time) -> HandlerSpec {
+        let compute = Dur::ns(seam_delay(&mut self.rng, self.boundary_bias));
+        if self.replies_left > 0 && self.rng.pick(3) == 0 {
+            self.replies_left -= 1;
+            HandlerSpec::reply(compute, SendSpec::new(msg.src, 32, 6))
+        } else {
+            HandlerSpec::compute(compute)
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn snapshot(&self) -> Option<Json> {
+        Some(
+            Json::obj()
+                .set("rng", u64_hex(self.rng.0))
+                .set("sends_left", u64::from(self.sends_left))
+                .set("replies_left", u64::from(self.replies_left))
+                .set("compute_next", self.compute_next)
+                .set("done", self.done),
+        )
+    }
+
+    fn restore(&mut self, state: &Json) -> bool {
+        let (Some(rng), Some(sends), Some(replies)) = (
+            state
+                .get("rng")
+                .and_then(Json::as_str)
+                .and_then(u64_from_hex),
+            state.get("sends_left").and_then(Json::as_u64),
+            state.get("replies_left").and_then(Json::as_u64),
+        ) else {
+            return false;
+        };
+        let (Some(Json::Bool(compute_next)), Some(Json::Bool(done))) =
+            (state.get("compute_next"), state.get("done"))
+        else {
+            return false;
+        };
+        self.rng = Lcg(rng);
+        self.sends_left = sends as u32;
+        self.replies_left = replies as u32;
+        self.compute_next = *compute_next;
+        self.done = *done;
+        true
+    }
+}
+
+fn storm_cfg(nodes: u32, ni: NiKind) -> MachineConfig {
+    MachineConfig::with_ni(ni)
+        .nodes(nodes)
+        .flow_buffers(BufferCount::Finite(4))
+}
+
+fn storm_factory(
+    nodes: u32,
+    seed: u64,
+    boundary_bias: bool,
+) -> impl FnMut(NodeId) -> Box<dyn Process> {
+    move |id| Box::new(SeamStorm::new(id.0, nodes, seed, boundary_bias)) as Box<dyn Process>
+}
+
+/// LCG schedules whose sends land at T, T+39 and T+40 of the epoch
+/// windows preserve the global event order: traced parallel runs equal
+/// the serial one byte for byte.
+#[test]
+fn seam_schedules_preserve_global_event_order() {
+    for seed in 0..6u64 {
+        let nodes = 4 + (seed % 3) as u32 * 2; // 4, 6, 8
+        let serial = Machine::run_traced(
+            storm_cfg(nodes, NiKind::Cm5),
+            storm_factory(nodes, seed, false),
+        );
+        assert!(serial.0.all_quiescent, "seed {seed}: {:?}", serial.0.stall);
+        for workers in [2, 4] {
+            let mut cfg = storm_cfg(nodes, NiKind::Cm5);
+            cfg.workers = workers;
+            let parallel = Machine::run_traced(cfg, storm_factory(nodes, seed, false));
+            assert_eq!(
+                format!("{:?}", serial.0),
+                format!("{:?}", parallel.0),
+                "seed {seed} workers {workers}: report diverged"
+            );
+            assert_eq!(
+                serial.1, parallel.1,
+                "seed {seed} workers {workers}: trace diverged"
+            );
+        }
+    }
+}
+
+/// Pure boundary schedules — every delay is exactly 0, 39 or 40 ns, so
+/// same-instant bursts pile up at window seams on several nodes at
+/// once. Same-instant FIFO must survive the lane merge.
+#[test]
+fn same_instant_bursts_at_window_seams_preserve_fifo() {
+    for seed in 0..6u64 {
+        let nodes = 6;
+        let serial = Machine::run_traced(
+            storm_cfg(nodes, NiKind::Ap3000),
+            storm_factory(nodes, seed, true),
+        );
+        for workers in [2, 8] {
+            let mut cfg = storm_cfg(nodes, NiKind::Ap3000);
+            cfg.workers = workers;
+            let parallel = Machine::run_traced(cfg, storm_factory(nodes, seed, true));
+            assert_eq!(
+                format!("{:?}", serial.0),
+                format!("{:?}", parallel.0),
+                "seed {seed} workers {workers}: report diverged"
+            );
+            assert_eq!(
+                serial.1, parallel.1,
+                "seed {seed} workers {workers}: trace diverged"
+            );
+        }
+    }
+}
+
+fn run_to_end(m: &mut Machine, sim: &mut MachineSim) -> String {
+    let status = m.run_slice(sim, Time::from_ns(10_000_000_000), 500_000_000);
+    assert_eq!(status, SimStatus::Drained);
+    format!("{:?}", m.report(sim, status))
+}
+
+/// A checkpoint taken at a horizon cut of a *parallel* run — i.e. mid
+/// logical epoch, since the driver clamps its window to the horizon —
+/// resumes byte-identically under every other worker count.
+#[test]
+fn mid_epoch_checkpoint_resumes_identically_under_any_worker_count() {
+    for seed in [1u64, 9] {
+        let nodes = 4;
+        // Golden: uninterrupted serial run.
+        let mut golden = Machine::new(
+            storm_cfg(nodes, NiKind::Cm5),
+            storm_factory(nodes, seed, false),
+        );
+        let mut gsim = MachineSim::new();
+        golden.start(&mut gsim);
+        let golden_report = run_to_end(&mut golden, &mut gsim);
+
+        // Cut points chosen to land inside busy stretches, not on any
+        // 40 ns multiple.
+        for cut_ns in [777u64, 3_333, 7_919] {
+            // Run parallel up to the cut, snapshot there.
+            let mut cfg = storm_cfg(nodes, NiKind::Cm5);
+            cfg.workers = 4;
+            let mut m = Machine::new(cfg, storm_factory(nodes, seed, false));
+            let mut sim = MachineSim::new();
+            m.start(&mut sim);
+            let status = m.run_slice(&mut sim, Time::from_ns(cut_ns), 500_000_000);
+            if status != SimStatus::HorizonReached {
+                continue; // run drained before the cut; nothing to resume
+            }
+            let snap = snapshot::save(&m, &mut sim).expect("snapshot");
+
+            // Resume the snapshot at several worker counts, serial
+            // included; all must reproduce the uninterrupted report.
+            for workers in [0u32, 1, 2, 8] {
+                let mut cfg = storm_cfg(nodes, NiKind::Cm5);
+                cfg.workers = workers;
+                let (mut r, mut rsim) =
+                    snapshot::restore(cfg, storm_factory(nodes, seed, false), &snap)
+                        .expect("restore");
+                let resumed = run_to_end(&mut r, &mut rsim);
+                assert_eq!(
+                    golden_report, resumed,
+                    "seed {seed} cut {cut_ns} workers {workers}: resumed run diverged"
+                );
+            }
+
+            // And the paused parallel original continues identically.
+            let continued = run_to_end(&mut m, &mut sim);
+            assert_eq!(
+                golden_report, continued,
+                "seed {seed} cut {cut_ns}: continued parallel run diverged"
+            );
+        }
+    }
+}

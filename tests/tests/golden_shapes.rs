@@ -459,7 +459,12 @@ fn breakdown_golden_matches_a_fresh_rerun_byte_for_byte() {
 #[test]
 fn golden_matches_a_fresh_rerun_byte_for_byte() {
     let committed_text = std::fs::read_to_string(golden_path()).expect("committed golden grid");
-    let fresh = golden_document(default_jobs()).to_pretty();
+    // Honor the CI thread matrix: rerun the suite at the matrix's
+    // intra-run worker count; the document must not depend on it.
+    let workers = std::env::var("NISIM_TEST_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok());
+    let fresh = golden_document(default_jobs(), workers).to_pretty();
     assert!(
         committed_text == fresh,
         "the golden grid drifted from the simulator's current behaviour;\n\

@@ -1,0 +1,285 @@
+//! Parallel == serial differential suite.
+//!
+//! The conservative epoch driver (`nisim_core::epoch`) promises
+//! *byte-identical* results at any worker count: identical
+//! `RunRecord`s, identical traces, identical statuses, identical
+//! violation logs. This suite is that promise's lock. Every test runs
+//! the same configuration serially (`workers = 0`, the classic watched
+//! loop) and at several worker counts, and compares the canonical JSON
+//! rendering of the full record — counters, histograms, accounting,
+//! latency summaries, everything the goldens hash — byte for byte.
+//!
+//! Set `NISIM_TEST_WORKERS=<n>` to restrict the non-serial side to one
+//! worker count (the CI thread matrix runs the suite once at 1 and once
+//! at 4); unset, every test sweeps workers ∈ {1, 2, 4, 8}.
+
+use nisim_bench::harness::{run_point, Patch, SweepPoint, Work};
+use nisim_core::process::Process;
+use nisim_core::{Machine, MachineConfig, MachineSim, NiKind};
+use nisim_engine::Time;
+use nisim_net::{BufferCount, CrashWindow, FaultConfig, NodeId, ReliabilityConfig};
+use nisim_workloads::apps::factory as app_factory;
+use nisim_workloads::apps::MacroApp;
+
+/// The worker counts the differential sweeps on the parallel side.
+fn worker_counts() -> Vec<u32> {
+    match std::env::var("NISIM_TEST_WORKERS") {
+        Ok(v) => {
+            let n: u32 = v
+                .parse()
+                .unwrap_or_else(|_| panic!("NISIM_TEST_WORKERS must be a number, got {v:?}"));
+            vec![n.max(1)]
+        }
+        Err(_) => vec![1, 2, 4, 8],
+    }
+}
+
+/// Runs one grid point at the given worker setting and returns the
+/// record's canonical byte rendering.
+fn record_bytes(point: &SweepPoint, workers: Option<u32>) -> String {
+    let mut p = point.clone();
+    p.patch.workers = workers;
+    run_point(&p).to_json().to_compact()
+}
+
+fn assert_point_equivalent(point: &SweepPoint) {
+    let serial = record_bytes(point, None);
+    for w in worker_counts() {
+        let parallel = record_bytes(point, Some(w));
+        assert_eq!(
+            serial,
+            parallel,
+            "{}/{}: workers={w} diverged from serial",
+            point.work.key(),
+            point.ni.key(),
+        );
+    }
+}
+
+/// The nine NI designs the suite covers: the seven of Table 2 plus the
+/// single-cycle and throttled variants.
+const NIS: [NiKind; 9] = [
+    NiKind::Cm5,
+    NiKind::Cm5SingleCycle,
+    NiKind::Udma,
+    NiKind::Ap3000,
+    NiKind::StartJr,
+    NiKind::MemoryChannel,
+    NiKind::Cni512Q,
+    NiKind::Cni32Qm,
+    NiKind::Cni32QmThrottle,
+];
+
+const APPS: [MacroApp; 3] = [MacroApp::Em3d, MacroApp::Moldyn, MacroApp::Spsolve];
+
+/// The tentpole lock: the full 9-NI × 3-app grid produces byte-identical
+/// records at every worker count.
+#[test]
+fn grid_records_are_byte_identical_at_every_worker_count() {
+    for ni in NIS {
+        for app in APPS {
+            let point = SweepPoint {
+                work: Work::Macro(app),
+                ni,
+                buffers: BufferCount::Finite(8),
+                patch: Patch::default(),
+            };
+            assert_point_equivalent(&point);
+        }
+    }
+}
+
+/// Micro workloads exercise different machine shapes (2-node, tight
+/// round trips, streaming flow-control backpressure) — same promise.
+#[test]
+fn micro_records_are_byte_identical_at_every_worker_count() {
+    for (work, ni) in [
+        (Work::RoundTrip(64), NiKind::Cm5),
+        (Work::RoundTrip(4096), NiKind::Cni32Qm),
+        (Work::Bandwidth(256), NiKind::Ap3000),
+        (
+            Work::Bursty {
+                bursts: 8,
+                burst_len: 16,
+                gap_ns: 2_000,
+            },
+            NiKind::StartJr,
+        ),
+    ] {
+        let point = SweepPoint {
+            work,
+            ni,
+            buffers: BufferCount::Finite(8),
+            patch: Patch::default(),
+        };
+        assert_point_equivalent(&point);
+    }
+}
+
+/// Infinite buffering and packet-drop faults (reliability layer on, so
+/// the fault plan's RNG stream and retransmission timers are live).
+#[test]
+fn faulted_records_are_byte_identical_at_every_worker_count() {
+    for ni in [NiKind::Cm5, NiKind::Cni32Qm] {
+        let point = SweepPoint {
+            work: Work::Macro(MacroApp::Em3d),
+            ni,
+            buffers: BufferCount::Finite(8),
+            patch: Patch {
+                drop_pct: Some(4),
+                ..Patch::default()
+            },
+        };
+        assert_point_equivalent(&point);
+    }
+    let inf = SweepPoint {
+        work: Work::Macro(MacroApp::Moldyn),
+        ni: NiKind::Udma,
+        buffers: BufferCount::Infinite,
+        patch: Patch::default(),
+    };
+    assert_point_equivalent(&inf);
+}
+
+fn crash_cfg() -> MachineConfig {
+    MachineConfig::with_ni(NiKind::Cm5)
+        .nodes(4)
+        .flow_buffers(BufferCount::Finite(4))
+        .fault(FaultConfig {
+            drop_p: 0.02,
+            crash: vec![
+                CrashWindow {
+                    start: Time::from_ns(2_000),
+                    end: Time::from_ns(6_000),
+                    node: NodeId(1),
+                },
+                CrashWindow {
+                    start: Time::from_ns(10_000),
+                    end: Time::from_ns(12_000),
+                    node: NodeId(3),
+                },
+            ],
+            ..FaultConfig::default()
+        })
+        .reliability(ReliabilityConfig::on())
+}
+
+fn crash_factory() -> Box<dyn FnMut(NodeId) -> Box<dyn Process>> {
+    app_factory(MacroApp::Em3d, 4, 7, MacroApp::Em3d.default_params())
+}
+
+/// Node-crash windows under packet loss: the epoch driver must replay
+/// the crash wipe, the retransmissions, and the fault RNG draws in the
+/// exact serial order.
+#[test]
+fn crash_window_runs_are_byte_identical_at_every_worker_count() {
+    let serial = format!("{:?}", Machine::run(crash_cfg(), crash_factory()));
+    for w in worker_counts() {
+        let mut cfg = crash_cfg();
+        cfg.workers = w;
+        let parallel = format!("{:?}", Machine::run(cfg, crash_factory()));
+        assert_eq!(serial, parallel, "workers={w} diverged under crash faults");
+    }
+}
+
+/// Message-lifecycle traces record per-event effects in fire order; the
+/// replay must reconstruct the identical stream.
+#[test]
+fn traced_runs_are_byte_identical_at_every_worker_count() {
+    let cfg = || {
+        MachineConfig::with_ni(NiKind::Ap3000)
+            .nodes(4)
+            .flow_buffers(BufferCount::Finite(4))
+    };
+    let factory = || app_factory(MacroApp::Spsolve, 4, 11, MacroApp::Spsolve.default_params());
+    let (serial_report, serial_trace) = Machine::run_traced(cfg(), factory());
+    for w in worker_counts() {
+        let mut c = cfg();
+        c.workers = w;
+        let (report, trace) = Machine::run_traced(c, factory());
+        assert_eq!(
+            format!("{serial_report:?}"),
+            format!("{report:?}"),
+            "workers={w}: traced report diverged"
+        );
+        assert_eq!(
+            serial_trace, trace,
+            "workers={w}: message-lifecycle trace diverged"
+        );
+    }
+}
+
+/// Event-budget slicing (the chaos suite's kill-and-resume shape): tiny
+/// budgets keep the driver inside its serial-exact guard band, so every
+/// slice boundary and the final report must match the serial run.
+#[test]
+fn budget_sliced_runs_are_byte_identical_at_every_worker_count() {
+    let cfg = |workers: u32| {
+        let mut c = MachineConfig::with_ni(NiKind::Cni32Qm)
+            .nodes(4)
+            .flow_buffers(BufferCount::Finite(4));
+        c.workers = workers;
+        c
+    };
+    let factory = || app_factory(MacroApp::Moldyn, 4, 3, MacroApp::Moldyn.default_params());
+    let horizon = Time::from_ns(10_000_000_000);
+
+    let run_sliced = |workers: u32| {
+        let mut m = Machine::new(cfg(workers), factory());
+        let mut sim = MachineSim::new();
+        m.start(&mut sim);
+        let mut statuses = Vec::new();
+        for _ in 0..10_000 {
+            let status = m.run_slice(&mut sim, horizon, 500);
+            statuses.push(status);
+            if status != nisim_engine::SimStatus::EventBudgetExhausted {
+                break;
+            }
+        }
+        let status = *statuses.last().unwrap();
+        (statuses, format!("{:?}", m.report(&sim, status)))
+    };
+
+    let (serial_statuses, serial_report) = run_sliced(0);
+    assert!(
+        serial_statuses.len() > 2,
+        "workload too small to slice meaningfully"
+    );
+    for w in worker_counts() {
+        let (statuses, report) = run_sliced(w);
+        assert_eq!(serial_statuses, statuses, "workers={w}: slice statuses");
+        assert_eq!(serial_report, report, "workers={w}: sliced report diverged");
+    }
+}
+
+/// Zero wire latency means zero lookahead: the driver must fall back to
+/// the serial loop rather than run empty epochs, and still match.
+#[test]
+fn zero_lookahead_falls_back_to_serial() {
+    let point = SweepPoint {
+        work: Work::Macro(MacroApp::Em3d),
+        ni: NiKind::Cm5,
+        buffers: BufferCount::Finite(8),
+        patch: Patch {
+            wire_latency_ns: Some(0),
+            ..Patch::default()
+        },
+    };
+    assert_point_equivalent(&point);
+}
+
+/// Metrics-enabled runs carry per-component cycle breakdowns populated
+/// through the op replay (spans, RTT and queue histograms).
+#[test]
+fn metrics_records_are_byte_identical_at_every_worker_count() {
+    let point = SweepPoint {
+        work: Work::Macro(MacroApp::Em3d),
+        ni: NiKind::MemoryChannel,
+        buffers: BufferCount::Finite(8),
+        patch: Patch {
+            metrics: true,
+            ..Patch::default()
+        },
+    };
+    assert_point_equivalent(&point);
+}
