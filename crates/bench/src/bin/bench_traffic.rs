@@ -1,0 +1,401 @@
+//! Self-timing open-loop traffic benchmark (`BENCH_8.json`).
+//!
+//! Times the traffic engine's event throughput on a saturating uniform
+//! Poisson point and anchors it against the same timing-wheel chain
+//! stream `BENCH_7.json` uses, so the CI gate is robust to runner
+//! speed. Alongside the timing, it records every NI's knee level on the
+//! uniform and incast ladders — pure simulation outputs, so any shift
+//! is a behaviour change, not noise.
+//!
+//! Modes:
+//!
+//! * `bench_traffic` — measure, print, write `BENCH_8.json` at the repo
+//!   root (`--json <path>` writes elsewhere).
+//! * `bench_traffic --check <path>` — CI perf smoke: (a) the fresh
+//!   traffic-vs-wheel throughput ratio must hold ≥ 0.95× the committed
+//!   ratio, and (b) every NI's knee level may drift at most one load
+//!   step from the committed ladder.
+
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use nisim_bench::loadlat::{curves_from_records, incast_sweep, loadlat_sweep};
+use nisim_bench::{default_jobs, LoadCurve};
+use nisim_core::MachineConfig;
+use nisim_engine::json::{self, Json};
+use nisim_engine::{Dur, Event, Sim, SplitMix64, Time};
+use nisim_mem::{BusConfig, BusOp};
+use nisim_net::{BufferCount, NetConfig};
+use nisim_workloads::traffic::{run_traffic, TrafficKind, TrafficSpec, MAX_LOAD_LEVEL};
+
+/// Events fired per wheel-anchor measurement.
+const ANCHOR_EVENTS: u64 = 400_000;
+/// Timed repetitions per measurement; the best rate is kept.
+const REPS: u32 = 3;
+/// Concurrent chains in the anchor stream.
+const CHAINS: u64 = 512;
+/// CI gate: fresh traffic-vs-wheel ratio ≥ this × the committed ratio.
+const RATIO_GATE: f64 = 0.95;
+/// CI gate: maximum allowed knee drift, in ladder levels.
+const KNEE_DRIFT: i64 = 1;
+/// Knee encoding for "flat across the whole ladder".
+const NO_KNEE: u64 = MAX_LOAD_LEVEL as u64 + 1;
+/// BENCH_8.json schema version.
+const SCHEMA: u64 = 1;
+
+fn main() -> ExitCode {
+    let args = match Args::from_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!("usage: bench_traffic [--json <path>] [--check <path>]");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = &args.check {
+        return check(path);
+    }
+
+    let m = Measurements::take();
+    m.print();
+    let doc = m.document();
+    let path = args.json.unwrap_or_else(default_output);
+    std::fs::write(&path, doc.to_pretty())
+        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+    ExitCode::SUCCESS
+}
+
+struct Args {
+    json: Option<PathBuf>,
+    check: Option<PathBuf>,
+}
+
+impl Args {
+    fn from_args(args: impl Iterator<Item = String>) -> Result<Args, String> {
+        let mut out = Args {
+            json: None,
+            check: None,
+        };
+        let mut it = args;
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--json" => {
+                    let v = it.next().ok_or("--json needs a path")?;
+                    out.json = Some(PathBuf::from(v));
+                }
+                "--check" => {
+                    let v = it.next().ok_or("--check needs a path")?;
+                    out.check = Some(PathBuf::from(v));
+                }
+                other => return Err(format!("unknown argument {other:?}")),
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// The committed location: `BENCH_8.json` at the repo root.
+fn default_output() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_8.json")
+}
+
+// ---------------------------------------------------------------------------
+// The timed traffic workload
+// ---------------------------------------------------------------------------
+
+/// One timed traffic run: uniform Poisson two levels past the CM-5
+/// knee on the paper's baseline machine — heavy backlog, retries and
+/// histogram recording all on the hot path. Returns (events, wall s).
+fn run_traffic_once() -> (u64, f64) {
+    let cfg = MachineConfig::default().flow_buffers(BufferCount::Finite(8));
+    let spec = TrafficSpec {
+        kind: TrafficKind::PoissonUniform,
+        level: 6,
+    };
+    let t0 = Instant::now();
+    let report = run_traffic(&cfg, &spec.params(cfg.nodes));
+    let wall = t0.elapsed().as_secs_f64();
+    assert!(
+        report.all_quiescent,
+        "bench traffic must drain: {:?}",
+        report.status
+    );
+    (report.events, wall)
+}
+
+/// Best-of-[`REPS`] (wheel, traffic) events/sec, with the anchor and
+/// traffic reps interleaved so both rates see the same host conditions
+/// (frequency scaling, cache warmth) and their ratio stays comparable
+/// across the measure and check paths.
+fn measure_rates() -> (f64, f64) {
+    let mut wheel = 0f64;
+    let mut traffic = 0f64;
+    for _ in 0..REPS {
+        wheel = wheel.max(ANCHOR_EVENTS as f64 / run_anchor());
+        let (events, wall) = run_traffic_once();
+        traffic = traffic.max(events as f64 / wall);
+    }
+    (wheel, traffic)
+}
+
+// ---------------------------------------------------------------------------
+// The wheel anchor stream (the same chain shape BENCH_7 anchors on)
+// ---------------------------------------------------------------------------
+
+struct AnchorCtx {
+    rng: SplitMix64,
+    delays: Vec<Dur>,
+    sink: u64,
+}
+
+struct ChainEvent([u64; 4]);
+
+impl Event<AnchorCtx> for ChainEvent {
+    fn fire(self, m: &mut AnchorCtx, sim: &mut Sim<AnchorCtx, ChainEvent>) {
+        let ChainEvent(stamp) = self;
+        m.sink = m
+            .sink
+            .wrapping_add(stamp[0] ^ stamp[1])
+            .wrapping_add(stamp[2]);
+        let d = m.delays[m.rng.gen_range(m.delays.len() as u64) as usize];
+        sim.schedule_event_in(d, ChainEvent([stamp[0] + 1, stamp[1], stamp[2], stamp[3]]));
+    }
+}
+
+/// Fires [`ANCHOR_EVENTS`] chain events at the machine's real bus/link
+/// delays and returns the wall seconds.
+fn run_anchor() -> f64 {
+    let bus = BusConfig::default();
+    let net = NetConfig::default();
+    let mut delays: Vec<Dur> = BusOp::ALL.iter().map(|&op| bus.occupancy(op)).collect();
+    delays.push(net.serialisation(net.wire_bytes(64)));
+    delays.push(net.wire_latency);
+    let mut ctx = AnchorCtx {
+        rng: SplitMix64::new(0xB175),
+        delays,
+        sink: 0,
+    };
+    let mut sim: Sim<AnchorCtx, ChainEvent> = Sim::new();
+    for i in 0..CHAINS {
+        sim.schedule_event_at(Time::ZERO, ChainEvent([i, i ^ 0x5A5A, 64, 8]))
+            .expect("time zero is never in the past");
+    }
+    let t0 = Instant::now();
+    sim.run_bounded(&mut ctx, Time::MAX, ANCHOR_EVENTS);
+    let wall = t0.elapsed().as_secs_f64();
+    black_box(ctx.sink);
+    wall
+}
+
+// ---------------------------------------------------------------------------
+// Knee ladders (deterministic simulation outputs)
+// ---------------------------------------------------------------------------
+
+/// Encoded knee levels per NI for one ladder (`(ni_key, level)` pairs).
+type KneeTable = Vec<(String, u64)>;
+
+/// Encoded knee per NI for one ladder: the level, or [`NO_KNEE`].
+fn knees(curves: &[LoadCurve]) -> KneeTable {
+    curves
+        .iter()
+        .map(|c| (c.ni.clone(), c.knee_level().map_or(NO_KNEE, |l| l as u64)))
+        .collect()
+}
+
+fn measure_knees() -> (KneeTable, KneeTable) {
+    let jobs = default_jobs();
+    let uniform = loadlat_sweep().run(jobs);
+    let incast = incast_sweep().run(jobs);
+    (
+        knees(&curves_from_records(
+            &uniform,
+            TrafficKind::PoissonUniform,
+            "uni",
+        )),
+        knees(&curves_from_records(
+            &incast,
+            TrafficKind::PoissonIncast,
+            "incast",
+        )),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Measurement + document
+// ---------------------------------------------------------------------------
+
+struct Measurements {
+    wheel_rate: f64,
+    traffic_rate: f64,
+    uniform_knees: Vec<(String, u64)>,
+    incast_knees: Vec<(String, u64)>,
+}
+
+impl Measurements {
+    fn take() -> Measurements {
+        // Rates before knees, matching `check`'s order: the knee sweeps
+        // run hot and parallel, and timing the anchor after them skews
+        // the ratio relative to a fresh-host check run.
+        let (wheel_rate, traffic_rate) = measure_rates();
+        let (uniform_knees, incast_knees) = measure_knees();
+        Measurements {
+            wheel_rate,
+            traffic_rate,
+            uniform_knees,
+            incast_knees,
+        }
+    }
+
+    fn ratio(&self) -> f64 {
+        self.traffic_rate / self.wheel_rate
+    }
+
+    fn print(&self) {
+        println!("open-loop traffic engine: 16-node uniform Poisson @ L6");
+        println!("{:<18} {:>16}", "mode", "events/sec");
+        println!("{:<18} {:>16.0}", "wheel anchor", self.wheel_rate);
+        println!("{:<18} {:>16.0}", "traffic machine", self.traffic_rate);
+        println!("traffic-vs-wheel ratio: {:.4}", self.ratio());
+        let fmt_knee = |k: u64| {
+            if k == NO_KNEE {
+                "-".to_string()
+            } else {
+                format!("L{k}")
+            }
+        };
+        for (name, list) in [
+            ("uniform", &self.uniform_knees),
+            ("incast", &self.incast_knees),
+        ] {
+            let row: Vec<String> = list
+                .iter()
+                .map(|(ni, k)| format!("{ni}={}", fmt_knee(*k)))
+                .collect();
+            println!("{name} knees: {}", row.join(" "));
+        }
+    }
+
+    fn document(&self) -> Json {
+        let knee_obj = |list: &[(String, u64)]| {
+            let mut o = Json::obj();
+            for (ni, k) in list {
+                o = o.set(ni, *k);
+            }
+            o
+        };
+        Json::obj()
+            .set("schema", SCHEMA)
+            .set(
+                "bench",
+                "open-loop traffic engine, 16-node uniform Poisson @ L6",
+            )
+            .set("wheel_events_per_sec", self.wheel_rate)
+            .set("traffic_events_per_sec", self.traffic_rate)
+            .set("traffic_vs_wheel", self.ratio())
+            .set("uniform_knees", knee_obj(&self.uniform_knees))
+            .set("incast_knees", knee_obj(&self.incast_knees))
+            .set("ratio_gate", RATIO_GATE)
+            .set("knee_drift", KNEE_DRIFT as u64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CI gate
+// ---------------------------------------------------------------------------
+
+fn committed_knees(doc: &Json, key: &str) -> Option<Vec<(String, u64)>> {
+    match doc.get(key) {
+        Some(Json::Obj(pairs)) => pairs
+            .iter()
+            .map(|(ni, v)| v.as_u64().map(|k| (ni.clone(), k)))
+            .collect(),
+        _ => None,
+    }
+}
+
+fn check(path: &PathBuf) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("FAIL: reading {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("FAIL: parsing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if doc.get("schema").and_then(Json::as_u64) != Some(SCHEMA) {
+        eprintln!("FAIL: {} has the wrong schema version", path.display());
+        return ExitCode::FAILURE;
+    }
+    let Some(committed_ratio) = doc.get("traffic_vs_wheel").and_then(Json::as_f64) else {
+        eprintln!("FAIL: {} has no traffic_vs_wheel ratio", path.display());
+        return ExitCode::FAILURE;
+    };
+
+    let mut ok = true;
+
+    // Gate (a): throughput non-regression, anchored to the same-host
+    // wheel rate so runner speed cancels out.
+    let (wheel, traffic) = measure_rates();
+    let fresh_ratio = traffic / wheel;
+    let floor = RATIO_GATE * committed_ratio;
+    println!(
+        "traffic: {traffic:.0} ev/s over wheel {wheel:.0} ev/s -> ratio {fresh_ratio:.4} \
+         (committed {committed_ratio:.4}, floor {floor:.4})"
+    );
+    if fresh_ratio < floor {
+        eprintln!(
+            "FAIL: traffic-vs-wheel ratio {fresh_ratio:.4} fell below \
+             {RATIO_GATE} x committed {committed_ratio:.4}"
+        );
+        ok = false;
+    }
+
+    // Gate (b): knee stability — every NI's saturation point may move
+    // at most one ladder step from the committed curve.
+    let (fresh_uniform, fresh_incast) = measure_knees();
+    for (name, fresh) in [
+        ("uniform_knees", fresh_uniform),
+        ("incast_knees", fresh_incast),
+    ] {
+        let Some(committed) = committed_knees(&doc, name) else {
+            eprintln!("FAIL: {} has no {name}", path.display());
+            ok = false;
+            continue;
+        };
+        for (ni, fresh_knee) in &fresh {
+            let Some((_, committed_knee)) = committed.iter().find(|(n, _)| n == ni) else {
+                eprintln!("FAIL: {name} in {} is missing NI {ni}", path.display());
+                ok = false;
+                continue;
+            };
+            let drift = (*fresh_knee as i64 - *committed_knee as i64).abs();
+            if drift > KNEE_DRIFT {
+                eprintln!(
+                    "FAIL: {name}/{ni} knee moved {drift} levels \
+                     (committed {committed_knee}, fresh {fresh_knee})"
+                );
+                ok = false;
+            }
+        }
+        println!(
+            "{name}: drift within {KNEE_DRIFT} level(s) for {} NIs",
+            fresh.len()
+        );
+    }
+
+    if ok {
+        println!("OK: BENCH_8.json gates hold");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

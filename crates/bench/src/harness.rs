@@ -30,6 +30,7 @@ use nisim_workloads::apps::{run_app, AppParams, MacroApp};
 use nisim_workloads::micro::bandwidth::measure_bandwidth_with_report;
 use nisim_workloads::micro::logp::measure_logp_with_report;
 use nisim_workloads::micro::pingpong::measure_round_trip_with_report;
+use nisim_workloads::traffic::{level_gap_ns, run_traffic, TrafficSpec};
 
 use crate::record::{self, RunRecord};
 
@@ -61,6 +62,9 @@ pub enum Work {
     },
     /// A fixed stream of `n` 4096-byte messages (writeback counting).
     Stream(u32),
+    /// Open-loop traffic: a preset arrival/destination shape at an
+    /// offered-load level (see [`nisim_workloads::traffic`]).
+    Traffic(TrafficSpec),
 }
 
 impl Work {
@@ -75,6 +79,7 @@ impl Work {
                 bursts, burst_len, ..
             } => format!("bursty:{bursts}x{burst_len}"),
             Work::Stream(n) => format!("stream:{n}"),
+            Work::Traffic(spec) => spec.key(),
         }
     }
 }
@@ -388,6 +393,15 @@ pub fn run_point(point: &SweepPoint) -> RunRecord {
             let fp = record::fingerprint(&cfg);
             (crate::experiments::stream_report(&cfg, n), Vec::new(), fp)
         }
+        Work::Traffic(spec) => {
+            let fp = record::fingerprint(&cfg);
+            let report = run_traffic(&cfg, &spec.params(cfg.nodes));
+            let metrics = vec![(
+                "offered_gap_ns".to_string(),
+                level_gap_ns(spec.level) as f64,
+            )];
+            (report, metrics, fp)
+        }
     };
     RunRecord::from_report(
         point.work.key(),
@@ -655,6 +669,14 @@ mod tests {
             "bursty:40x48"
         );
         assert_eq!(Work::Stream(60).key(), "stream:60");
+        assert_eq!(
+            Work::Traffic(TrafficSpec {
+                kind: nisim_workloads::traffic::TrafficKind::PoissonIncast,
+                level: 3
+            })
+            .key(),
+            "traffic:pois-incast:3"
+        );
     }
 
     #[test]

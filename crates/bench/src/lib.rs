@@ -25,10 +25,15 @@ pub mod chaos;
 pub mod experiments;
 pub mod fmt;
 pub mod harness;
+pub mod loadlat;
 pub mod record;
 
 pub use experiments::*;
 pub use harness::{
     default_jobs, emit_document, emit_json, parallel_map, BenchArgs, Patch, Sweep, SweepPoint, Work,
+};
+pub use loadlat::{
+    curves_from_records, incast_sweep, loadlat_golden_path, loadlat_sweep, mixes_sweep, LoadCurve,
+    LOADLAT_NIS,
 };
 pub use record::RunRecord;

@@ -15,7 +15,7 @@ use std::path::Path;
 
 use nisim_core::{MachineConfig, MachineReport, TimeCategory};
 use nisim_engine::json::{self, Json};
-use nisim_engine::metrics::MetricsBreakdown;
+use nisim_engine::metrics::{Log2Hist, MetricsBreakdown};
 use nisim_engine::SimStatus;
 
 /// The schema version stamped into every sweep JSON document.
@@ -71,6 +71,27 @@ pub struct LatencyBrief {
     pub max_ns: f64,
 }
 
+/// One tenant's open-loop traffic outcome: delivery counts, the
+/// interpolated tail percentiles, and the full latency histogram they
+/// were extracted from (so goldens can be re-derived and merged).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TenantBrief {
+    /// Tenant name (`"uni"`, `"web"`, ...).
+    pub name: String,
+    /// Messages the arrival schedule offered.
+    pub offered: u64,
+    /// Messages dispatched to handlers.
+    pub delivered: u64,
+    /// Median scheduled-arrival → dispatch latency (ns).
+    pub p50_ns: f64,
+    /// 99th percentile (ns).
+    pub p99_ns: f64,
+    /// 99.9th percentile (ns).
+    pub p999_ns: f64,
+    /// The full per-tenant latency histogram.
+    pub latency: Log2Hist,
+}
+
 /// One sweep point's structured result.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RunRecord {
@@ -108,6 +129,10 @@ pub struct RunRecord {
     /// runs. Serialized as a trailing key that is *omitted* when absent,
     /// so metrics-off sweeps stay byte-identical to pre-metrics goldens.
     pub breakdown: Option<MetricsBreakdown>,
+    /// Per-tenant open-loop traffic outcomes. Like `breakdown`, a
+    /// trailing key omitted when empty: closed-loop records keep their
+    /// seed-era bytes.
+    pub tenants: Vec<TenantBrief>,
 }
 
 impl RunRecord {
@@ -189,7 +214,28 @@ impl RunRecord {
                 wedged: s.wedged_endpoints().count() as u64,
             }),
             breakdown: report.breakdown.clone(),
+            tenants: report
+                .tenants
+                .iter()
+                .map(|t| {
+                    let ps = t.percentiles();
+                    TenantBrief {
+                        name: t.name.clone(),
+                        offered: t.offered,
+                        delivered: t.delivered,
+                        p50_ns: ps.p50,
+                        p99_ns: ps.p99,
+                        p999_ns: ps.p999,
+                        latency: t.latency.clone(),
+                    }
+                })
+                .collect(),
         }
+    }
+
+    /// The named tenant's outcome, if this record carries traffic.
+    pub fn tenant(&self, name: &str) -> Option<&TenantBrief> {
+        self.tenants.iter().find(|t| t.name == name)
     }
 
     /// A named counter's value (0 if absent).
@@ -285,6 +331,27 @@ impl RunRecord {
         if let Some(b) = &self.breakdown {
             v = v.set("breakdown", b.to_json());
         }
+        // Likewise the traffic block: only open-loop records carry it.
+        if !self.tenants.is_empty() {
+            v = v.set(
+                "tenants",
+                Json::Arr(
+                    self.tenants
+                        .iter()
+                        .map(|t| {
+                            Json::obj()
+                                .set("name", t.name.as_str())
+                                .set("offered", t.offered)
+                                .set("delivered", t.delivered)
+                                .set("p50_ns", t.p50_ns)
+                                .set("p99_ns", t.p99_ns)
+                                .set("p999_ns", t.p999_ns)
+                                .set("hist", t.latency.to_json())
+                        })
+                        .collect(),
+                ),
+            );
+        }
         v
     }
 
@@ -376,6 +443,42 @@ impl RunRecord {
                     .ok_or("breakdown malformed or sum-to-total violated")?,
             ),
         };
+        let tenants = match v.get("tenants") {
+            None | Some(Json::Null) => Vec::new(),
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(|t| {
+                    let tf = |key: &str| -> Result<f64, String> {
+                        t.get(key)
+                            .and_then(Json::as_f64)
+                            .ok_or_else(|| format!("tenant field {key:?} missing"))
+                    };
+                    Ok(TenantBrief {
+                        name: t
+                            .get("name")
+                            .and_then(Json::as_str)
+                            .ok_or("tenant name missing")?
+                            .to_string(),
+                        offered: t
+                            .get("offered")
+                            .and_then(Json::as_u64)
+                            .ok_or("tenant offered missing")?,
+                        delivered: t
+                            .get("delivered")
+                            .and_then(Json::as_u64)
+                            .ok_or("tenant delivered missing")?,
+                        p50_ns: tf("p50_ns")?,
+                        p99_ns: tf("p99_ns")?,
+                        p999_ns: tf("p999_ns")?,
+                        latency: t
+                            .get("hist")
+                            .and_then(Log2Hist::from_json)
+                            .ok_or("tenant hist malformed")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            Some(_) => return Err("tenants must be an array".into()),
+        };
         let stall = match v.get("stall") {
             None | Some(Json::Null) => None,
             Some(s) => Some(StallBrief {
@@ -410,6 +513,7 @@ impl RunRecord {
             metrics,
             stall,
             breakdown,
+            tenants,
         })
     }
 }
@@ -579,6 +683,40 @@ mod tests {
             !r.to_json().to_compact().contains("\"breakdown\""),
             "absent breakdown must not appear in the serialized bytes"
         );
+        assert!(
+            !r.to_json().to_compact().contains("\"tenants\""),
+            "non-traffic runs must not grow a tenants key"
+        );
+    }
+
+    #[test]
+    fn traffic_record_round_trips_per_tenant_percentiles() {
+        use nisim_workloads::traffic::{run_traffic, TrafficKind, TrafficSpec};
+        let cfg = MachineConfig::with_ni(NiKind::Cni32Qm)
+            .nodes(4)
+            .flow_buffers(BufferCount::Finite(8));
+        let spec = TrafficSpec {
+            kind: TrafficKind::TenantMix,
+            level: 3,
+        };
+        let report = run_traffic(&cfg, &spec.params(cfg.nodes));
+        let r = RunRecord::from_report(
+            spec.key(),
+            NiKind::Cni32Qm.key().into(),
+            "8".into(),
+            String::new(),
+            fingerprint(&cfg),
+            &report,
+            Vec::new(),
+        );
+        assert_eq!(r.tenants.len(), 2, "the mix preset runs two tenants");
+        let web = r.tenant("web").expect("web tenant recorded");
+        assert!(web.offered > 0 && web.delivered == web.offered);
+        assert!(web.p50_ns > 0.0 && web.p50_ns <= web.p99_ns && web.p99_ns <= web.p999_ns);
+        assert!(r.tenant("bulk").is_some() && r.tenant("nope").is_none());
+        let back = RunRecord::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.to_json().to_pretty(), r.to_json().to_pretty());
     }
 
     #[test]

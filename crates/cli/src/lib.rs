@@ -12,6 +12,9 @@ use nisim_net::{BufferCount, CrashWindow, DownWindow, NodeId, Topology};
 use nisim_workloads::apps::{factory, run_app, MacroApp};
 use nisim_workloads::micro::bandwidth::measure_bandwidth;
 use nisim_workloads::micro::pingpong::measure_round_trip;
+use nisim_workloads::traffic::{
+    level_gap_ns, multi_tenant_params, run_traffic, TrafficKind, TrafficSpec, MAX_LOAD_LEVEL,
+};
 
 use nisim_bench::record::{self, RunRecord};
 use nisim_bench::{default_jobs, parallel_map};
@@ -51,6 +54,18 @@ usage:
   nisim run   --app <app> --ni <ni> [--buffers <n|inf>] [--nodes <n>]
               [--topology ideal|ring|mesh] [--seed <n>] [--json <path>]
   nisim sweep --app <app> [--buffers <n|inf>] [--jobs <n>] [--json <path>]
+  nisim traffic --ni <ni> [--traffic <shape>] [--load <1..7>]
+              [--tenants <n>] [--buffers <n|inf>] [--nodes <n>]
+              [--seed <n>] [--json <path>]
+
+open-loop traffic (traffic only):
+  --traffic <shape>    arrival/destination shape: pois-uni (default),
+                       pois-incast, mmpp-uni, mix
+  --load <level>       offered-load level 1..7; each level doubles the
+                       per-node Poisson arrival rate (default 4)
+  --tenants <n>        replace the shape with n competing uniform
+                       Poisson tenants at staggered rates and message
+                       sizes (2..16)
 
 checkpoint/restore (run only):
   --checkpoint <path>        write a snapshot of the live machine here,
@@ -610,6 +625,84 @@ pub fn main_with_args(args: &[String]) -> Result<String, CliError> {
             }
             Ok(out)
         }
+        "traffic" => {
+            let ni = parse_ni(required(&flags, "ni")?)?;
+            let kind = match flags.get("traffic") {
+                None => TrafficKind::PoissonUniform,
+                Some(k) => TrafficKind::from_key(k)
+                    .ok_or_else(|| err(format!("bad --traffic {k:?} (see `nisim list`)")))?,
+            };
+            let level = match flags.get("load") {
+                None => 4,
+                Some(v) => v
+                    .parse::<u32>()
+                    .ok()
+                    .filter(|&l| (1..=MAX_LOAD_LEVEL).contains(&l))
+                    .ok_or_else(|| err(format!("bad --load {v:?} (want 1..={MAX_LOAD_LEVEL})")))?,
+            };
+            let cfg = config_from(&flags, ni)?;
+            let spec = TrafficSpec { kind, level };
+            let (work, params) = match flags.get("tenants") {
+                None => (spec.key(), spec.params(cfg.nodes)),
+                Some(v) => {
+                    let n = v
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| (2..=16).contains(&n))
+                        .ok_or_else(|| err(format!("bad --tenants {v:?} (want 2..=16)")))?;
+                    (
+                        format!("traffic:tenants{n}:{level}"),
+                        multi_tenant_params(n, level),
+                    )
+                }
+            };
+            let r = run_traffic(&cfg, &params);
+            let mut out = format!(
+                "{work} on {} ({} nodes, buffers {}, base gap {} ns):\n\
+                 \x20 elapsed        {} us\n\
+                 \x20 events         {}\n\
+                 \x20 messages       {} ({} fragments, {} retries)\n",
+                ni.name(),
+                cfg.nodes,
+                cfg.flow_buffers,
+                level_gap_ns(level),
+                r.elapsed.as_ns() / 1_000,
+                r.events,
+                r.app_messages,
+                r.fragments_sent,
+                r.retries,
+            );
+            out.push_str("  tenant        offered  delivered    p50 us    p99 us   p999 us\n");
+            for t in &r.tenants {
+                let p = t.percentiles();
+                out.push_str(&format!(
+                    "  {:<12} {:>8} {:>10} {:>9.2} {:>9.2} {:>9.2}\n",
+                    t.name,
+                    t.offered,
+                    t.delivered,
+                    p.p50 / 1_000.0,
+                    p.p99 / 1_000.0,
+                    p.p999 / 1_000.0,
+                ));
+            }
+            if let Some(stall) = &r.stall {
+                out.push_str(&format!("{stall}"));
+            }
+            if let Some(path) = flags.get("json") {
+                let rec = RunRecord::from_report(
+                    work,
+                    ni.key().to_string(),
+                    cfg.flow_buffers.to_string(),
+                    String::new(),
+                    record::fingerprint(&cfg),
+                    &r,
+                    vec![("offered_gap_ns".to_string(), level_gap_ns(level) as f64)],
+                );
+                write_records(path, "traffic", &[rec])?;
+                out.push_str(&format!("  wrote record to {path}\n"));
+            }
+            Ok(out)
+        }
         other => Err(err(format!("unknown subcommand {other:?}"))),
     }
 }
@@ -1034,5 +1127,97 @@ mod tests {
         assert!(out.contains("faults         offered"), "{out}");
         assert!(out.contains("reliability    "), "{out}");
         assert!(!out.contains("STALLED"), "{out}");
+    }
+
+    #[test]
+    fn traffic_command_reports_per_tenant_percentiles() {
+        let out = run(&["traffic", "--ni", "cni32qm", "--nodes", "4", "--load", "3"]).unwrap();
+        assert!(out.contains("traffic:pois-uni:3 on"), "{out}");
+        assert!(out.contains("p99 us"), "{out}");
+        assert!(out.contains("uni "), "tenant row expected: {out}");
+        assert!(!out.contains("STALLED"), "{out}");
+    }
+
+    #[test]
+    fn traffic_tenants_flag_reports_every_competing_service() {
+        let out = run(&[
+            "traffic",
+            "--ni",
+            "cni32qm",
+            "--nodes",
+            "4",
+            "--load",
+            "2",
+            "--tenants",
+            "3",
+        ])
+        .unwrap();
+        assert!(out.contains("traffic:tenants3:2 on"), "{out}");
+        for name in ["t0 ", "t1 ", "t2 "] {
+            assert!(
+                out.contains(&format!("  {name}")),
+                "missing {name} row: {out}"
+            );
+        }
+    }
+
+    #[test]
+    fn traffic_flags_are_validated() {
+        assert!(run(&["traffic"])
+            .unwrap_err()
+            .0
+            .contains("--ni is required"));
+        assert!(run(&["traffic", "--ni", "cm5", "--traffic", "ddos"])
+            .unwrap_err()
+            .0
+            .contains("bad --traffic"));
+        assert!(run(&["traffic", "--ni", "cm5", "--load", "0"])
+            .unwrap_err()
+            .0
+            .contains("bad --load"));
+        assert!(run(&["traffic", "--ni", "cm5", "--load", "9"]).is_err());
+        assert!(run(&["traffic", "--ni", "cm5", "--tenants", "1"])
+            .unwrap_err()
+            .0
+            .contains("bad --tenants"));
+    }
+
+    #[test]
+    fn traffic_json_is_identical_across_worker_counts() {
+        let dir = std::env::temp_dir().join("nisim-cli-traffic-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (w0, w4) = (dir.join("t-w0.json"), dir.join("t-w4.json"));
+        for (p, workers) in [(&w0, "0"), (&w4, "4")] {
+            run(&[
+                "traffic",
+                "--ni",
+                "cni32qm",
+                "--nodes",
+                "4",
+                "--load",
+                "3",
+                "--traffic",
+                "mix",
+                "--workers",
+                workers,
+                "--json",
+                p.to_str().unwrap(),
+            ])
+            .unwrap();
+        }
+        let (a, b) = (
+            std::fs::read_to_string(&w0).unwrap(),
+            std::fs::read_to_string(&w4).unwrap(),
+        );
+        assert!(
+            !a.is_empty() && a == b,
+            "traffic JSON must not depend on --workers"
+        );
+        let sections = nisim_bench::record::parse_document(&a).unwrap();
+        assert_eq!(sections[0].0, "traffic");
+        let rec = &sections[0].1[0];
+        assert_eq!(rec.work, "traffic:mix:3");
+        assert_eq!(rec.tenants.len(), 2, "mix runs two tenants");
+        assert!(rec.tenant("web").is_some() && rec.tenant("bulk").is_some());
     }
 }

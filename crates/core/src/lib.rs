@@ -83,7 +83,9 @@ pub use config::MachineConfig;
 pub use costs::CostModel;
 pub use error::{EndpointSnapshot, ProtocolViolation, StallReason, StallReport, Violation};
 pub use event::MachineEvent;
-pub use machine::{Machine, MachineReport, MachineSim, NodeSummary, TraceEvent, TraceKind};
+pub use machine::{
+    Machine, MachineReport, MachineSim, NodeSummary, TenantSummary, TraceEvent, TraceKind,
+};
 pub use ni::{NiKind, NiModel, NiUnit};
 pub use node::{Node, NodeHw};
 pub use process::{Action, AppMessage, HandlerSpec, Process, SendSpec};

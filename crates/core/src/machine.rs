@@ -167,6 +167,31 @@ pub struct NodeSummary {
     pub bus_busy: Dur,
 }
 
+/// Per-tenant traffic summary within a [`MachineReport`]: one entry per
+/// competing service of an open-loop traffic run. The machine itself
+/// never populates these — the traffic workload driver
+/// (`nisim_workloads::traffic`) attaches them after the run, merging its
+/// per-node accumulators. Empty for every other workload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TenantSummary {
+    /// Tenant name (stable record key, e.g. `"web"`).
+    pub name: String,
+    /// Messages injected by this tenant's arrival processes.
+    pub offered: u64,
+    /// Messages fully delivered to this tenant's handlers.
+    pub delivered: u64,
+    /// Scheduled-arrival to handler-dispatch latency (ns): the open-loop
+    /// end-to-end latency, including sender-side backlog queueing.
+    pub latency: Log2Hist,
+}
+
+impl TenantSummary {
+    /// The interpolated p50/p99/p999 block of this tenant's latency.
+    pub fn percentiles(&self) -> nisim_engine::stats::Percentiles {
+        self.latency.percentiles()
+    }
+}
+
 /// Summary of one simulation run.
 #[derive(Clone, Debug)]
 pub struct MachineReport {
@@ -210,6 +235,9 @@ pub struct MachineReport {
     /// End-to-end application message latency (send start to handler
     /// dispatch), nanoseconds.
     pub msg_latency: Summary,
+    /// Per-tenant latency blocks, populated only by the open-loop
+    /// traffic workloads (empty otherwise).
+    pub tenants: Vec<TenantSummary>,
     /// Protocol violations recorded during the run (empty in healthy
     /// loss-free runs).
     pub violations: Vec<Violation>,
@@ -534,6 +562,7 @@ impl Machine {
             bus_data_bytes,
             msg_sizes: self.g.msg_size_hist.clone(),
             msg_latency: self.g.msg_latency.clone(),
+            tenants: Vec::new(),
             violations: self.g.violations.clone(),
             stall,
             breakdown,

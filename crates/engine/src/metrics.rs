@@ -31,6 +31,7 @@
 //! exist only for this module's own merge paths and for tests; the
 //! `nisim-analysis` lint forbids them outside this file.
 
+use crate::stats::{interpolated_percentile, Percentiles};
 use crate::{Dur, Json};
 
 /// Number of log2 buckets: bucket 0 holds the value 0, bucket `i ≥ 1`
@@ -428,6 +429,39 @@ impl Log2Hist {
             .enumerate()
             .filter(|(_, &c)| c > 0)
             .map(|(i, &c)| (i, c))
+    }
+
+    /// Exclusive upper bound of bucket `i` as a float (`2^i`; bucket 0
+    /// is the point bucket for the value 0). Exact: `2^i` is a power of
+    /// two representable in f64 for every `i < 65`.
+    pub fn bucket_hi(i: usize) -> f64 {
+        assert!(i < LOG2_BUCKETS, "bucket {i} out of range");
+        if i == 0 {
+            0.0
+        } else {
+            (1u128 << i) as f64
+        }
+    }
+
+    /// Linearly interpolated percentile (`p` in `0..=1`) of the recorded
+    /// values, resolved inside the power-of-two buckets — see
+    /// [`interpolated_percentile`]. Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> f64 {
+        interpolated_percentile(
+            self.total,
+            p,
+            self.nonzero()
+                .map(|(i, c)| (Self::bucket_lo(i) as f64, Self::bucket_hi(i), c)),
+        )
+    }
+
+    /// The p50/p99/p999 block the tail-latency studies report.
+    pub fn percentiles(&self) -> Percentiles {
+        Percentiles {
+            p50: self.percentile(0.50),
+            p99: self.percentile(0.99),
+            p999: self.percentile(0.999),
+        }
     }
 
     /// Merges another histogram into this one (exact).

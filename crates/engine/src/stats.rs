@@ -13,6 +13,74 @@ use std::fmt;
 
 use crate::json::{f64_bits_hex, f64_from_bits_hex, Json};
 
+/// The three tail percentiles the load/latency studies report, in
+/// the unit of the underlying samples (nanoseconds for latency
+/// histograms). Extracted by linear interpolation inside histogram
+/// buckets — see [`interpolated_percentile`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// 99.9th percentile.
+    pub p999: f64,
+}
+
+impl Percentiles {
+    /// True iff `p50 ≤ p99 ≤ p999` — always holds for percentiles
+    /// extracted from one histogram; asserted by the property tests.
+    pub fn is_monotone(&self) -> bool {
+        self.p50 <= self.p99 && self.p99 <= self.p999
+    }
+}
+
+/// Linearly interpolated percentile over ordered histogram buckets.
+///
+/// `buckets` yields `(lo, hi, count)` triples in ascending value order,
+/// where each bucket covers the half-open range `[lo, hi)` (a point
+/// bucket has `lo == hi` and contributes its bound exactly); `total`
+/// must equal the sum of the counts. The percentile rank `p` (clamped
+/// to `0..=1`) is resolved to a fractional position inside the bucket
+/// where the cumulative count crosses `p * total`:
+///
+/// ```text
+/// value = lo + (hi - lo) * (rank - cum_before) / count
+/// ```
+///
+/// Only IEEE-754 `+ - * /` arithmetic is used, so the result is
+/// bit-identical on every platform — safe for committed goldens.
+/// Returns 0 for an empty histogram.
+pub fn interpolated_percentile<I>(total: u64, p: f64, buckets: I) -> f64
+where
+    I: Iterator<Item = (f64, f64, u64)>,
+{
+    if total == 0 {
+        return 0.0;
+    }
+    let p = p.clamp(0.0, 1.0);
+    let rank = p * total as f64;
+    let mut seen = 0u64;
+    let mut last_hi = 0.0f64;
+    for (lo, hi, count) in buckets {
+        if count == 0 {
+            continue;
+        }
+        let before = seen as f64;
+        seen += count;
+        last_hi = hi.max(lo);
+        if seen as f64 >= rank {
+            if hi <= lo {
+                return lo;
+            }
+            let frac = (rank - before) / count as f64;
+            // rank == before happens at p = 0: report the bucket floor.
+            return lo + (hi - lo) * frac.max(0.0);
+        }
+    }
+    last_hi
+}
+
 /// A monotonically increasing event counter.
 ///
 /// # Example

@@ -1,0 +1,229 @@
+//! Property and unit tests for the interpolated `Log2Hist`
+//! p50/p99/p999 extraction (the tail-latency suite's foundation).
+//!
+//! Covers the four satellite requirements: exact values on hand-built
+//! histograms, monotonicity (p50 ≤ p99 ≤ p999), merge-then-extract ==
+//! extract-on-merged, and the degenerate single-bucket cases. The
+//! randomised cases use the same self-contained LCG as the other
+//! property suites — no external crates.
+
+use nisim_engine::metrics::{Log2Hist, LOG2_BUCKETS};
+use nisim_engine::stats::{interpolated_percentile, Percentiles};
+
+/// Deterministic LCG (same constants as the other `_props` suites).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// A histogram filled with `values`.
+fn hist(values: &[u64]) -> Log2Hist {
+    let mut h = Log2Hist::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+#[test]
+fn exact_values_on_hand_built_histograms() {
+    // 100 samples spread uniformly-by-interpolation over bucket [4, 8):
+    // rank r lands at 4 + 4 * r/100.
+    let mut h = Log2Hist::new();
+    for _ in 0..100 {
+        h.record(5); // any value in [4, 8) — the bucket is what counts
+    }
+    assert_eq!(h.percentile(0.50), 4.0 + 4.0 * 0.50);
+    assert_eq!(h.percentile(0.99), 4.0 + 4.0 * 0.99);
+    assert_eq!(h.percentile(0.25), 5.0);
+
+    // Two buckets, 90 in [16,32) and 10 in [1024,2048): p50 resolves in
+    // the first (rank 50 of its 90 counts -> 50/90 of the way through),
+    // p99 in the second (rank 99, 9 of its 10 counts past the 90 -> 0.9
+    // of the way through).
+    let mut h = Log2Hist::new();
+    for _ in 0..90 {
+        h.record(20);
+    }
+    for _ in 0..10 {
+        h.record(1500);
+    }
+    assert_eq!(h.percentile(0.5), 16.0 + 16.0 * (50.0 / 90.0));
+    assert_eq!(h.percentile(0.99), 1024.0 + 1024.0 * (9.0 / 10.0));
+
+    // p = 0 reports the floor of the lowest occupied bucket; p = 1 the
+    // ceiling of the highest.
+    assert_eq!(h.percentile(0.0), 16.0);
+    assert_eq!(h.percentile(1.0), 2048.0);
+}
+
+#[test]
+fn zero_bucket_is_a_point_mass() {
+    // Bucket 0 covers exactly the value 0 (lo == hi == 0): percentiles
+    // that land in it must report 0 exactly, not interpolate.
+    let mut h = Log2Hist::new();
+    for _ in 0..99 {
+        h.record(0);
+    }
+    h.record(100);
+    assert_eq!(h.percentile(0.5), 0.0);
+    assert_eq!(h.percentile(0.98), 0.0);
+    let p999 = h.percentile(0.999);
+    assert!((64.0..=128.0).contains(&p999), "p999 = {p999}");
+}
+
+#[test]
+fn degenerate_single_bucket_cases() {
+    // Empty histogram: every percentile is 0.
+    let h = Log2Hist::new();
+    assert_eq!(h.percentile(0.5), 0.0);
+    assert_eq!(h.percentiles(), Percentiles::default());
+
+    // A single sample: all percentiles inside its bucket.
+    let h = hist(&[700]); // bucket [512, 1024)
+    for p in [0.0, 0.5, 0.99, 0.999, 1.0] {
+        let v = h.percentile(p);
+        assert!((512.0..=1024.0).contains(&v), "p{p} = {v}");
+    }
+    let ps = h.percentiles();
+    assert!(ps.is_monotone(), "{ps:?}");
+
+    // All samples in one bucket: p999 stays within that bucket.
+    let h = hist(&[33; 1000]); // bucket [32, 64)
+    assert!(h.percentile(0.999) < 64.0);
+    assert!(h.percentile(0.001) >= 32.0);
+
+    // The top bucket's bound (2^64) must not overflow.
+    let h = hist(&[u64::MAX]);
+    assert!(h.percentile(1.0) <= (1u128 << 64) as f64);
+}
+
+#[test]
+fn percentiles_are_monotone() {
+    let mut rng = Lcg(0x9e3779b97f4a7c15);
+    for case in 0..200 {
+        let mut h = Log2Hist::new();
+        let n = 1 + rng.below(400);
+        for _ in 0..n {
+            // Mix of magnitudes, including zeros.
+            let v = match rng.below(4) {
+                0 => 0,
+                1 => rng.below(100),
+                2 => rng.below(100_000),
+                _ => rng.below(10_000_000_000),
+            };
+            h.record(v);
+        }
+        let ps = h.percentiles();
+        assert!(ps.is_monotone(), "case {case}: {ps:?}");
+        // And monotone in p generally.
+        let mut prev = 0.0;
+        for i in 0..=20 {
+            let v = h.percentile(i as f64 / 20.0);
+            assert!(v >= prev, "case {case}: p{i} {v} < {prev}");
+            prev = v;
+        }
+    }
+}
+
+#[test]
+fn merge_then_extract_equals_extract_on_merged() {
+    let mut rng = Lcg(0xfeed_f00d);
+    for case in 0..100 {
+        let mut a = Log2Hist::new();
+        let mut b = Log2Hist::new();
+        let mut whole = Log2Hist::new();
+        for _ in 0..rng.below(300) {
+            let mag = rng.below(40);
+            let v = rng.below(1 << mag);
+            a.record(v);
+            whole.record(v);
+        }
+        for _ in 0..rng.below(300) {
+            let mag = rng.below(40);
+            let v = rng.below(1 << mag);
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole, "case {case}: merge must be exact");
+        // Bit-identical extraction, not just approximately equal.
+        for p in [0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(
+                a.percentile(p).to_bits(),
+                whole.percentile(p).to_bits(),
+                "case {case}: p{p} differs between merged and whole"
+            );
+        }
+    }
+}
+
+#[test]
+fn percentile_brackets_the_samples() {
+    // The interpolated percentile always lies within the occupied value
+    // range, widened to bucket granularity.
+    let mut rng = Lcg(0x5eed);
+    for _ in 0..100 {
+        let mut h = Log2Hist::new();
+        let mut lo_bucket = usize::MAX;
+        let mut hi_bucket = 0;
+        for _ in 0..(1 + rng.below(100)) {
+            let v = rng.below(1 << 30);
+            let b = Log2Hist::bucket_of(v);
+            lo_bucket = lo_bucket.min(b);
+            hi_bucket = hi_bucket.max(b);
+            h.record(v);
+        }
+        for p in [0.0, 0.3, 0.7, 0.99, 1.0] {
+            let v = h.percentile(p);
+            assert!(v >= Log2Hist::bucket_lo(lo_bucket) as f64);
+            assert!(v <= Log2Hist::bucket_hi(hi_bucket));
+        }
+    }
+}
+
+#[test]
+fn interpolation_helper_handles_raw_buckets() {
+    // The stats-level helper with explicit bucket bounds: 10 samples
+    // uniformly interpolated over [0, 10).
+    let buckets = [(0.0, 10.0, 10u64)];
+    assert_eq!(
+        interpolated_percentile(10, 0.5, buckets.iter().copied()),
+        5.0
+    );
+    assert_eq!(
+        interpolated_percentile(0, 0.5, buckets.iter().copied()),
+        0.0
+    );
+    // Empty buckets are skipped, point buckets report their bound.
+    let buckets = [(1.0, 2.0, 0u64), (5.0, 5.0, 4u64), (8.0, 16.0, 4)];
+    assert_eq!(
+        interpolated_percentile(8, 0.25, buckets.iter().copied()),
+        5.0
+    );
+    let p1 = interpolated_percentile(8, 1.0, buckets.iter().copied());
+    assert_eq!(p1, 16.0);
+}
+
+#[test]
+fn bucket_bounds_are_consistent() {
+    for i in 0..LOG2_BUCKETS {
+        let lo = Log2Hist::bucket_lo(i) as f64;
+        let hi = Log2Hist::bucket_hi(i);
+        assert!(lo <= hi, "bucket {i}: lo {lo} > hi {hi}");
+        if i >= 1 {
+            assert_eq!(hi, lo * 2.0, "bucket {i} must span one octave");
+        }
+    }
+}

@@ -12,7 +12,11 @@
 //!   processes and a real message-based barrier,
 //! * [`table4`] — the Table 4 distributions as data plus the
 //!   characterisation runner that regenerates the table from simulated
-//!   traffic.
+//!   traffic,
+//! * [`traffic`] — the open-loop traffic engine: seeded Poisson/MMPP
+//!   arrival processes, uniform/permutation/incast destination
+//!   patterns, and multi-tenant mixes, with per-tenant tail-latency
+//!   histograms (the load/latency hockey-stick study).
 //!
 //! The applications are *skeletons*: they reproduce each application's
 //! communication pattern (who talks to whom, how often, in what sizes and
@@ -26,9 +30,14 @@ pub mod skeleton;
 pub mod skeleton_support;
 pub mod synthetic;
 pub mod table4;
+pub mod traffic;
 
 pub use apps::{run_app, AppParams, MacroApp};
 pub use micro::bandwidth::{measure_bandwidth, BandwidthResult};
 pub use micro::pingpong::{measure_round_trip, RoundTripResult};
 pub use skeleton::{Skeleton, SkeletonProcess, Step};
 pub use synthetic::{run_synthetic, Locality, SyntheticParams};
+pub use traffic::{
+    arrival_schedule, multi_tenant_params, run_traffic, ArrivalProcess, TenantSpec, TrafficDriver,
+    TrafficKind, TrafficParams, TrafficPattern, TrafficSpec, MAX_LOAD_LEVEL,
+};

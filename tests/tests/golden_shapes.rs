@@ -13,12 +13,14 @@
 
 use nisim_bench::record::{lookup, parse_document, RunRecord};
 use nisim_bench::{
-    breakdown_document, breakdown_from_records, breakdown_golden_path, default_jobs,
-    fault_study_from_records, fig1_differential_from_records, fig1_from_records, fig3a_sweep,
-    fig3b_from_records, fig4_from_records, golden_document, golden_path, table5_from_records,
+    breakdown_document, breakdown_from_records, breakdown_golden_path, curves_from_records,
+    default_jobs, fault_study_from_records, fig1_differential_from_records, fig1_from_records,
+    fig3a_sweep, fig3b_from_records, fig4_from_records, golden_document, golden_path,
+    loadlat_golden_path, table5_from_records, LoadCurve,
 };
 use nisim_core::{NiKind, TimeCategory};
 use nisim_workloads::apps::MacroApp;
+use nisim_workloads::traffic::TrafficKind;
 
 fn committed() -> Vec<(String, Vec<RunRecord>)> {
     let path = golden_path();
@@ -451,6 +453,229 @@ fn breakdown_golden_matches_a_fresh_rerun_byte_for_byte() {
         "the breakdown golden drifted from the simulator's current behaviour;\n\
          if the change is intended, regenerate with\n\
          `cargo run --release -p nisim-bench --bin breakdown -- --update-goldens`"
+    );
+}
+
+fn committed_loadlat() -> Vec<(String, Vec<RunRecord>)> {
+    let path = loadlat_golden_path();
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read the committed load/latency golden at {} ({e}); regenerate it with\n\
+             `cargo run --release -p nisim-bench --bin loadlat -- --update-goldens`",
+            path.display()
+        )
+    });
+    parse_document(&text).expect("committed loadlat golden parses")
+}
+
+fn by_ni(curves: &[LoadCurve], ni: NiKind) -> &LoadCurve {
+    curves
+        .iter()
+        .find(|c| c.ni == ni.key())
+        .unwrap_or_else(|| panic!("no curve for {}", ni.key()))
+}
+
+/// Open-loop hockey sticks (EXPERIMENTS.md "load/latency"): under
+/// uniform Poisson arrivals every design's p99 curve rises monotonically
+/// (to measurement noise) with offered load, every run drains, and the
+/// knee ordering separates the buffering schemes — the CM-5-style
+/// return-to-sender designs saturate first, the coherent queue designs
+/// later, CNI_32Qm last.
+#[test]
+fn golden_loadlat_hockey_sticks() {
+    let doc = committed_loadlat();
+    let curves = curves_from_records(section(&doc, "loadlat"), TrafficKind::PoissonUniform, "uni");
+    for c in &curves {
+        assert_eq!(c.p99_ns.len(), 7, "{}: incomplete ladder", c.ni);
+        for (i, s) in c.status.iter().enumerate() {
+            assert_eq!(s, "drained", "{} L{}: arrivals are finite", c.ni, i + 1);
+            assert!(c.delivery[i] >= 1.0, "{} L{}: lost messages", c.ni, i + 1);
+        }
+        // The latency curve must never fall materially as load rises.
+        for (i, w) in c.p99_ns.windows(2).enumerate() {
+            assert!(
+                w[1] >= w[0] * 0.90,
+                "{}: p99 fell from L{} to L{} ({:?})",
+                c.ni,
+                i + 1,
+                i + 2,
+                c.p99_ns
+            );
+        }
+        // And it must actually hockey-stick: the top of the ladder is
+        // far above the flat region.
+        let knee = c.knee_level();
+        assert!(
+            knee.is_some(),
+            "{}: no knee — the ladder never saturated ({:?})",
+            c.ni,
+            c.p99_ns
+        );
+        assert!(
+            c.p99_ns[6] > 4.0 * c.p99_ns[0],
+            "{}: top-of-ladder p99 not clearly saturated ({:?})",
+            c.ni,
+            c.p99_ns
+        );
+    }
+    // Knee ordering: the programmed-I/O designs leave the flat region
+    // strictly before the coherent designs, and CNI_32Qm holds out the
+    // longest of all.
+    let knee = |ni: NiKind| by_ni(&curves, ni).knee_level().unwrap();
+    for fifo in [NiKind::Cm5, NiKind::Udma] {
+        for coherent in [
+            NiKind::Ap3000,
+            NiKind::MemoryChannel,
+            NiKind::StartJr,
+            NiKind::Cni512Q,
+            NiKind::Cni32Qm,
+        ] {
+            assert!(
+                knee(fifo) < knee(coherent),
+                "{fifo:?} (L{}) must saturate before {coherent:?} (L{})",
+                knee(fifo),
+                knee(coherent)
+            );
+        }
+    }
+    for other in [
+        NiKind::Cm5,
+        NiKind::Udma,
+        NiKind::Ap3000,
+        NiKind::MemoryChannel,
+        NiKind::StartJr,
+        NiKind::Cni512Q,
+    ] {
+        assert!(
+            knee(NiKind::Cni32Qm) > knee(other),
+            "CNI_32Qm must saturate last (L{} vs {other:?} L{})",
+            knee(NiKind::Cni32Qm),
+            knee(other)
+        );
+    }
+    // SLO verdicts at the mid-ladder level are stable: the CM-5-style
+    // designs have already blown the tail budget, everyone else passes.
+    for c in &curves {
+        let expect = !matches!(c.ni.as_str(), "cm5" | "udma");
+        assert_eq!(
+            c.meets_slo(),
+            expect,
+            "{}: SLO verdict flipped (p99@L4 = {:?})",
+            c.ni,
+            c.p99_at(4)
+        );
+    }
+}
+
+/// The incast separation (EXPERIMENTS.md "incast"): under N→1 fan-in the
+/// return-to-sender schemes latency-collapse levels before the coherent
+/// queue designs — CM-5's L2 p99 inflates two orders of magnitude over
+/// CNI_32Qm's, which is still flat there.
+#[test]
+fn golden_incast_collapse_separation() {
+    let doc = committed_loadlat();
+    let curves = curves_from_records(
+        section(&doc, "incast"),
+        TrafficKind::PoissonIncast,
+        "incast",
+    );
+    let cm5 = by_ni(&curves, NiKind::Cm5);
+    let c32 = by_ni(&curves, NiKind::Cni32Qm);
+    // CM-5 has collapsed by L2 while CNI_32Qm is still flat: > 100×
+    // apart on p99 (the committed run records ~125×).
+    let (cm5_l2, c32_l2) = (cm5.p99_at(2).unwrap(), c32.p99_at(2).unwrap());
+    assert!(
+        cm5_l2 > 100.0 * c32_l2,
+        "incast L2 separation collapsed: cm5 {cm5_l2} vs cni32qm {c32_l2}"
+    );
+    // Return-to-sender retry storms are the mechanism: CM-5 burns
+    // thousands of retries at L2, the deep coherent queue none.
+    let l2 = |ni: NiKind| {
+        let key = "traffic:pois-incast:2";
+        lookup(section(&doc, "incast"), key, ni.key(), "8", "")
+            .unwrap_or_else(|| panic!("missing incast L2 record for {}", ni.key()))
+    };
+    assert!(
+        l2(NiKind::Cm5).counter("retries") > 1_000,
+        "CM-5 incast must be a retry storm"
+    );
+    assert_eq!(
+        l2(NiKind::Cni32Qm).counter("retries"),
+        0,
+        "CNI_32Qm absorbs L2 incast without a single retry"
+    );
+    // Knee ordering: no coherent design saturates before CM-5, and
+    // CNI_32Qm strictly outlasts it.
+    let cm5_knee = cm5.knee_level().unwrap();
+    for c in &curves {
+        assert!(
+            c.knee_level().unwrap() >= cm5_knee,
+            "{}: saturated before the return-to-sender baseline",
+            c.ni
+        );
+    }
+    assert!(c32.knee_level().unwrap() > cm5_knee);
+}
+
+/// The multi-tenant mix (EXPERIMENTS.md "mixes"): both services get
+/// recorded percentile blocks, and the light web tenant's tail rides the
+/// shared saturation — at the heavy level its p99 degrades alongside the
+/// bulk tenant's on every design.
+#[test]
+fn golden_tenant_mix_percentiles() {
+    let doc = committed_loadlat();
+    let recs = section(&doc, "mixes");
+    for ni in nisim_bench::LOADLAT_NIS {
+        for level in [3u32, 6] {
+            let key = format!("traffic:mix:{level}");
+            let r = lookup(recs, &key, ni.key(), "8", "")
+                .unwrap_or_else(|| panic!("missing {key} for {}", ni.key()));
+            assert_eq!(r.tenants.len(), 2, "{key}/{}", ni.key());
+            for t in ["web", "bulk"] {
+                let t = r.tenant(t).unwrap();
+                assert_eq!(t.delivered, t.offered, "{key}/{}: lost", ni.key());
+                assert!(t.p50_ns > 0.0 && t.p50_ns <= t.p99_ns && t.p99_ns <= t.p999_ns);
+            }
+        }
+        let web = |level: u32| {
+            lookup(recs, &format!("traffic:mix:{level}"), ni.key(), "8", "")
+                .unwrap()
+                .tenant("web")
+                .unwrap()
+                .p99_ns
+        };
+        assert!(
+            web(6) > web(3),
+            "{}: the web tenant's tail must feel the shared saturation",
+            ni.key()
+        );
+    }
+}
+
+/// The loadlat golden's own drift tripwire: a fresh in-process rerun of
+/// all three traffic sweeps must reproduce the committed file byte for
+/// byte — at whatever intra-run worker count the CI matrix sets.
+#[test]
+fn loadlat_golden_matches_a_fresh_rerun_byte_for_byte() {
+    use nisim_bench::record::{document, sweep_to_json};
+    use nisim_bench::{incast_sweep, loadlat_sweep, mixes_sweep};
+    let committed_text =
+        std::fs::read_to_string(loadlat_golden_path()).expect("committed loadlat golden");
+    let workers = std::env::var("NISIM_TEST_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok());
+    let jobs = default_jobs();
+    let fresh = document(vec![
+        sweep_to_json("loadlat", &loadlat_sweep().with_workers(workers).run(jobs)),
+        sweep_to_json("incast", &incast_sweep().with_workers(workers).run(jobs)),
+        sweep_to_json("mixes", &mixes_sweep().with_workers(workers).run(jobs)),
+    ])
+    .to_pretty();
+    assert!(
+        committed_text == fresh,
+        "the loadlat golden drifted from the simulator's current behaviour;\n\
+         if the change is intended, regenerate with\n\
+         `cargo run --release -p nisim-bench --bin loadlat -- --update-goldens`"
     );
 }
 

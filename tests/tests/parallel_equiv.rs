@@ -252,6 +252,28 @@ fn budget_sliced_runs_are_byte_identical_at_every_worker_count() {
     }
 }
 
+/// Open-loop traffic points: the injectors' arrival RNG streams, the
+/// poll-quantum sleep chopping, and the shared tenant sink merges must
+/// all replay into the exact serial order — including the per-tenant
+/// latency histograms the record now carries.
+#[test]
+fn traffic_records_are_byte_identical_at_every_worker_count() {
+    use nisim_workloads::traffic::{TrafficKind, TrafficSpec};
+    for (kind, ni) in [
+        (TrafficKind::PoissonUniform, NiKind::Cni32Qm),
+        (TrafficKind::PoissonIncast, NiKind::Cm5),
+        (TrafficKind::TenantMix, NiKind::Ap3000),
+    ] {
+        let point = SweepPoint {
+            work: Work::Traffic(TrafficSpec { kind, level: 3 }),
+            ni,
+            buffers: BufferCount::Finite(8),
+            patch: Patch::default(),
+        };
+        assert_point_equivalent(&point);
+    }
+}
+
 /// Zero wire latency means zero lookahead: the driver must fall back to
 /// the serial loop rather than run empty epochs, and still match.
 #[test]

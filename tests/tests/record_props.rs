@@ -8,7 +8,7 @@
 //! hand-rolled LCG — deterministic, so failures reproduce exactly.
 
 use nisim_bench::record::{
-    document, parse_document, sweep_to_json, LatencyBrief, RunRecord, StallBrief,
+    document, parse_document, sweep_to_json, LatencyBrief, RunRecord, StallBrief, TenantBrief,
 };
 use nisim_bench::{Patch, Sweep};
 use nisim_core::{NiKind, TimeCategory};
@@ -129,6 +129,23 @@ fn arbitrary_record(rng: &mut Lcg) -> RunRecord {
         } else {
             None
         },
+        tenants: (0..rng.below(4))
+            .map(|i| {
+                let mut latency = nisim_engine::metrics::Log2Hist::default();
+                for _ in 0..rng.below(30) {
+                    latency.record(rng.next() >> rng.below(50));
+                }
+                TenantBrief {
+                    name: format!("tenant{i}"),
+                    offered: rng.below(10_000),
+                    delivered: rng.below(10_000),
+                    p50_ns: rng.float().abs(),
+                    p99_ns: rng.float().abs(),
+                    p999_ns: rng.float().abs(),
+                    latency,
+                }
+            })
+            .collect(),
     }
 }
 
