@@ -12,15 +12,28 @@
 //! * [`protocol_check`] — bounded exploration of the reliability layer
 //!   composed with the flow-control window under drop/dup faults;
 //! * [`lint`] — a tokenizer-based source lint enforcing determinism
-//!   (no hash-order leaks, no wall clock) and robustness (no panics in
-//!   hot paths, no wildcard dispatch arms).
+//!   (no hash-order leaks, no wall clock, no float transcendentals, no
+//!   stray threads or shared-state locks) and robustness (no panics in
+//!   hot paths, no wildcard dispatch arms);
+//! * [`epoch_check`] — bounded model checking of the conservative
+//!   epoch-merge algorithm behind the parallel engine: exhaustive lane
+//!   interleavings must replay to the unique serial order, and mid-epoch
+//!   checkpoint cuts must commute with the merge (snapshot
+//!   bisimulation);
+//! * [`audit`] — replay verification of real runs' footprint-audit
+//!   logs: per-epoch cross-lane read/write disjointness, the lookahead
+//!   rule, and merge-order shape over the 9-NI × 3-app grid.
 //!
-//! Run via `cargo run -p nisim-analysis -- check|lint|selftest`.
+//! Run via `cargo run -p nisim-analysis -- check|epoch-check|audit|lint|selftest`.
 
+pub mod audit;
+pub mod epoch_check;
 pub mod lint;
 pub mod moesi_check;
 pub mod protocol_check;
 
-pub use lint::{lint_tree, parse_allowlist, LintOutcome};
+pub use audit::{audit_grid, check_log, AuditOutcome};
+pub use epoch_check::{EpochCheckOutcome, EpochChecker};
+pub use lint::{lint_tree, parse_allowlist, render_allowlist, LintOutcome};
 pub use moesi_check::{CheckOutcome, MoesiChecker};
 pub use protocol_check::ProtocolConfig;

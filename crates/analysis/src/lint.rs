@@ -1,7 +1,7 @@
 //! Determinism and robustness lint for the simulator sources.
 //!
 //! A hand-rolled Rust tokenizer (comments, strings, char-vs-lifetime
-//! disambiguation) feeding seven token-level rules:
+//! disambiguation) feeding ten token-level rules:
 //!
 //! * `hash-collections` — `HashMap`/`HashSet` are banned in the crates
 //!   whose state feeds sweep records and golden files
@@ -45,6 +45,24 @@
 //!   (`workloads` and `bench` may use `Arc<Mutex<...>>` for collecting
 //!   results after a run; that data never feeds back into the
 //!   simulation.)
+//! * `float-transcendental` — `.ln()`/`.exp()`/`.powf()` and friends
+//!   are banned in the sim crates outside
+//!   `crates/workloads/src/traffic.rs`: transcendentals go through
+//!   libm, whose last-bit rounding varies across platforms and libc
+//!   versions, so any timing derived from one de-synchronizes goldens.
+//!   The traffic module owns `det_ln`, the deterministic polynomial
+//!   alternative. (IEEE-exact operations — `sqrt`, arithmetic — stay
+//!   legal.)
+//! * `thread-spawn` — `thread::spawn`/`thread::scope`/`thread::Builder`
+//!   are banned everywhere except the epoch driver
+//!   (`crates/core/src/epoch.rs`) and the sweep harness
+//!   (`crates/bench/src/harness.rs`): a thread started anywhere else is
+//!   concurrency the epoch replay cannot see, let alone serialize.
+//! * `arc-mutex` — `Arc<Mutex<...>>`/`Arc<RwLock<...>>` in
+//!   `workloads`/`bench` (the crates `sync-primitives` exempts) are
+//!   confined to the three sanctioned result sinks (`traffic.rs`,
+//!   `micro/pingpong.rs`, `micro/bandwidth.rs`); a new shared-state
+//!   cell must be reviewed, not silently added.
 //!
 //! `#[cfg(test)]` items are skipped everywhere: tests may unwrap.
 
@@ -406,6 +424,47 @@ const FS_MUTATORS: [&str; 9] = [
     "set_permissions",
 ];
 
+/// Crates whose arithmetic feeds timing, records and goldens, and so
+/// must avoid platform-dependent libm rounding.
+const FLOAT_SCOPE: [&str; 5] = [
+    "crates/engine/src/",
+    "crates/mem/src/",
+    "crates/net/src/",
+    "crates/core/src/",
+    "crates/workloads/src/",
+];
+
+/// Home of `det_ln`, the deterministic polynomial logarithm; the one
+/// module allowed to reference libm transcendentals (its tests compare
+/// against them).
+const FLOAT_MODULE: &str = "crates/workloads/src/traffic.rs";
+
+/// `f64`/`f32` methods routed through libm, whose last-bit rounding is
+/// platform-dependent. IEEE-exact operations (`sqrt`, arithmetic,
+/// `abs`, `powi`-free integer math) are not listed and stay legal.
+const TRANSCENDENTALS: [&str; 24] = [
+    "ln", "log", "log2", "log10", "ln_1p", "exp", "exp2", "exp_m1", "powf", "sin", "cos", "tan",
+    "asin", "acos", "atan", "atan2", "sinh", "cosh", "tanh", "asinh", "acosh", "atanh", "cbrt",
+    "hypot",
+];
+
+/// The only files allowed to start OS threads: the epoch driver (the
+/// sanctioned concurrency boundary) and the sweep harness (whose
+/// workers run disjoint configs).
+const THREAD_MODULES: [&str; 2] = ["crates/core/src/epoch.rs", "crates/bench/src/harness.rs"];
+
+/// Crates exempt from `sync-primitives` whose shared-state cells are
+/// still confined to named sinks by the `arc-mutex` rule.
+const ARC_SCOPE: [&str; 2] = ["crates/workloads/src/", "crates/bench/src/"];
+
+/// The sanctioned result sinks: data collected behind these locks is
+/// read only after the run, never fed back into the simulation.
+const ARC_SINKS: [&str; 3] = [
+    "crates/workloads/src/traffic.rs",
+    "crates/workloads/src/micro/pingpong.rs",
+    "crates/workloads/src/micro/bandwidth.rs",
+];
+
 fn in_scope(file: &str, scope: &[&str]) -> bool {
     scope.iter().any(|p| file.starts_with(p))
 }
@@ -558,6 +617,78 @@ pub fn lint_source(file: &str, src: &str) -> Vec<Finding> {
         }
     }
 
+    if in_scope(file, &FLOAT_SCOPE) && file != FLOAT_MODULE {
+        for (i, t) in toks.iter().enumerate() {
+            let Some(name) = ident(i) else { continue };
+            if !TRANSCENDENTALS.contains(&name) {
+                continue;
+            }
+            // Method form `x.ln()` or path form `f64::ln(x)`; a bare
+            // identifier (a variable named `exp`, a field `log`) is not
+            // a libm call and stays quiet.
+            let method = i > 0 && punct_at(i - 1, '.') && punct_at(i + 1, '(');
+            let path = i >= 3
+                && punct_at(i - 1, ':')
+                && punct_at(i - 2, ':')
+                && matches!(ident(i - 3), Some("f64") | Some("f32"));
+            if method || path {
+                findings.push(Finding {
+                    file: file.into(),
+                    line: t.line,
+                    rule: "float-transcendental",
+                    message: format!(
+                        "{name} goes through libm, whose rounding varies by platform; use \
+                         traffic::det_ln or integer math so goldens stay portable"
+                    ),
+                });
+            }
+        }
+    }
+
+    if !THREAD_MODULES.contains(&file) {
+        for (i, t) in toks.iter().enumerate() {
+            if ident(i) == Some("thread")
+                && punct_at(i + 1, ':')
+                && punct_at(i + 2, ':')
+                && matches!(
+                    ident(i + 3),
+                    Some("spawn") | Some("scope") | Some("Builder")
+                )
+            {
+                let target = ident(i + 3).unwrap_or("spawn");
+                findings.push(Finding {
+                    file: file.into(),
+                    line: t.line,
+                    rule: "thread-spawn",
+                    message: format!(
+                        "thread::{target} outside the epoch driver and the sweep harness is \
+                         concurrency the epoch replay cannot serialize"
+                    ),
+                });
+            }
+        }
+    }
+
+    if in_scope(file, &ARC_SCOPE) && !ARC_SINKS.contains(&file) {
+        for (i, t) in toks.iter().enumerate() {
+            if ident(i) == Some("Arc")
+                && punct_at(i + 1, '<')
+                && matches!(ident(i + 2), Some("Mutex") | Some("RwLock"))
+            {
+                let inner = ident(i + 2).unwrap_or("Mutex");
+                findings.push(Finding {
+                    file: file.into(),
+                    line: t.line,
+                    rule: "arc-mutex",
+                    message: format!(
+                        "Arc<{inner}<...>> outside the sanctioned result sinks; shared-state \
+                         cells in workloads/bench are confined to the named sink modules"
+                    ),
+                });
+            }
+        }
+    }
+
     // wildcard-dispatch applies everywhere: find each `match` body and,
     // if it mentions a dispatch enum, forbid bare `_ =>` arms inside it.
     for i in 0..toks.len() {
@@ -641,6 +772,27 @@ pub fn parse_allowlist(text: &str) -> BTreeSet<String> {
         .filter(|l| !l.is_empty())
         .map(str::to_string)
         .collect()
+}
+
+/// Renders a fresh allowlist from the findings of an allowlist-free
+/// lint run: one exact `file:line:rule` key per line, sorted, under a
+/// header explaining the contract. `lint --write-allow` writes this so
+/// the committed file regenerates mechanically instead of rotting when
+/// line numbers shift.
+pub fn render_allowlist(findings: &[Finding]) -> String {
+    let mut out = String::from(
+        "# nisim lint allowlist — exact file:line:rule suppressions.\n\
+         # Regenerate with `cargo run -p nisim-analysis -- lint --write-allow`\n\
+         # after reviewing each entry; stale entries fail the lint.\n",
+    );
+    let mut keys: Vec<String> = findings.iter().map(Finding::key).collect();
+    keys.sort();
+    keys.dedup();
+    for key in keys {
+        out.push_str(&key);
+        out.push('\n');
+    }
+    out
 }
 
 /// Deterministic recursive listing of the `.rs` files under `dir`,
@@ -931,6 +1083,145 @@ mod tests {
             .any(|f| f.rule == "wall-clock"));
         // bench and cli still measure real time by design.
         assert!(lint_source("crates/cli/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn float_transcendental_rule_fires_in_sim_crates() {
+        let method = "fn f(x: f64) -> f64 { x.ln() + x.powf(2.5) }";
+        for file in [
+            "crates/engine/src/sim.rs",
+            "crates/net/src/fabric.rs",
+            "crates/core/src/machine.rs",
+            "crates/workloads/src/apps/em3d.rs",
+        ] {
+            let f = lint_source(file, method);
+            assert!(f.iter().any(|f| f.rule == "float-transcendental"), "{file}");
+        }
+        // Path form is caught too.
+        assert!(lint_source(
+            "crates/mem/src/cache.rs",
+            "fn f(x: f64) -> f64 { f64::exp(x) }"
+        )
+        .iter()
+        .any(|f| f.rule == "float-transcendental"));
+        // The traffic module owns det_ln and its libm comparison tests.
+        assert!(lint_source("crates/workloads/src/traffic.rs", method).is_empty());
+        // IEEE-exact operations stay legal.
+        assert!(lint_source(
+            "crates/engine/src/sim.rs",
+            "fn f(x: f64) -> f64 { x.sqrt() + x.abs() }"
+        )
+        .is_empty());
+        // A field or variable that happens to share a name is not a call.
+        assert!(lint_source(
+            "crates/engine/src/sim.rs",
+            "struct S { exp: u32, log: Vec<u32> }\nfn f(s: &S) -> u32 { s.exp }"
+        )
+        .is_empty());
+        // Out of scope: analysis/cli/bench may use libm freely.
+        assert!(lint_source("crates/analysis/src/x.rs", method).is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_rule_fires_outside_the_sanctioned_modules() {
+        for src in [
+            "fn f() { std::thread::spawn(|| {}); }",
+            "fn f() { std::thread::scope(|s| { let _ = s; }); }",
+            "fn f() { let b = std::thread::Builder::new(); let _ = b; }",
+        ] {
+            for file in [
+                "crates/engine/src/sim.rs",
+                "crates/workloads/src/traffic.rs",
+                "crates/cli/src/lib.rs",
+            ] {
+                assert!(
+                    lint_source(file, src)
+                        .iter()
+                        .any(|f| f.rule == "thread-spawn"),
+                    "{file}: {src}"
+                );
+            }
+        }
+        // The epoch driver and the sweep harness own the threads.
+        let src = "fn f() { std::thread::scope(|s| { let _ = s; }); }";
+        assert!(lint_source("crates/core/src/epoch.rs", src).is_empty());
+        assert!(lint_source("crates/bench/src/harness.rs", src).is_empty());
+        // A variable named `thread` is not a spawn.
+        assert!(lint_source(
+            "crates/engine/src/sim.rs",
+            "fn f(thread: u32) -> u32 { thread }"
+        )
+        .is_empty());
+        // Tests may spawn helper threads.
+        assert!(lint_source(
+            "crates/engine/src/sim.rs",
+            "#[cfg(test)]\nmod tests { fn t() { std::thread::spawn(|| {}); } }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn arc_mutex_rule_confines_shared_sinks() {
+        let src = "use std::sync::{Arc, Mutex};\nstruct S { sink: Arc<Mutex<Vec<u32>>> }";
+        for file in [
+            "crates/workloads/src/apps/moldyn.rs",
+            "crates/bench/src/sweep.rs",
+        ] {
+            assert!(
+                lint_source(file, src).iter().any(|f| f.rule == "arc-mutex"),
+                "{file}"
+            );
+        }
+        assert!(lint_source(
+            "crates/workloads/src/x.rs",
+            "fn f(l: Arc<RwLock<u32>>) { let _ = l; }"
+        )
+        .iter()
+        .any(|f| f.rule == "arc-mutex"));
+        // The three sanctioned sinks are exempt.
+        for file in [
+            "crates/workloads/src/traffic.rs",
+            "crates/workloads/src/micro/pingpong.rs",
+            "crates/workloads/src/micro/bandwidth.rs",
+        ] {
+            assert!(lint_source(file, src).is_empty(), "{file}");
+        }
+        // Arc alone (immutable sharing) is fine.
+        assert!(lint_source(
+            "crates/workloads/src/x.rs",
+            "fn f(t: Arc<Vec<u32>>) { let _ = t; }"
+        )
+        .is_empty());
+        // Sim-state crates are sync-primitives territory, not arc-mutex.
+        let f = lint_source("crates/core/src/machine.rs", src);
+        assert!(f.iter().all(|f| f.rule != "arc-mutex"));
+        assert!(f.iter().any(|f| f.rule == "sync-primitives"));
+    }
+
+    #[test]
+    fn render_allowlist_round_trips_through_the_parser() {
+        let findings = vec![
+            Finding {
+                file: "crates/core/src/machine.rs".into(),
+                line: 400,
+                rule: "panic-path",
+                message: String::new(),
+            },
+            Finding {
+                file: "crates/core/src/machine.rs".into(),
+                line: 12,
+                rule: "panic-path",
+                message: String::new(),
+            },
+        ];
+        let text = render_allowlist(&findings);
+        let allow = parse_allowlist(&text);
+        assert_eq!(allow.len(), 2);
+        assert!(allow.contains("crates/core/src/machine.rs:400:panic-path"));
+        // Sorted: the line-12 entry renders before line 400 textually.
+        let body: Vec<&str> = text.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(body.len(), 2);
+        assert!(render_allowlist(&[]).lines().all(|l| l.starts_with('#')));
     }
 
     #[test]

@@ -90,6 +90,13 @@ pub struct MachineConfig {
     /// count. Excluded from the `Debug` rendering for the same reason as
     /// `metrics`: the worker count must never change a run's identity.
     pub workers: u32,
+    /// Record the epoch driver's footprint-audit log (per-lane
+    /// read/write footprints over shared state plus the exact merge
+    /// order; see [`nisim_engine::audit`]). Off by default, purely
+    /// observational, and excluded from the `Debug` rendering like
+    /// `metrics` and `workers`: auditing a run must never change its
+    /// identity, its event sequence, or its goldens.
+    pub audit: bool,
 }
 
 impl std::fmt::Debug for MachineConfig {
@@ -156,6 +163,7 @@ impl Default for MachineConfig {
             watchdog_window: Dur::ms(1),
             metrics: MetricsConfig::default(),
             workers: 0,
+            audit: false,
         }
     }
 }
@@ -216,6 +224,12 @@ impl MachineConfig {
     /// (`0` = the monolithic serial loop).
     pub fn workers(mut self, workers: u32) -> MachineConfig {
         self.workers = workers;
+        self
+    }
+
+    /// Enables the epoch driver's footprint-audit log.
+    pub fn audit(mut self, audit: bool) -> MachineConfig {
+        self.audit = audit;
         self
     }
 
@@ -290,6 +304,17 @@ mod tests {
         assert_eq!(parallel.workers, 4);
         assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
         assert!(!format!("{serial:?}").contains("workers"));
+    }
+
+    #[test]
+    fn debug_rendering_ignores_audit() {
+        // Auditing is observational, like metrics: fingerprints — and
+        // therefore goldens and snapshot bindings — must not see it.
+        let off = MachineConfig::default();
+        let on = MachineConfig::default().audit(true);
+        assert!(on.audit);
+        assert_eq!(format!("{off:?}"), format!("{on:?}"));
+        assert!(!format!("{off:?}").contains("audit"));
     }
 
     #[test]

@@ -51,6 +51,7 @@ use std::collections::{BTreeMap, BinaryHeap};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, RwLock};
 
+use nisim_engine::audit::{EpochAudit, FootprintKey, LaneAudit, MergeStep};
 use nisim_engine::metrics::Component;
 use nisim_engine::{Dur, SimStatus, Time};
 use nisim_net::{MsgId, NodeId};
@@ -178,10 +179,19 @@ pub(crate) struct LaneSink {
     /// Transfer ids taken this epoch — an overlay over the epoch-frozen
     /// `transfer_started` view, so a second take observes the first.
     taken: Vec<u64>,
+    /// The lane's footprint-audit record, present only when
+    /// [`MachineConfig::audit`] is on. Purely observational.
+    audit: Option<Box<LaneAudit>>,
 }
 
 impl LaneSink {
-    fn new(nid: usize, window_end: Time, trace_on: bool, metrics_on: bool) -> LaneSink {
+    fn new(
+        nid: usize,
+        window_end: Time,
+        trace_on: bool,
+        metrics_on: bool,
+        audit_on: bool,
+    ) -> LaneSink {
         LaneSink {
             nid,
             window_end,
@@ -193,6 +203,7 @@ impl LaneSink {
             created: 0,
             progress_delta: 0,
             taken: Vec::new(),
+            audit: audit_on.then(|| Box::new(LaneAudit::new(nid as u32))),
         }
     }
 
@@ -203,6 +214,9 @@ impl LaneSink {
                 kind: ProtocolViolation::EventScheduledInPast { at, now },
             });
             return;
+        }
+        if let Some(a) = &mut self.audit {
+            a.scheds.push((at.as_ns(), ev.node_of() as u32));
         }
         if at >= self.window_end {
             self.ops.push(Op::Sched { at, ev });
@@ -281,6 +295,9 @@ impl LaneSink {
     }
 
     pub(crate) fn transfer_start(&mut self, tid: u64, at: Time) {
+        if let Some(a) = &mut self.audit {
+            a.writes.push(FootprintKey::transfer(tid));
+        }
         self.ops.push(Op::TransferStart { tid, at });
     }
 
@@ -289,6 +306,9 @@ impl LaneSink {
         started: &BTreeMap<u64, Time>,
         tid: u64,
     ) -> Option<Time> {
+        if let Some(a) = &mut self.audit {
+            a.reads.push(FootprintKey::transfer(tid));
+        }
         self.ops.push(Op::TransferTake { tid });
         if self.taken.contains(&tid) {
             return None;
@@ -298,6 +318,9 @@ impl LaneSink {
     }
 
     pub(crate) fn inject(&mut self, wire: WireMsg, end: Time) {
+        if let Some(a) = &mut self.audit {
+            a.writes.push(FootprintKey::egress(self.nid as u64));
+        }
         self.ops.push(Op::Inject { wire, end });
     }
 
@@ -324,6 +347,11 @@ fn run_lane(
     sink: &mut LaneSink,
     seeds: &mut Vec<(Time, u64, MachineEvent)>,
 ) {
+    if let Some(a) = &mut sink.audit {
+        for &(at, seq, _) in seeds.iter() {
+            a.seeds.push((at.as_ns(), seq));
+        }
+    }
     for (at, seq, ev) in seeds.drain(..) {
         sink.heap.push(LaneEntry {
             at,
@@ -347,6 +375,10 @@ fn run_lane(
         };
         Machine::dispatch(&mut ctx, e.ev);
         sink.end_event(e.at);
+    }
+    let fired = sink.fired.len() as u64;
+    if let Some(a) = &mut sink.audit {
+        a.events = fired;
     }
 }
 
@@ -481,6 +513,9 @@ fn serial_step(
         };
         Machine::dispatch(&mut ctx, ev);
     }
+    if let Some(log) = &mut machine.g.audit {
+        log.serial_events += 1;
+    }
     let value = machine.g.progress;
     if value != *last_value {
         *last_value = value;
@@ -591,6 +626,7 @@ fn drive(
     let window = shared.cfg.watchdog_window;
     let trace_on = machine.g.trace.is_some();
     let metrics_on = machine.g.metrics.is_some();
+    let audit_on = machine.g.audit.is_some();
     let nodes_len = shared.nodes.len();
     let mut remaining = max_events;
     let mut last_value = machine.g.progress;
@@ -691,7 +727,7 @@ fn drive(
                 nid,
                 cell: Mutex::new(LaneCell {
                     seeds: std::mem::take(lane),
-                    sink: LaneSink::new(nid, window_end, trace_on, metrics_on),
+                    sink: LaneSink::new(nid, window_end, trace_on, metrics_on, audit_on),
                 }),
             });
         }
@@ -747,7 +783,7 @@ fn drive(
         machine.g.transfer_started = std::mem::take(&mut *shared.started.write().unwrap());
 
         // Exact serial replay.
-        let cells: Vec<LaneCell> = work
+        let mut cells: Vec<LaneCell> = work
             .lanes
             .into_iter()
             .map(|l| match l.cell.into_inner() {
@@ -756,8 +792,20 @@ fn drive(
             })
             .collect();
         let mut cursors = vec![(0usize, 0usize); n_lanes];
-        while let Some(std::cmp::Reverse((t, _seq, lane))) = heap.pop() {
+        // Seed detection for the audit's merge record: every seed's
+        // wheel seq predates the replay, every lane-created event gets
+        // its seq allocated during it.
+        let replay_seq_base = sim.next_seq();
+        let mut merge_steps: Vec<MergeStep> = Vec::new();
+        while let Some(std::cmp::Reverse((t, seq, lane))) = heap.pop() {
             remaining = remaining.saturating_sub(1);
+            if audit_on {
+                merge_steps.push(MergeStep {
+                    at_ns: t.as_ns(),
+                    lane: cells[lane].sink.nid as u32,
+                    seed: seq < replay_seq_base,
+                });
+            }
             sim.replay_advance(t);
             let (fi, oi) = cursors[lane];
             let rec = cells[lane].sink.fired[fi];
@@ -784,5 +832,21 @@ fn drive(
                 .all(|(c, cell)| c.0 == cell.sink.fired.len()),
             "replay did not consume every lane event"
         );
+        if let Some(log) = &mut machine.g.audit {
+            let mut lanes_audit = Vec::with_capacity(n_lanes);
+            for cell in &mut cells {
+                if let Some(mut a) = cell.sink.audit.take() {
+                    a.seal();
+                    log.parallel_events += a.events;
+                    lanes_audit.push(*a);
+                }
+            }
+            log.epochs.push(EpochAudit {
+                start_ns: t_next.as_ns(),
+                end_ns: window_end.as_ns(),
+                lanes: lanes_audit,
+                merge: merge_steps,
+            });
+        }
     }
 }

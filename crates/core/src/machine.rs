@@ -17,6 +17,7 @@
 
 use std::collections::BTreeMap;
 
+use nisim_engine::audit::AuditLog;
 use nisim_engine::metrics::{Component, ComponentCycles, Log2Hist, MetricsBreakdown};
 use nisim_engine::stats::{Histogram, Summary};
 use nisim_engine::trace::TraceSink;
@@ -129,6 +130,11 @@ pub(crate) struct Globals {
     /// [`MachineConfig::metrics`] requests collection — so default runs
     /// pay a single branch per charge site.
     pub(crate) metrics: Option<Box<MachineMetrics>>,
+    /// The epoch driver's footprint-audit log, present only when
+    /// [`MachineConfig::audit`] requests it. Purely observational: the
+    /// epoch driver appends per-epoch lane footprints and merge orders,
+    /// nothing reads it during the run.
+    pub(crate) audit: Option<Box<AuditLog>>,
 }
 
 /// Observability state of a metrics-enabled machine: the machine-level
@@ -300,6 +306,9 @@ impl Machine {
     /// Builds a machine; `factory(node)` supplies each node's process.
     pub fn new(cfg: MachineConfig, mut factory: impl FnMut(NodeId) -> Box<dyn Process>) -> Machine {
         let trace_enabled = cfg.trace;
+        let audit = cfg
+            .audit
+            .then(|| Box::new(AuditLog::new(cfg.net.wire_latency.as_ns())));
         let fabric = Fabric::new(cfg.net.topology, cfg.nodes, cfg.net.wire_latency);
         let fault = cfg
             .fault
@@ -351,8 +360,15 @@ impl Machine {
                 violations: Vec::new(),
                 progress: 0,
                 metrics,
+                audit,
             },
         }
+    }
+
+    /// The footprint-audit log recorded so far, if auditing was
+    /// enabled.
+    pub fn take_audit(&mut self) -> Option<AuditLog> {
+        self.g.audit.take().map(|b| *b)
     }
 
     /// The message-lifecycle trace recorded so far (sorted by time), if
@@ -392,6 +408,24 @@ impl Machine {
         let report = machine.report(&sim, status);
         let trace = machine.take_trace().expect("trace was enabled");
         (report, trace)
+    }
+
+    /// [`Machine::run`] that also returns the epoch driver's
+    /// footprint-audit log (forces [`MachineConfig::audit`] on and at
+    /// least one worker — a serial run has no epochs to audit).
+    pub fn run_audited(
+        mut cfg: MachineConfig,
+        factory: impl FnMut(NodeId) -> Box<dyn Process>,
+    ) -> (MachineReport, AuditLog) {
+        cfg.audit = true;
+        cfg.workers = cfg.workers.max(1);
+        let mut machine = Machine::new(cfg, factory);
+        let mut sim = MachineSim::new();
+        machine.start(&mut sim);
+        let status = machine.drive(&mut sim, Time::from_ns(10_000_000_000), 500_000_000);
+        let report = machine.report(&sim, status);
+        let audit = machine.take_audit().unwrap_or_default();
+        (report, audit)
     }
 
     /// [`Machine::run`] with explicit horizon and event budget.

@@ -26,6 +26,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use nisim_engine::audit::AuditLog;
 use nisim_engine::json::{u64_from_hex, u64_hex};
 use nisim_engine::metrics::{ComponentCycles, Log2Hist};
 use nisim_engine::stats::{Counter, Histogram, Summary};
@@ -710,6 +711,9 @@ pub fn save(machine: &Machine, sim: &mut MachineSim) -> Result<Json, SnapshotErr
                 .set("rel_cycles", mm.rel.cycles.to_json()),
         );
     }
+    if let Some(log) = &g.audit {
+        mach = mach.set("audit", log.to_json());
+    }
 
     Ok(Json::obj()
         .set("version", SNAPSHOT_VERSION)
@@ -842,6 +846,14 @@ pub fn restore(
         }
         (None, None) => {}
         _ => return Err(mal("metrics presence mismatch")),
+    }
+    // The audit log is tolerant on both sides (unlike the strict
+    // metrics/fault presence matching): restoring an audited snapshot
+    // into an unaudited config just drops the observational log, and an
+    // audited resume of an unaudited snapshot starts a fresh one — so
+    // toggling the auditor never invalidates existing snapshots.
+    if let (Some(log), Some(aj)) = (&mut machine.g.audit, m.get("audit")) {
+        **log = AuditLog::from_json(aj).ok_or_else(|| mal("audit log"))?;
     }
 
     let nodes = m
