@@ -20,7 +20,7 @@
 //!   starts at the window start, and fires exactly the events the lanes
 //!   report (every seed arrives as a seed step).
 //!
-//! [`audit_grid`] runs the full 9-NI × 3-app differential grid audited
+//! [`audit_grid`] runs the full 12-NI × 3-app differential grid audited
 //! and applies [`check_log`] to every run — the CI gate.
 
 use std::collections::BTreeSet;
@@ -168,9 +168,9 @@ impl AuditOutcome {
     }
 }
 
-/// The nine NI designs of the differential grid (Table 2 plus the
-/// single-cycle and throttled variants).
-const NIS: [NiKind; 9] = [
+/// The twelve NI designs of the differential grid (Table 2 plus the
+/// single-cycle and throttled variants and the three modern designs).
+const NIS: [NiKind; 12] = [
     NiKind::Cm5,
     NiKind::Cm5SingleCycle,
     NiKind::Udma,
@@ -180,11 +180,14 @@ const NIS: [NiKind; 9] = [
     NiKind::Cni512Q,
     NiKind::Cni32Qm,
     NiKind::Cni32QmThrottle,
+    NiKind::RdmaQp,
+    NiKind::Urma,
+    NiKind::Sgdma,
 ];
 
 const APPS: [MacroApp; 3] = [MacroApp::Em3d, MacroApp::Moldyn, MacroApp::Spsolve];
 
-/// Runs the 9-NI × 3-app grid audited at the given worker count and
+/// Runs the 12-NI × 3-app grid audited at the given worker count and
 /// verifies every log. Small app parameters keep the grid fast; every
 /// run still crosses hundreds of parallel epochs.
 pub fn audit_grid(workers: u32) -> AuditOutcome {

@@ -432,7 +432,7 @@ pub struct EpochCheckOutcome {
     pub cuts: u64,
     /// Total violations found (zero on the real algorithm).
     pub violation_count: u64,
-    /// The first [`MAX_VIOLATIONS`] violation descriptions.
+    /// The first `MAX_VIOLATIONS` violation descriptions.
     pub violations: Vec<String>,
     /// The merge-transition alphabet the model visited (see
     /// [`nisim_engine::audit::merge_transitions`]).

@@ -22,7 +22,7 @@
 //!   bisimulation);
 //! * [`audit`] — replay verification of real runs' footprint-audit
 //!   logs: per-epoch cross-lane read/write disjointness, the lookahead
-//!   rule, and merge-order shape over the 9-NI × 3-app grid.
+//!   rule, and merge-order shape over the 12-NI × 3-app grid.
 //!
 //! Run via `cargo run -p nisim-analysis -- check|epoch-check|audit|lint|selftest`.
 

@@ -20,9 +20,9 @@
 //!   machine/NI dispatch) outside the committed allowlist; a mid-sweep
 //!   panic loses the whole parallel run.
 //! * `wildcard-dispatch` — `_ =>` arms are banned in matches that
-//!   dispatch over `MachineEvent`, `BusOp`, `MoesiState` or
-//!   `SnoopKind`, so adding a variant fails to compile instead of
-//!   silently falling through.
+//!   dispatch over `MachineEvent`, `BusOp`, `MoesiState`, `SnoopKind`
+//!   or `NiKind`, so adding a variant (e.g. a new NI model) fails to
+//!   compile instead of silently falling through.
 //! * `metrics-raw` — `.raw_add()`/`.raw_record()` calls are banned
 //!   outside `crates/engine/src/metrics.rs`: they bypass the
 //!   sum-to-total invariant the observability layer's safe API
@@ -377,7 +377,7 @@ const HOT_PATHS: [&str; 6] = [
 ];
 
 /// Enums whose dispatch matches must stay exhaustive.
-const DISPATCH_ENUMS: [&str; 4] = ["MachineEvent", "BusOp", "MoesiState", "SnoopKind"];
+const DISPATCH_ENUMS: [&str; 5] = ["MachineEvent", "BusOp", "MoesiState", "SnoopKind", "NiKind"];
 
 /// Crates whose code must not mutate the filesystem: any state a sim
 /// crate persists must flow through a sanctioned serialisation exit.
@@ -940,6 +940,12 @@ mod tests {
         // A match over something else may use wildcards freely.
         let other = "fn f(x: u32) -> u32 { match x { 0 => 1, _ => 2 } }";
         assert!(lint_source("crates/core/src/x.rs", other).is_empty());
+        // NiKind is a dispatch enum too: a wildcard arm would silently
+        // swallow a newly added NI model.
+        let ni = "fn f(k: NiKind) -> u32 { match k { NiKind::Cm5 => 1, _ => 0 } }";
+        assert!(lint_source("crates/core/src/ni/mod.rs", ni)
+            .iter()
+            .any(|f| f.rule == "wildcard-dispatch"));
         // Tuple patterns with `_` components are not bare wildcard arms.
         let tuple = "fn f(s: MoesiState, k: SnoopKind) { match (s, k) { (_, SnoopKind::Read) => (), (s2, _) => { let _ = s2; } } }";
         assert!(lint_source("crates/mem/src/x.rs", tuple).is_empty());

@@ -123,7 +123,7 @@ fn audit_workers() -> u32 {
         .unwrap_or(4)
 }
 
-/// Runs the 9-NI × 3-app grid with footprint auditing on and verifies
+/// Runs the 12-NI × 3-app grid with footprint auditing on and verifies
 /// every epoch's log: cross-lane disjointness, the lookahead rule, and
 /// merge-order shape.
 fn run_audit() -> bool {

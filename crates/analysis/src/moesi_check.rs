@@ -3,13 +3,13 @@
 //! Two engines, both driving the *real* transition functions from
 //! `nisim-mem` (not a re-implementation):
 //!
-//! 1. [`cross_product`] — exhaustively enumerates every
+//! 1. [`MoesiChecker::cross_product`] — exhaustively enumerates every
 //!    `(MoesiState, SnoopKind)` pair plus the write-hit and read-fill
 //!    transitions, asserting local properties of each transition
 //!    (suppliers hold the freshest copy, dirty ownership survives read
 //!    snoops, invalidating transactions actually invalidate, …).
 //!
-//! 2. [`explore`] — BFS over a small system model: N caches (2 and 3)
+//! 2. [`MoesiChecker::explore`] — BFS over a small system model: N caches (2 and 3)
 //!    sharing one block over a snooping bus, with an explicit
 //!    "memory is stale" bit. Each bus transaction is atomic. The
 //!    search asserts the global invariants (SWMR, exactly one owner

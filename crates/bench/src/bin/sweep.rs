@@ -1,0 +1,63 @@
+//! Regenerates the modern-NI study: the connection-count sweep (RDMA
+//! queue pairs vs connectionless URMA), the RDMA eager/rendezvous
+//! payload kink, and the scatter-gather strided-exchange comparison.
+use nisim_bench::fmt::TableWriter;
+use nisim_bench::{
+    conn_sweep, conn_sweep_from_records, emit_json, rdma_kink_from_records, rdma_kink_sweep,
+    strided_from_records, strided_sweep, BenchArgs,
+};
+
+fn main() {
+    let args = BenchArgs::parse();
+
+    println!("Connection-count sweep: message latency (ns) vs simulated endpoints");
+    println!("(RDMA_QP: 64-entry QP-state cache; URMA: connectionless)\n");
+    let sweep = conn_sweep();
+    let records = sweep.run(args.jobs);
+    emit_json(&args, &sweep.name, &records);
+    let rows = conn_sweep_from_records(&records);
+    let mut t = TableWriter::new(vec![
+        "endpoints".into(),
+        "rdma-qp p99".into(),
+        "rdma-qp mean".into(),
+        "urma p99".into(),
+        "urma mean".into(),
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.endpoints.to_string(),
+            format!("{:.0}", r.rdma_p99_ns),
+            format!("{:.0}", r.rdma_mean_ns),
+            format!("{:.0}", r.urma_p99_ns),
+            format!("{:.0}", r.urma_mean_ns),
+        ]);
+    }
+    print!("{}", t.render());
+
+    println!("\nRDMA eager/rendezvous payload kink: round-trip latency (us)\n");
+    let sweep = rdma_kink_sweep();
+    let records = sweep.run(args.jobs);
+    emit_json(&args, &sweep.name, &records);
+    let mut t = TableWriter::new(vec!["payload".into(), "rtt_us".into()]);
+    for (p, rtt) in rdma_kink_from_records(&records) {
+        t.row(vec![p.to_string(), format!("{rtt:.2}")]);
+    }
+    print!("{}", t.render());
+
+    println!("\nStrided matrix-row exchange on SGDMA (16 rows x 15 B x 8 rounds)\n");
+    let sweep = strided_sweep();
+    let records = sweep.run(args.jobs);
+    emit_json(&args, &sweep.name, &records);
+    let (gathered, per_elem) = strided_from_records(&records);
+    let mut t = TableWriter::new(vec!["strategy".into(), "exchange_ns".into()]);
+    t.row(vec!["gathered descriptor".into(), format!("{gathered:.0}")]);
+    t.row(vec![
+        "fragment per element".into(),
+        format!("{per_elem:.0}"),
+    ]);
+    print!("{}", t.render());
+    println!(
+        "\ngather speedup: {:.2}x",
+        per_elem / gathered.max(f64::MIN_POSITIVE)
+    );
+}

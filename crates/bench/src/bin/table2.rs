@@ -1,5 +1,6 @@
-//! Regenerates Table 2: the taxonomy classification of the seven NIs,
-//! generated from each NI model's self-description.
+//! Regenerates Table 2: the taxonomy classification of the seven NIs —
+//! plus the three modern extension designs — generated from each NI
+//! model's self-description.
 use nisim_bench::fmt::TableWriter;
 use nisim_core::{MachineConfig, NiKind, NiUnit};
 use nisim_net::BufferCount;
@@ -19,7 +20,7 @@ fn main() {
         "Buffers".into(),
         "Proc?".into(),
     ]);
-    for kind in NiKind::TABLE2 {
+    for kind in NiKind::TABLE2.into_iter().chain(NiKind::MODERN) {
         let ni = NiUnit::with_kind(&cfg, kind, BufferCount::Finite(8));
         let d = ni.model.descriptor();
         t.row(vec![

@@ -57,11 +57,14 @@ pub struct ChaosPoint {
     pub crash: bool,
 }
 
-/// The chaos grid: {em3d, spsolve} × {NI_2w, CNI_32Q_m} × {clean, crash}.
+/// The chaos grid: {em3d, spsolve} × {NI_2w, CNI_32Q_m, RDMA_QP, SGDMA}
+/// × {clean, crash}. The two modern NIs carry the most restore-sensitive
+/// state of the roster: the RDMA QP-state cache's LRU order and the
+/// SGDMA NI's staged descriptor.
 pub fn grid() -> Vec<ChaosPoint> {
     let mut points = Vec::new();
     for app in [MacroApp::Em3d, MacroApp::Spsolve] {
-        for ni in [NiKind::Cm5, NiKind::Cni32Qm] {
+        for ni in [NiKind::Cm5, NiKind::Cni32Qm, NiKind::RdmaQp, NiKind::Sgdma] {
             for crash in [false, true] {
                 points.push(ChaosPoint { app, ni, crash });
             }
@@ -215,8 +218,8 @@ mod tests {
     #[test]
     fn grid_covers_both_fault_modes_per_app_and_ni() {
         let g = grid();
-        assert_eq!(g.len(), 8);
-        assert_eq!(g.iter().filter(|p| p.crash).count(), 4);
+        assert_eq!(g.len(), 16);
+        assert_eq!(g.iter().filter(|p| p.crash).count(), 8);
     }
 
     #[test]

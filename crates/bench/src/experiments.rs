@@ -15,6 +15,8 @@ use nisim_engine::stats::Histogram;
 use nisim_engine::Dur;
 use nisim_net::{BufferCount, Topology};
 use nisim_workloads::apps::{run_app, MacroApp};
+use nisim_workloads::micro::connsweep::SWEEP_ENDPOINTS;
+use nisim_workloads::micro::strided::StridedStrategy;
 
 use crate::harness::{default_jobs, Patch, Sweep, Work};
 use crate::record::{lookup, RunRecord};
@@ -1231,7 +1233,7 @@ pub struct BreakdownRow {
 pub fn breakdown_sweep() -> Sweep {
     Sweep::new("breakdown")
         .apps(&[MacroApp::Em3d])
-        .nis(&NiKind::TABLE2)
+        .nis(&breakdown_nis())
         .patches(vec![Patch {
             metrics: true,
             ..Patch::default()
@@ -1245,7 +1247,7 @@ pub fn breakdown_sweep() -> Sweep {
 /// Panics if a record lacks its breakdown or the component cycles fail
 /// the sum-to-total identity — either means the metrics layer is broken.
 pub fn breakdown_from_records(records: &[RunRecord]) -> Vec<BreakdownRow> {
-    NiKind::TABLE2
+    breakdown_nis()
         .iter()
         .map(|&ni| {
             let r = rec(records, MacroApp::Em3d.name(), ni, B8, "");
@@ -1280,7 +1282,13 @@ pub fn breakdown_from_records(records: &[RunRecord]) -> Vec<BreakdownRow> {
         .collect()
 }
 
-/// Runs the occupancy breakdown for all seven Table 2 NIs.
+/// The breakdown grid: the seven Table 2 NIs plus the three modern
+/// designs.
+fn breakdown_nis() -> Vec<NiKind> {
+    NiKind::TABLE2.into_iter().chain(NiKind::MODERN).collect()
+}
+
+/// Runs the occupancy breakdown for the ten-NI breakdown grid.
 pub fn run_breakdown() -> Vec<BreakdownRow> {
     breakdown_from_records(&breakdown_sweep().run(default_jobs()))
 }
@@ -1297,6 +1305,127 @@ pub fn breakdown_golden_path() -> std::path::PathBuf {
 pub fn breakdown_document(jobs: usize) -> nisim_engine::json::Json {
     let records = breakdown_sweep().run(jobs);
     crate::record::document(vec![crate::record::sweep_to_json("breakdown", &records)])
+}
+
+/// The connection-count sweep grid: the RDMA queue-pair NI against the
+/// connectionless URMA NI across [`SWEEP_ENDPOINTS`], at the default
+/// 64-entry QP-state cache. This is the state-capacity study: RDMA_QP
+/// falls off a latency cliff once the endpoint count exceeds its cache,
+/// URMA stays flat because it holds zero per-pair state.
+pub fn conn_sweep() -> Sweep {
+    Sweep::new("connsweep")
+        .works(
+            SWEEP_ENDPOINTS
+                .iter()
+                .map(|&e| Work::ConnSweep(e))
+                .collect(),
+        )
+        .nis(&[NiKind::RdmaQp, NiKind::Urma])
+}
+
+/// One endpoint count of the connection sweep, folded.
+#[derive(Clone, Debug)]
+pub struct ConnSweepRow {
+    /// Simulated logical endpoints.
+    pub endpoints: u32,
+    /// RDMA_QP p99 message latency (ns).
+    pub rdma_p99_ns: f64,
+    /// RDMA_QP mean message latency (ns).
+    pub rdma_mean_ns: f64,
+    /// URMA p99 message latency (ns).
+    pub urma_p99_ns: f64,
+    /// URMA mean message latency (ns).
+    pub urma_mean_ns: f64,
+}
+
+/// Folds the connection sweep to per-endpoint-count latency rows.
+pub fn conn_sweep_from_records(records: &[RunRecord]) -> Vec<ConnSweepRow> {
+    SWEEP_ENDPOINTS
+        .iter()
+        .map(|&e| {
+            let work = format!("connsweep:{e}");
+            let rdma = rec(records, &work, NiKind::RdmaQp, B8, "");
+            let urma = rec(records, &work, NiKind::Urma, B8, "");
+            ConnSweepRow {
+                endpoints: e,
+                rdma_p99_ns: metric(rdma, "lat_p99_ns"),
+                rdma_mean_ns: metric(rdma, "lat_mean_ns"),
+                urma_p99_ns: metric(urma, "lat_p99_ns"),
+                urma_mean_ns: metric(urma, "lat_mean_ns"),
+            }
+        })
+        .collect()
+}
+
+/// Runs the connection-count sweep (the deliverable of the modern-NI
+/// study: RDMA_QP's cliff against URMA's flat line).
+pub fn run_conn_sweep() -> Vec<ConnSweepRow> {
+    conn_sweep_from_records(&conn_sweep().run(default_jobs()))
+}
+
+/// The RDMA eager/rendezvous payload probe: round trips straddling the
+/// default 128 B eager crossover.
+pub const RDMA_KINK_PAYLOADS: [u64; 4] = [32, 96, 160, 224];
+
+/// The eager/rendezvous kink grid: RDMA_QP round trips across
+/// [`RDMA_KINK_PAYLOADS`].
+pub fn rdma_kink_sweep() -> Sweep {
+    Sweep::new("rdma-kink")
+        .works(
+            RDMA_KINK_PAYLOADS
+                .iter()
+                .map(|&p| Work::RoundTrip(p))
+                .collect(),
+        )
+        .nis(&[NiKind::RdmaQp])
+}
+
+/// Folds the kink sweep to `(payload, rtt_us)` pairs.
+pub fn rdma_kink_from_records(records: &[RunRecord]) -> Vec<(u64, f64)> {
+    RDMA_KINK_PAYLOADS
+        .iter()
+        .map(|&p| {
+            let r = rec(records, &format!("rtt:{p}"), NiKind::RdmaQp, B8, "");
+            (p, metric(r, "rtt_mean_us"))
+        })
+        .collect()
+}
+
+/// Runs the eager/rendezvous payload probe: below the crossover the RTT
+/// grows with the per-block copy slope; at the crossover the rendezvous
+/// handshake adds a visible step.
+pub fn run_rdma_kink() -> Vec<(u64, f64)> {
+    rdma_kink_from_records(&rdma_kink_sweep().run(default_jobs()))
+}
+
+/// The strided-exchange grid: the scatter-gather NI under both software
+/// strategies (one descriptor-driven send vs one send per row).
+pub fn strided_sweep() -> Sweep {
+    Sweep::new("strided")
+        .works(vec![
+            Work::Strided(StridedStrategy::Gathered),
+            Work::Strided(StridedStrategy::FragmentPerElement),
+        ])
+        .nis(&[NiKind::Sgdma])
+}
+
+/// Folds the strided sweep to `(gathered_ns, per_element_ns)`.
+pub fn strided_from_records(records: &[RunRecord]) -> (f64, f64) {
+    let g = metric(
+        rec(records, "strided:gather", NiKind::Sgdma, B8, ""),
+        "exchange_ns",
+    );
+    let f = metric(
+        rec(records, "strided:per-elem", NiKind::Sgdma, B8, ""),
+        "exchange_ns",
+    );
+    (g, f)
+}
+
+/// Runs the strided matrix-row exchange under both strategies; the
+/// gathered descriptor path must win.
+pub fn run_strided() -> (f64, f64) {
+    strided_from_records(&strided_sweep().run(default_jobs()))
 }
 
 /// The golden shape-regression grid: every sweep whose qualitative
@@ -1328,6 +1457,9 @@ pub fn golden_suite() -> Vec<Sweep> {
         fig3b,
         fig4_sweep(&MacroApp::ALL),
         fault_study_sweep(MacroApp::Em3d, NiKind::Cm5, &[0, 5]),
+        conn_sweep(),
+        rdma_kink_sweep(),
+        strided_sweep(),
     ]
 }
 

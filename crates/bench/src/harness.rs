@@ -14,7 +14,7 @@
 //! precedence ([`default_jobs`]).
 //!
 //! The tail of the module keeps the original self-contained
-//! micro-benchmark timer ([`bench`]) used by the `benches/` targets —
+//! micro-benchmark timer ([`bench()`]) used by the `benches/` targets —
 //! the container this repository builds in has no access to crates.io,
 //! so Criterion is out.
 
@@ -28,8 +28,10 @@ use nisim_engine::Dur;
 use nisim_net::{BufferCount, ReliabilityConfig, Topology};
 use nisim_workloads::apps::{run_app, AppParams, MacroApp};
 use nisim_workloads::micro::bandwidth::measure_bandwidth_with_report;
+use nisim_workloads::micro::connsweep::measure_conn_sweep_with_report;
 use nisim_workloads::micro::logp::measure_logp_with_report;
 use nisim_workloads::micro::pingpong::measure_round_trip_with_report;
+use nisim_workloads::micro::strided::{measure_strided_with_report, StridedStrategy};
 use nisim_workloads::traffic::{level_gap_ns, run_traffic, TrafficSpec};
 
 use crate::record::{self, RunRecord};
@@ -65,6 +67,13 @@ pub enum Work {
     /// Open-loop traffic: a preset arrival/destination shape at an
     /// offered-load level (see [`nisim_workloads::traffic`]).
     Traffic(TrafficSpec),
+    /// Connection-count sweep: a fixed 512-message stream whose
+    /// connection labels cycle over this many simulated endpoints (the
+    /// QP-state-capacity study).
+    ConnSweep(u32),
+    /// Strided matrix-row exchange (16 rows x 15 B x 8 rounds) under
+    /// this software strategy.
+    Strided(StridedStrategy),
 }
 
 impl Work {
@@ -80,6 +89,9 @@ impl Work {
             } => format!("bursty:{bursts}x{burst_len}"),
             Work::Stream(n) => format!("stream:{n}"),
             Work::Traffic(spec) => spec.key(),
+            Work::ConnSweep(endpoints) => format!("connsweep:{endpoints}"),
+            Work::Strided(StridedStrategy::Gathered) => "strided:gather".to_string(),
+            Work::Strided(StridedStrategy::FragmentPerElement) => "strided:per-elem".to_string(),
         }
     }
 }
@@ -117,6 +129,8 @@ pub struct Patch {
     pub cni_bypass: Option<bool>,
     /// Toggle the `CNI_32Q_m` dead-block head-update optimisation.
     pub cni_dead_block_opt: Option<bool>,
+    /// Override the RDMA queue-pair NI's QP-state cache capacity.
+    pub qp_cache_entries: Option<u32>,
     /// Force the UDMA NI to always use uncached transfers (suppresses
     /// the pure-UDMA cost model the micro works otherwise select).
     pub udma_uncached_fallback: bool,
@@ -177,6 +191,9 @@ impl Patch {
         }
         if let Some(v) = self.cni_dead_block_opt {
             cfg.cni_dead_block_opt = v;
+        }
+        if let Some(n) = self.qp_cache_entries {
+            cfg.qp_cache_entries = n;
         }
         if self.udma_uncached_fallback {
             cfg.costs.udma_threshold_payload = u64::MAX;
@@ -400,6 +417,22 @@ pub fn run_point(point: &SweepPoint) -> RunRecord {
                 "offered_gap_ns".to_string(),
                 level_gap_ns(spec.level) as f64,
             )];
+            (report, metrics, fp)
+        }
+        Work::ConnSweep(endpoints) => {
+            let fp = record::fingerprint(&cfg);
+            let (r, report) = measure_conn_sweep_with_report(&cfg, endpoints, 512, 64);
+            let metrics = vec![
+                ("lat_p50_ns".to_string(), r.p50_ns),
+                ("lat_p99_ns".to_string(), r.p99_ns),
+                ("lat_mean_ns".to_string(), r.mean_ns),
+            ];
+            (report, metrics, fp)
+        }
+        Work::Strided(strategy) => {
+            let fp = record::fingerprint(&cfg);
+            let (r, report) = measure_strided_with_report(&cfg, strategy, 16, 15, 8);
+            let metrics = vec![("exchange_ns".to_string(), r.elapsed_ns as f64)];
             (report, metrics, fp)
         }
     };
@@ -669,6 +702,15 @@ mod tests {
             "bursty:40x48"
         );
         assert_eq!(Work::Stream(60).key(), "stream:60");
+        assert_eq!(Work::ConnSweep(256).key(), "connsweep:256");
+        assert_eq!(
+            Work::Strided(StridedStrategy::Gathered).key(),
+            "strided:gather"
+        );
+        assert_eq!(
+            Work::Strided(StridedStrategy::FragmentPerElement).key(),
+            "strided:per-elem"
+        );
         assert_eq!(
             Work::Traffic(TrafficSpec {
                 kind: nisim_workloads::traffic::TrafficKind::PoissonIncast,
@@ -694,6 +736,7 @@ mod tests {
             cni_prefetch: Some(false),
             cni_bypass: Some(false),
             cni_dead_block_opt: Some(false),
+            qp_cache_entries: Some(16),
             udma_uncached_fallback: true,
             metrics: true,
             ..Patch::default()
@@ -710,6 +753,7 @@ mod tests {
         assert_eq!(cfg.cni_cache_blocks, 64);
         assert!(!cfg.cni_prefetch && !cfg.cni_bypass && !cfg.cni_dead_block_opt);
         assert_eq!(cfg.costs.udma_threshold_payload, u64::MAX);
+        assert_eq!(cfg.qp_cache_entries, 16);
         assert_eq!(cfg.fault.drop_p, 0.05);
         assert!(cfg.reliability.enabled);
     }

@@ -18,8 +18,10 @@ use nisim_workloads::traffic::{level_gap_ns, TrafficKind, TrafficSpec, MAX_LOAD_
 use crate::harness::{Sweep, Work};
 use crate::record::RunRecord;
 
-/// The seven Table 2 NI designs, in the paper's order.
-pub const LOADLAT_NIS: [NiKind; 7] = [
+/// The seven Table 2 NI designs in the paper's order, followed by the
+/// three modern designs (RDMA queue pairs, connectionless URMA,
+/// scatter-gather DMA).
+pub const LOADLAT_NIS: [NiKind; 10] = [
     NiKind::Cm5,
     NiKind::Udma,
     NiKind::Ap3000,
@@ -27,6 +29,9 @@ pub const LOADLAT_NIS: [NiKind; 7] = [
     NiKind::StartJr,
     NiKind::Cni512Q,
     NiKind::Cni32Qm,
+    NiKind::RdmaQp,
+    NiKind::Urma,
+    NiKind::Sgdma,
 ];
 
 /// Flow-control buffer level the study runs at (the Table 5 default;

@@ -104,7 +104,8 @@ fault injection (any command that builds a machine):
   --watchdog-us <n>    no-progress watchdog window, microseconds
 
 NIs:  cm5, cm5-single-cycle, cm5-coalescing, udma, ap3000, startjr,
-      memchannel, cni512q, cni32qm, cni32qm-throttle
+      memchannel, cni512q, cni32qm, cni32qm-throttle,
+      rdma-qp, urma, sgdma
 apps: appbt, barnes, dsmc, em3d, moldyn, spsolve, unstructured";
 
 /// A CLI failure with a human-readable message.
@@ -150,6 +151,9 @@ pub fn parse_ni(name: &str) -> Result<NiKind, CliError> {
         "cni512q" => NiKind::Cni512Q,
         "cni32qm" => NiKind::Cni32Qm,
         "cni32qm-throttle" => NiKind::Cni32QmThrottle,
+        "rdma-qp" => NiKind::RdmaQp,
+        "urma" => NiKind::Urma,
+        "sgdma" => NiKind::Sgdma,
         other => return Err(err(format!("unknown NI {other:?}"))),
     })
 }
@@ -597,6 +601,9 @@ pub fn main_with_args(args: &[String]) -> Result<String, CliError> {
                 NiKind::MemoryChannel,
                 NiKind::Cni512Q,
                 NiKind::Cni32Qm,
+                NiKind::RdmaQp,
+                NiKind::Urma,
+                NiKind::Sgdma,
             ];
             let configs = nis
                 .iter()
@@ -729,6 +736,9 @@ mod tests {
             ("cni512q", NiKind::Cni512Q),
             ("cni32qm", NiKind::Cni32Qm),
             ("cni32qm-throttle", NiKind::Cni32QmThrottle),
+            ("rdma-qp", NiKind::RdmaQp),
+            ("urma", NiKind::Urma),
+            ("sgdma", NiKind::Sgdma),
         ] {
             assert_eq!(parse_ni(name).unwrap(), kind);
         }

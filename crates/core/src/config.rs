@@ -57,6 +57,10 @@ pub struct MachineConfig {
     /// Dead-block head-update improvement of `CNI_32Q_m` (§4, improvement
     /// 2); off only for ablation.
     pub cni_dead_block_opt: bool,
+    /// Queue-pair contexts the RDMA NI's on-chip QP-state cache holds
+    /// (LRU). Connection counts beyond this thrash the cache — the
+    /// state-capacity cliff the connection-count sweep exposes.
+    pub qp_cache_entries: u32,
     /// Seed for workload randomness.
     pub seed: u64,
     /// Record a message-lifecycle trace (see
@@ -124,6 +128,7 @@ impl std::fmt::Debug for MachineConfig {
             .field("cni_bypass", &self.cni_bypass)
             .field("cni_prefetch", &self.cni_prefetch)
             .field("cni_dead_block_opt", &self.cni_dead_block_opt)
+            .field("qp_cache_entries", &self.qp_cache_entries)
             .field("seed", &self.seed)
             .field("trace", &self.trace)
             .field("fault", &self.fault)
@@ -156,6 +161,7 @@ impl Default for MachineConfig {
             cni_bypass: true,
             cni_prefetch: true,
             cni_dead_block_opt: true,
+            qp_cache_entries: 64,
             seed: 0x5eed,
             trace: false,
             fault: FaultConfig::default(),
@@ -187,6 +193,13 @@ impl MachineConfig {
     /// Sets the flow-control buffer count.
     pub fn flow_buffers(mut self, buffers: BufferCount) -> MachineConfig {
         self.flow_buffers = buffers;
+        self
+    }
+
+    /// Sets the RDMA NI's QP-state cache capacity.
+    pub fn qp_cache_entries(mut self, entries: u32) -> MachineConfig {
+        assert!(entries >= 1, "the QP cache needs at least one entry");
+        self.qp_cache_entries = entries;
         self
     }
 

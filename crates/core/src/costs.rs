@@ -75,6 +75,25 @@ pub struct CostModel {
     /// Device-side accept latency of an uncached store to the NI FIFO
     /// window (the store blocks the processor until accepted).
     pub fifo_store_accept: Dur,
+    /// Payload bytes up to which the RDMA queue-pair NI uses the eager
+    /// path (payload travels inline with the send descriptor); larger
+    /// payloads take the rendezvous (RTS/CTS + remote read) path.
+    pub rdma_eager_max_payload: u64,
+    /// Blocks of queue-pair context the NI fetches from host memory on a
+    /// QP-state cache miss (send and receive context each pay this). The
+    /// default models a 512 B context — eight 64 B blocks, the order of a
+    /// real InfiniBand QPC — which is what makes the miss path expensive
+    /// enough to show the state-capacity cliff.
+    pub rdma_qp_fetch_blocks: u64,
+    /// Fixed rendezvous handshake cost (RTS/CTS exchange) charged on the
+    /// NI before a rendezvous payload starts moving.
+    pub rdma_rendezvous_setup: Dur,
+    /// Per-message address-translation / match cost of the connectionless
+    /// URMA NI — the price of holding zero per-pair state.
+    pub urma_translate: Dur,
+    /// Descriptor-processing cycles the scatter-gather DMA engine pays
+    /// per gather/scatter element.
+    pub sgdma_descriptor_cycles: u64,
 }
 
 impl Default for CostModel {
@@ -100,6 +119,11 @@ impl Default for CostModel {
             status_read_response: Dur::ns(100),
             fifo_window_response: Dur::ns(35),
             fifo_store_accept: Dur::ns(30),
+            rdma_eager_max_payload: 128,
+            rdma_qp_fetch_blocks: 8,
+            rdma_rendezvous_setup: Dur::ns(200),
+            urma_translate: Dur::ns(120),
+            sgdma_descriptor_cycles: 20,
         }
     }
 }
@@ -130,5 +154,16 @@ mod tests {
     #[test]
     fn pure_udma_zeroes_threshold() {
         assert_eq!(CostModel::default().pure_udma().udma_threshold_payload, 0);
+    }
+
+    #[test]
+    fn eager_crossover_below_max_fragment_payload() {
+        // The eager/rendezvous crossover must sit strictly below the
+        // 248-byte maximum fragment payload, or the payload-size kink the
+        // goldens assert would never be exercised.
+        let c = CostModel::default();
+        assert!(c.rdma_eager_max_payload < 248);
+        assert!(c.rdma_qp_fetch_blocks > 0);
+        assert!(c.sgdma_descriptor_cycles > 0);
     }
 }

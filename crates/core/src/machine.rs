@@ -825,6 +825,15 @@ impl Machine {
                 return;
             }
             let wire_bytes = frag.payload_bytes + header;
+            // Resolve the connection: 0 in the spec means unassigned,
+            // and the machine derives a stable per-destination one (so
+            // connection-aware NIs see one connection per peer).
+            let conn = if send.spec.conn != 0 {
+                send.spec.conn
+            } else {
+                send.spec.dst.0 + 1
+            };
+            node.ni.model.stage(conn, send.spec.tag);
             let path = node.ni.model.send_fragment(
                 &mut node.hw,
                 &costs,
@@ -859,6 +868,7 @@ impl Machine {
                     tag: spec.tag,
                     total_payload: spec.payload_bytes,
                     seq,
+                    conn,
                 },
                 path.inject_ready,
                 release,
@@ -1014,6 +1024,7 @@ impl Machine {
             );
 
             let node = &mut *ctx.node;
+            node.ni.model.stage(wire.conn, wire.tag);
             let dep = node.ni.model.deposit_fragment(
                 &mut node.hw,
                 &costs,
@@ -1222,6 +1233,7 @@ impl Machine {
                 wire_bytes,
                 &crate::ni::DepositLoc::NiFifo,
             );
+            node.ni.model.stage(wire.conn, wire.tag);
             let path = node.ni.model.send_fragment(
                 &mut node.hw,
                 &costs,
@@ -1707,6 +1719,9 @@ pub(crate) mod tests {
             NiKind::Cni512Q,
             NiKind::Cni32Qm,
             NiKind::Cni32QmThrottle,
+            NiKind::RdmaQp,
+            NiKind::Urma,
+            NiKind::Sgdma,
         ] {
             let r = run_kind(kind, BufferCount::Finite(8), 4, 64);
             assert_eq!(r.status, SimStatus::Drained, "{kind}");

@@ -134,11 +134,18 @@ pub mod layout {
     pub const CNI512_RECV_BASE: Addr = Addr::new(0x1008_0000);
     /// Base of the tail-pointer blocks.
     pub const TAILS_BASE: Addr = Addr::new(0x100C_0000);
+    /// Base of the memory-homed queue-pair context table the RDMA NI
+    /// fetches QP state from on a QP-cache miss (64 KB).
+    pub const QP_CTX_BASE: Addr = Addr::new(0x100D_0000);
     /// Size of a memory-homed queue region, in blocks (32 KB = 128
     /// message slots — plentiful relative to the flow-control buffers).
     pub const MEMORY_QUEUE_BLOCKS: u64 = 512;
     /// Largest supported `CNI_512Q` queue, in blocks (256 KB).
     pub const CNI512_MAX_BLOCKS: u64 = 4096;
+    /// Blocks in the QP context table: contexts of distinct connections
+    /// map onto it modulo this, so arbitrarily many logical connections
+    /// still touch a bounded, block-aligned region.
+    pub const QP_CTX_BLOCKS: u64 = 1024;
 }
 
 #[cfg(test)]
@@ -206,6 +213,7 @@ mod tests {
             (CNI512_SEND_BASE.raw(), CNI512_MAX_BLOCKS * 64),
             (CNI512_RECV_BASE.raw(), CNI512_MAX_BLOCKS * 64),
             (TAILS_BASE.raw(), 4 * 64),
+            (QP_CTX_BASE.raw(), QP_CTX_BLOCKS * 64),
         ];
         for (i, &(base_i, len_i)) in regions.iter().enumerate() {
             for &(base_j, _) in &regions[i + 1..] {

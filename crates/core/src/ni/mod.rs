@@ -14,6 +14,15 @@
 //! | `(NI_16w+Blkbuf)_S(CNI_0Q_m)_R` | [`memchannel`] | DEC Memory Channel |
 //! | `CNI_512Q` | [`cni512q`] | Wisconsin CNI without a cache |
 //! | `CNI_32Q_m` | [`cni32qm`] | Wisconsin CNI with a cache |
+//!
+//! Three modern design points extend the taxonomy past 1998 hardware
+//! (ROADMAP item 3):
+//!
+//! | model | module | abstracts |
+//! |---|---|---|
+//! | `RDMA_QP` | [`rdma_qp`] | InfiniBand-style doorbell + queue pairs |
+//! | `URMA` | [`urma`] | connectionless NI, zero per-pair state |
+//! | `SGDMA` | [`sgdma`] | descriptor-driven scatter-gather DMA engine |
 
 pub mod ap3000;
 pub mod cm5;
@@ -22,8 +31,11 @@ pub mod cni512q;
 pub mod coalescing;
 pub mod coherent;
 pub mod memchannel;
+pub mod rdma_qp;
+pub mod sgdma;
 pub mod startjr;
 pub mod udma;
+pub mod urma;
 
 use std::collections::{BTreeMap, VecDeque};
 
@@ -68,6 +80,16 @@ pub enum NiKind {
     Cni32Qm,
     /// `CNI_32Q_m`+Throttle: the send-throttled variant of Table 5.
     Cni32QmThrottle,
+    /// `RDMA_QP` (extension): doorbell-rung send/recv queue pairs with
+    /// per-connection NI state held in a bounded LRU QP-state cache;
+    /// eager path for small payloads, rendezvous above the crossover.
+    RdmaQp,
+    /// `URMA` (extension): connectionless NI with zero per-pair state,
+    /// paying a per-message translation/match cost instead.
+    Urma,
+    /// `SGDMA` (extension): scatter-gather DMA engine driven by
+    /// strided/indexed transfer descriptors.
+    Sgdma,
 }
 
 impl NiKind {
@@ -95,6 +117,9 @@ impl NiKind {
             NiKind::Cni512Q => "CNI_512Q",
             NiKind::Cni32Qm => "CNI_32Qm",
             NiKind::Cni32QmThrottle => "CNI_32Qm+Throttle",
+            NiKind::RdmaQp => "RDMA queue-pair NI",
+            NiKind::Urma => "connectionless URMA NI",
+            NiKind::Sgdma => "scatter-gather DMA NI",
         }
     }
 
@@ -112,6 +137,9 @@ impl NiKind {
             NiKind::Cni512Q => "cni512q",
             NiKind::Cni32Qm => "cni32qm",
             NiKind::Cni32QmThrottle => "cni32qm-throttle",
+            NiKind::RdmaQp => "rdma-qp",
+            NiKind::Urma => "urma",
+            NiKind::Sgdma => "sgdma",
         }
     }
 
@@ -128,13 +156,18 @@ impl NiKind {
             NiKind::Cni512Q,
             NiKind::Cni32Qm,
             NiKind::Cni32QmThrottle,
+            NiKind::RdmaQp,
+            NiKind::Urma,
+            NiKind::Sgdma,
         ]
         .into_iter()
         .find(|k| k.key() == key)
     }
 
     /// True for the NIs that buffer incoming messages in plentiful memory
-    /// without processor involvement (the Figure 3b group).
+    /// without processor involvement (the Figure 3b group; the modern
+    /// designs all deposit NI-managed into host memory and belong here
+    /// too).
     pub fn is_coherent(self) -> bool {
         matches!(
             self,
@@ -143,8 +176,15 @@ impl NiKind {
                 | NiKind::Cni512Q
                 | NiKind::Cni32Qm
                 | NiKind::Cni32QmThrottle
+                | NiKind::RdmaQp
+                | NiKind::Urma
+                | NiKind::Sgdma
         )
     }
+
+    /// The three post-paper design points (ROADMAP item 3), in sweep
+    /// order.
+    pub const MODERN: [NiKind; 3] = [NiKind::RdmaQp, NiKind::Urma, NiKind::Sgdma];
 }
 
 impl std::fmt::Display for NiKind {
@@ -214,6 +254,16 @@ pub struct DepositPath {
 pub trait NiModel: Send {
     /// The Table 2 classification of this design.
     fn descriptor(&self) -> NiDescriptor;
+
+    /// Presents the logical connection and application tag of the
+    /// fragment the *next* [`NiModel::send_fragment`] or
+    /// [`NiModel::deposit_fragment`] call concerns. Connection-aware
+    /// designs (the RDMA queue-pair NI keys its QP-state cache on `conn`;
+    /// the scatter-gather engine decodes gather descriptors from `tag`)
+    /// latch these; everything else ignores them (the default no-op).
+    fn stage(&mut self, conn: u32, tag: u32) {
+        let _ = (conn, tag);
+    }
 
     /// Cost for the sending processor to verify there is send space
     /// (an uncached status read for FIFO NIs; a cached check for CNIs).
@@ -349,6 +399,10 @@ pub struct WireMsg {
     pub tag: u32,
     /// Total payload of the whole transfer.
     pub total_payload: u64,
+    /// Logical connection the fragment travels on (already resolved by
+    /// the sender: never 0 on the wire). Connection-aware receiving NIs
+    /// key their per-connection state on it.
+    pub conn: u32,
     /// End-to-end sequence number, assigned per `(src, dst)` pair when
     /// the reliability layer is enabled; `None` otherwise.
     pub seq: Option<SeqNo>,
@@ -433,6 +487,9 @@ impl NiUnit {
             NiKind::Cni32QmThrottle => {
                 Box::new(cni32qm::Cni32QmNi::new(cfg, Some(cfg.costs.throttle_delay)))
             }
+            NiKind::RdmaQp => Box::new(rdma_qp::RdmaQpNi::new(cfg)),
+            NiKind::Urma => Box::new(urma::UrmaNi::new(cfg)),
+            NiKind::Sgdma => Box::new(sgdma::SgdmaNi::new(cfg)),
         };
         NiUnit {
             kind,
@@ -508,9 +565,42 @@ mod tests {
             NiKind::Cni512Q,
             NiKind::Cni32Qm,
             NiKind::Cni32QmThrottle,
+            NiKind::RdmaQp,
+            NiKind::Urma,
+            NiKind::Sgdma,
         ] {
             let ni = NiUnit::with_kind(&cfg, kind, BufferCount::Finite(2));
             assert_eq!(ni.kind, kind);
+        }
+    }
+
+    #[test]
+    fn keys_round_trip_for_every_kind() {
+        for kind in [
+            NiKind::Cm5,
+            NiKind::Cm5SingleCycle,
+            NiKind::Cm5Coalescing,
+            NiKind::Udma,
+            NiKind::Ap3000,
+            NiKind::StartJr,
+            NiKind::MemoryChannel,
+            NiKind::Cni512Q,
+            NiKind::Cni32Qm,
+            NiKind::Cni32QmThrottle,
+            NiKind::RdmaQp,
+            NiKind::Urma,
+            NiKind::Sgdma,
+        ] {
+            assert_eq!(NiKind::from_key(kind.key()), Some(kind));
+        }
+        assert_eq!(NiKind::from_key("no-such-ni"), None);
+    }
+
+    #[test]
+    fn modern_kinds_are_coherent_and_off_table2() {
+        for kind in NiKind::MODERN {
+            assert!(kind.is_coherent(), "{kind:?}");
+            assert!(!NiKind::TABLE2.contains(&kind), "{kind:?}");
         }
     }
 

@@ -20,16 +20,30 @@ pub struct SendSpec {
     pub payload_bytes: u64,
     /// Application tag, delivered to the destination handler.
     pub tag: u32,
+    /// Logical connection (endpoint) the send travels on. `0` means
+    /// "unassigned": the machine derives a per-destination connection, so
+    /// workloads that never heard of connections behave as if each node
+    /// pair shares one. Connection-aware NIs (the RDMA queue-pair model)
+    /// key their per-connection state on this; connectionless NIs ignore
+    /// it entirely.
+    pub conn: u32,
 }
 
 impl SendSpec {
-    /// Convenience constructor.
+    /// Convenience constructor (connection unassigned).
     pub fn new(dst: NodeId, payload_bytes: u64, tag: u32) -> SendSpec {
         SendSpec {
             dst,
             payload_bytes,
             tag,
+            conn: 0,
         }
+    }
+
+    /// Pins the send to an explicit logical connection (non-zero).
+    pub fn on_conn(mut self, conn: u32) -> SendSpec {
+        self.conn = conn;
+        self
     }
 }
 
@@ -166,6 +180,13 @@ mod tests {
         assert_eq!(h.compute, Dur::ns(5));
         assert_eq!(h.sends.len(), 1);
         assert_eq!(h.sends[0].dst, NodeId(1));
+    }
+
+    #[test]
+    fn send_spec_connection_defaults_unassigned() {
+        let s = SendSpec::new(NodeId(3), 64, 9);
+        assert_eq!(s.conn, 0);
+        assert_eq!(s.on_conn(41).conn, 41);
     }
 
     #[test]

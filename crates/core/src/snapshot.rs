@@ -48,7 +48,10 @@ use crate::processor::{ProcPhase, SendInProgress};
 /// Version 2: message/transfer id counters and the fragment-assembly
 /// table moved from the machine to the per-node objects (per-node id
 /// spaces for the epoch-parallel driver).
-pub const SNAPSHOT_VERSION: u64 = 2;
+///
+/// Version 3: wire messages and send specs carry the connection id the
+/// connection-aware NIs (RDMA queue pairs) stage per fragment.
+pub const SNAPSHOT_VERSION: u64 = 3;
 
 /// Why a snapshot could not be saved or restored.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -194,6 +197,7 @@ fn wire_to_json(w: &WireMsg) -> Json {
                 None => Json::Null,
             },
         )
+        .set("conn", w.conn)
 }
 
 fn wire_from_json(v: &Json) -> Option<WireMsg> {
@@ -202,7 +206,8 @@ fn wire_from_json(v: &Json) -> Option<WireMsg> {
         s => Some(SeqNo(s.as_u64()?)),
     };
     let tag = get_u64(v, "tag")?;
-    if tag > u32::MAX as u64 {
+    let conn = get_u64(v, "conn")?;
+    if tag > u32::MAX as u64 || conn > u32::MAX as u64 {
         return None;
     }
     Some(WireMsg {
@@ -214,6 +219,7 @@ fn wire_from_json(v: &Json) -> Option<WireMsg> {
         tag: tag as u32,
         total_payload: get_u64(v, "total_payload")?,
         seq,
+        conn: conn as u32,
     })
 }
 
@@ -311,19 +317,22 @@ fn spec_to_json(s: &SendSpec) -> Json {
         Json::from(s.dst.0),
         Json::from(s.payload_bytes),
         Json::from(s.tag),
+        Json::from(s.conn),
     ])
 }
 
 fn spec_from_json(v: &Json) -> Option<SendSpec> {
-    let [dst, payload, tag] = v.as_arr().and_then(|a| <&[Json; 3]>::try_from(a).ok())?;
+    let [dst, payload, tag, conn] = v.as_arr().and_then(|a| <&[Json; 4]>::try_from(a).ok())?;
     let tag = tag.as_u64()?;
-    if tag > u32::MAX as u64 {
+    let conn = conn.as_u64()?;
+    if tag > u32::MAX as u64 || conn > u32::MAX as u64 {
         return None;
     }
     Some(SendSpec {
         dst: node_id(dst.as_u64()?)?,
         payload_bytes: payload.as_u64()?,
         tag: tag as u32,
+        conn: conn as u32,
     })
 }
 

@@ -41,7 +41,7 @@ pub const LOG2_BUCKETS: usize = 65;
 /// The machine components cycles are attributed to.
 ///
 /// One variant per row of the occupancy breakdown: processor send and
-/// receive overhead, bus arbitration plus occupancy per [`BusOp`]-like
+/// receive overhead, bus arbitration plus occupancy per `BusOp`-like
 /// transaction class, cache stalls, NI buffer residency, link
 /// serialization, and reliability-layer retransmissions.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]

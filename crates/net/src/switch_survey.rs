@@ -50,6 +50,26 @@ pub const SWITCH_SURVEY: [SwitchBuffering; 5] = [
     },
 ];
 
+/// Modern fabric counterparts (extension; ROADMAP item 3): the switches
+/// behind the RDMA queue-pair and connectionless URMA design points.
+/// Per-port buffering grew by two orders of magnitude, but so did link
+/// rate — at 100 Gb/s a 64 KB virtual lane holds ~5 µs of wire time, so
+/// the paper's argument survives: the endpoint NI, not the fabric, must
+/// absorb bursts (which is why rdma-qp caches QP state on the NI and
+/// urma spills straight to host memory).
+pub const MODERN_SWITCH_SURVEY: [SwitchBuffering; 2] = [
+    SwitchBuffering {
+        name: "InfiniBand EDR switch (Switch-IB class)",
+        max_buffering: "64 Kbyte per virtual lane, credit-based flow control",
+        approx_bytes: 65_536,
+    },
+    SwitchBuffering {
+        name: "Shallow-buffer 100GbE ToR (Tomahawk class)",
+        max_buffering: "16 Mbyte packet buffer shared between 128 ports",
+        approx_bytes: 131_072,
+    },
+];
+
 /// The largest per-port buffering in the survey, in bytes.
 ///
 /// Even the roomiest switch buffers less than two of the study's 256-byte
@@ -61,6 +81,13 @@ pub fn max_survey_bytes() -> u32 {
         .map(|s| s.approx_bytes)
         .max()
         .expect("survey is non-empty")
+}
+
+/// Wire time, in nanoseconds, that `bytes` of buffering covers at
+/// `gbps` gigabits per second — the unit that makes the era-spanning
+/// comparison fair.
+pub fn buffer_wire_time_ns(bytes: u32, gbps: u32) -> u64 {
+    (u64::from(bytes) * 8) / u64::from(gbps).max(1)
 }
 
 #[cfg(test)]
@@ -83,5 +110,29 @@ mod tests {
         for s in SWITCH_SURVEY {
             assert!(s.approx_bytes < 512, "{} buffers too much", s.name);
         }
+    }
+
+    #[test]
+    fn modern_switches_still_buffer_microseconds_not_messages() {
+        // The modern rows buffer far more bytes, but at 100 Gb/s that is
+        // still only single-digit microseconds of wire time — the same
+        // order as the 1998 rows at ~1 Gb/s. The endpoint still pays.
+        for s in MODERN_SWITCH_SURVEY {
+            let ns = buffer_wire_time_ns(s.approx_bytes, 100);
+            assert!(
+                ns < 12_000,
+                "{} covers {ns} ns of wire time — no longer shallow",
+                s.name
+            );
+        }
+        // Normalised to wire time, the eras are within a small factor of
+        // each other: 64 KB at 100 Gb/s ≈ 2.5x the Spider's 256 B at
+        // 1 Gb/s, not the 256x the raw byte counts suggest.
+        let era_1998 = buffer_wire_time_ns(max_survey_bytes(), 1);
+        let modern = buffer_wire_time_ns(MODERN_SWITCH_SURVEY[0].approx_bytes, 100);
+        assert!(
+            modern < 4 * era_1998,
+            "modern per-lane wire time {modern} ns should stay within 4x of {era_1998} ns"
+        );
     }
 }

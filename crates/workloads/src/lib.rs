@@ -34,7 +34,9 @@ pub mod traffic;
 
 pub use apps::{run_app, AppParams, MacroApp};
 pub use micro::bandwidth::{measure_bandwidth, BandwidthResult};
+pub use micro::connsweep::{measure_conn_sweep, ConnSweepResult, SWEEP_ENDPOINTS};
 pub use micro::pingpong::{measure_round_trip, RoundTripResult};
+pub use micro::strided::{measure_strided, StridedResult, StridedStrategy};
 pub use skeleton::{Skeleton, SkeletonProcess, Step};
 pub use synthetic::{run_synthetic, Locality, SyntheticParams};
 pub use traffic::{

@@ -1,5 +1,9 @@
-//! The §6.1 microbenchmarks: round-trip latency and bandwidth (Table 5).
+//! The §6.1 microbenchmarks: round-trip latency and bandwidth (Table 5),
+//! plus the modern-NI studies (connection-count sweep, strided
+//! scatter-gather exchange).
 
 pub mod bandwidth;
+pub mod connsweep;
 pub mod logp;
 pub mod pingpong;
+pub mod strided;

@@ -45,21 +45,24 @@ pub fn spec_to_json(s: &SendSpec) -> Json {
         Json::from(s.dst.0),
         Json::from(s.payload_bytes),
         Json::from(s.tag),
+        Json::from(s.conn),
     ])
 }
 
 /// Inverse of [`spec_to_json`].
 pub fn spec_from_json(v: &Json) -> Option<SendSpec> {
-    let [dst, payload, tag] = v.as_arr().and_then(|a| <&[Json; 3]>::try_from(a).ok())?;
+    let [dst, payload, tag, conn] = v.as_arr().and_then(|a| <&[Json; 4]>::try_from(a).ok())?;
     let dst = dst.as_u64()?;
     let tag = tag.as_u64()?;
-    if dst > u32::MAX as u64 || tag > u32::MAX as u64 {
+    let conn = conn.as_u64()?;
+    if dst > u32::MAX as u64 || tag > u32::MAX as u64 || conn > u32::MAX as u64 {
         return None;
     }
     Some(SendSpec {
         dst: NodeId(dst as u32),
         payload_bytes: payload.as_u64()?,
         tag: tag as u32,
+        conn: conn as u32,
     })
 }
 

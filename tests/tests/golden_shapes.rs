@@ -13,10 +13,11 @@
 
 use nisim_bench::record::{lookup, parse_document, RunRecord};
 use nisim_bench::{
-    breakdown_document, breakdown_from_records, breakdown_golden_path, curves_from_records,
-    default_jobs, fault_study_from_records, fig1_differential_from_records, fig1_from_records,
-    fig3a_sweep, fig3b_from_records, fig4_from_records, golden_document, golden_path,
-    loadlat_golden_path, table5_from_records, LoadCurve,
+    breakdown_document, breakdown_from_records, breakdown_golden_path, conn_sweep_from_records,
+    curves_from_records, default_jobs, fault_study_from_records, fig1_differential_from_records,
+    fig1_from_records, fig3a_sweep, fig3b_from_records, fig4_from_records, golden_document,
+    golden_path, loadlat_golden_path, rdma_kink_from_records, strided_from_records,
+    table5_from_records, LoadCurve,
 };
 use nisim_core::{NiKind, TimeCategory};
 use nisim_workloads::apps::MacroApp;
@@ -384,6 +385,82 @@ fn golden_fault_recovery_shapes() {
     );
 }
 
+/// The connection-count sweep (EXPERIMENTS.md "connection sweep"): the
+/// RDMA queue-pair NI falls off the QP-state-capacity cliff — p99 at
+/// least doubles once the endpoint count exceeds its 64-entry cache —
+/// while the connectionless URMA NI stays within 1.2× of its 4-endpoint
+/// baseline across the whole sweep.
+#[test]
+fn golden_connsweep_cliff_and_flat_line() {
+    let doc = committed();
+    let rows = conn_sweep_from_records(section(&doc, "connsweep"));
+    let base = &rows[0];
+    assert_eq!(base.endpoints, 4, "the sweep starts at 4 endpoints");
+    for r in &rows {
+        if r.endpoints <= 64 {
+            assert!(
+                r.rdma_p99_ns < 1.2 * base.rdma_p99_ns,
+                "rdma-qp must stay flat within its cache ({} endpoints: {} vs {})",
+                r.endpoints,
+                r.rdma_p99_ns,
+                base.rdma_p99_ns
+            );
+        } else {
+            assert!(
+                r.rdma_p99_ns >= 2.0 * base.rdma_p99_ns,
+                "rdma-qp p99 must at least double past capacity ({} endpoints: {} vs {})",
+                r.endpoints,
+                r.rdma_p99_ns,
+                base.rdma_p99_ns
+            );
+        }
+        assert!(
+            r.urma_p99_ns <= 1.2 * base.urma_p99_ns,
+            "urma must be endpoint-count immune ({} endpoints: {} vs {})",
+            r.endpoints,
+            r.urma_p99_ns,
+            base.urma_p99_ns
+        );
+    }
+}
+
+/// The RDMA eager/rendezvous payload kink (EXPERIMENTS.md "modern
+/// NIs"): the round trip grows with payload, and the step across the
+/// 128 B crossover — where the rendezvous handshake joins the bill — is
+/// larger than either same-protocol step beside it.
+#[test]
+fn golden_rdma_payload_kink() {
+    let doc = committed();
+    let points = rdma_kink_from_records(section(&doc, "rdma-kink"));
+    for w in points.windows(2) {
+        assert!(
+            w[1].1 > w[0].1,
+            "rtt must grow with payload: {:?} then {:?}",
+            w[0],
+            w[1]
+        );
+    }
+    // Payloads are equally spaced, so the slope step is visible directly.
+    let step: Vec<f64> = points.windows(2).map(|w| w[1].1 - w[0].1).collect();
+    assert!(
+        step[1] > step[0] && step[1] > step[2],
+        "the crossover step must dominate its neighbours: {step:?}"
+    );
+}
+
+/// The strided-exchange claim (EXPERIMENTS.md "modern NIs"): one
+/// gathered descriptor beats a fragment-per-element software loop on
+/// the scatter-gather NI.
+#[test]
+fn golden_strided_gather_wins() {
+    let doc = committed();
+    let (gathered, per_elem) = strided_from_records(section(&doc, "strided"));
+    assert!(
+        gathered < per_elem,
+        "the descriptor path must win: gathered {gathered} vs per-element {per_elem}"
+    );
+}
+
 /// Cycle-occupancy breakdown claims, from the committed
 /// `golden_breakdown.json`: the CM-5-style designs pay the most
 /// processor overhead per accounted cycle, and the coherent CNI designs
@@ -398,7 +475,7 @@ fn golden_breakdown_occupancy_shapes() {
     });
     let doc = parse_document(&text).expect("breakdown golden parses");
     let rows = breakdown_from_records(section(&doc, "breakdown"));
-    assert_eq!(rows.len(), NiKind::TABLE2.len());
+    assert_eq!(rows.len(), NiKind::TABLE2.len() + NiKind::MODERN.len());
     let by = |k: NiKind| rows.iter().find(|r| r.ni == k).expect("row");
     for r in &rows {
         assert!(r.total_ns > 0, "{:?} accounted nothing", r.ni);

@@ -56,9 +56,9 @@ fn assert_point_equivalent(point: &SweepPoint) {
     }
 }
 
-/// The nine NI designs the suite covers: the seven of Table 2 plus the
-/// single-cycle and throttled variants.
-const NIS: [NiKind; 9] = [
+/// The twelve NI designs the suite covers: the seven of Table 2, the
+/// single-cycle and throttled variants, and the three modern designs.
+const NIS: [NiKind; 12] = [
     NiKind::Cm5,
     NiKind::Cm5SingleCycle,
     NiKind::Udma,
@@ -68,11 +68,14 @@ const NIS: [NiKind; 9] = [
     NiKind::Cni512Q,
     NiKind::Cni32Qm,
     NiKind::Cni32QmThrottle,
+    NiKind::RdmaQp,
+    NiKind::Urma,
+    NiKind::Sgdma,
 ];
 
 const APPS: [MacroApp; 3] = [MacroApp::Em3d, MacroApp::Moldyn, MacroApp::Spsolve];
 
-/// The tentpole lock: the full 9-NI × 3-app grid produces byte-identical
+/// The tentpole lock: the full 12-NI × 3-app grid produces byte-identical
 /// records at every worker count.
 #[test]
 fn grid_records_are_byte_identical_at_every_worker_count() {
@@ -104,6 +107,12 @@ fn micro_records_are_byte_identical_at_every_worker_count() {
                 gap_ns: 2_000,
             },
             NiKind::StartJr,
+        ),
+        (Work::ConnSweep(256), NiKind::RdmaQp),
+        (Work::ConnSweep(16), NiKind::Urma),
+        (
+            Work::Strided(nisim_workloads::micro::strided::StridedStrategy::Gathered),
+            NiKind::Sgdma,
         ),
     ] {
         let point = SweepPoint {

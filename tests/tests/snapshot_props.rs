@@ -121,6 +121,7 @@ fn any_config_perturbation_is_rejected_at_restore() {
         Box::new(|c, _| c.nodes += 1),
         Box::new(|c, r| c.watchdog_window = Dur::us(1000 + r.below(1000))),
         Box::new(|c, _| c.reliability = ReliabilityConfig::on()),
+        Box::new(|c, r| *c = c.clone().qp_cache_entries(16 + r.below(48) as u32)),
     ];
     for (i, perturb) in perturbations.iter().enumerate() {
         for round in 0..5 {
@@ -136,6 +137,70 @@ fn any_config_perturbation_is_rejected_at_restore() {
             }
         }
     }
+}
+
+/// Version-3 snapshots carry the connection id on every wire message.
+/// A snapshot stamped with the previous version must be rejected as a
+/// [`SnapshotError::Version`], and a wire `conn` forged past `u32::MAX`
+/// must be rejected as [`SnapshotError::Malformed`] — never silently
+/// truncated into a valid connection.
+#[test]
+fn stale_version_and_forged_conn_are_rejected() {
+    let cfg = base_config();
+    let snap = mid_run_snapshot(&cfg);
+    let mk = |c: &MachineConfig| factory(MacroApp::Em3d, c.nodes, c.seed, snap_params());
+
+    let stale = json::parse(&snap.to_compact().replace("\"version\":3", "\"version\":2")).unwrap();
+    assert!(
+        matches!(
+            restore(cfg.clone(), mk(&cfg), &stale),
+            Err(SnapshotError::Version { found: 2 })
+        ),
+        "a version-2 stamp must be refused"
+    );
+
+    // Tamper the first in-flight wire message's conn. Cuts grow until
+    // one lands with a message on the wire (the key only appears there).
+    let qcfg = MachineConfig::with_ni(NiKind::RdmaQp)
+        .nodes(4)
+        .flow_buffers(BufferCount::Finite(4));
+    let mut tampered_once = false;
+    for budget in [50u64, 200, 800, 3200, 12800] {
+        let mut m = Machine::new(
+            qcfg.clone(),
+            factory(MacroApp::Em3d, qcfg.nodes, qcfg.seed, snap_params()),
+        );
+        let mut sim = MachineSim::new();
+        m.start(&mut sim);
+        m.run_slice(&mut sim, Time::from_ns(60_000_000_000), budget);
+        let text = save(&m, &mut sim).expect("snapshot").to_compact();
+        let Some(pos) = text.find("\"conn\":") else {
+            continue;
+        };
+        let digits = pos + "\"conn\":".len();
+        let end = digits
+            + text[digits..]
+                .find(|c: char| !c.is_ascii_digit())
+                .expect("conn digits end");
+        let forged = format!(
+            "{}{}{}",
+            &text[..digits],
+            u64::from(u32::MAX) + 1,
+            &text[end..]
+        );
+        let got = restore(qcfg.clone(), mk(&qcfg), &json::parse(&forged).unwrap());
+        assert!(
+            matches!(got, Err(SnapshotError::Malformed(_))),
+            "an oversized conn must be malformed, got {:?}",
+            got.map(|_| "Ok(machine)")
+        );
+        tampered_once = true;
+        break;
+    }
+    assert!(
+        tampered_once,
+        "no cut caught a wire message in flight to tamper with"
+    );
 }
 
 /// The fingerprint binds the snapshot to a *semantic* configuration, not

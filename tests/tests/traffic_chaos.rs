@@ -160,3 +160,26 @@ fn incast_traffic_survives_kill_and_resume() {
     };
     assert_kill_and_resume_reproduces(spec, NiKind::Cm5, 4);
 }
+
+/// The RDMA queue-pair NI carries the roster's most restore-sensitive
+/// state: cuts land with a warm QP-state cache, and the restored LRU
+/// order must replay the same hit/miss sequence or latencies diverge.
+#[test]
+fn rdma_qp_traffic_survives_kill_and_resume() {
+    let spec = TrafficSpec {
+        kind: TrafficKind::PoissonUniform,
+        level: 3,
+    };
+    assert_kill_and_resume_reproduces(spec, NiKind::RdmaQp, 5);
+}
+
+/// The SGDMA NI stages a decoded descriptor between the stage hook and
+/// the deposit; a cut between the two must restore the staged geometry.
+#[test]
+fn sgdma_traffic_survives_kill_and_resume() {
+    let spec = TrafficSpec {
+        kind: TrafficKind::PoissonIncast,
+        level: 2,
+    };
+    assert_kill_and_resume_reproduces(spec, NiKind::Sgdma, 6);
+}
